@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Workload sizes are deliberately smaller than the harness defaults so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; the
+full-scale runs live in ``python -m repro.bench``.  Every benchmark runs
+``rounds=1, iterations=1`` (join times at these sizes are tens of
+milliseconds to seconds, far above timer noise, and the baselines are too
+slow to repeat).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_THRESHOLDS, benchmark_dataset
+
+#: Users per preset for single-size benchmarks.
+BENCH_USERS = 100
+
+#: User counts for the scalability sweep (Figure 4).
+SCALABILITY_USERS = (50, 100, 200)
+
+PRESET_NAMES = ("geotext", "flickr", "twitter")
+
+
+def dataset_for(preset: str, num_users: int = BENCH_USERS):
+    """Cached dataset for a preset (shared with the harness cache)."""
+    return benchmark_dataset(preset, num_users)
+
+
+def thresholds_for(preset: str):
+    return DEFAULT_THRESHOLDS[preset]
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return runner

@@ -1,0 +1,65 @@
+"""Ablation — node-level textual summaries for top-k spatial keyword search.
+
+The IR-tree of the paper's related work augments R-tree nodes with textual
+summaries so best-first top-k search can prune topically irrelevant
+subtrees.  This bench runs identical top-k relevance queries through the
+plain R-tree index and the IR-tree and records both time and node
+expansions; text-leaning queries (low alpha) for rare keywords are where
+the summaries pay off.
+"""
+
+import pytest
+
+from repro.stindex.irtree import IRTree
+from repro.stindex.queries import SpatialKeywordIndex
+
+from _common import BENCH_USERS, dataset_for
+
+INDEXES = ("plain-rtree", "ir-tree")
+ALPHAS = (0.1, 0.5, 0.9)
+
+
+def build(dataset, kind):
+    if kind == "ir-tree":
+        return IRTree(dataset, fanout=64)
+    return SpatialKeywordIndex(dataset, fanout=64)
+
+
+def rare_keyword(dataset):
+    df = {}
+    for obj in dataset.objects:
+        for token in dataset.vocab.decode(obj.doc):
+            df[token] = df.get(token, 0) + 1
+    return min(df, key=df.get)
+
+
+@pytest.mark.parametrize("kind", INDEXES)
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_topk_relevance(benchmark, kind, alpha):
+    dataset = dataset_for("flickr", BENCH_USERS)
+    index = build(dataset, kind)
+    keyword = rare_keyword(dataset)
+    center = dataset.bounds.center()
+
+    def run():
+        # A batch of probes amortizes index construction out of the timing.
+        out = None
+        for k in (1, 5, 10):
+            out = index.topk_relevance(center[0], center[1], {keyword}, k, alpha=alpha)
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result is not None
+    benchmark.extra_info["expansions"] = index.expansions
+
+
+def test_irtree_prunes_more():
+    dataset = dataset_for("flickr", 60)
+    plain = SpatialKeywordIndex(dataset, fanout=16)
+    irtree = IRTree(dataset, fanout=16)
+    keyword = rare_keyword(dataset)
+    center = dataset.bounds.center()
+    got = irtree.topk_relevance(center[0], center[1], {keyword}, 5, alpha=0.1)
+    expected = plain.topk_relevance(center[0], center[1], {keyword}, 5, alpha=0.1)
+    assert [round(c, 12) for _, c in got] == [round(c, 12) for _, c in expected]
+    assert irtree.expansions <= plain.expansions

@@ -1,0 +1,52 @@
+"""Ablation — data partitioner under S-PPJ-D (R-tree vs quadtree).
+
+S-PPJ-D is defined over "a given data partitioning"; the paper
+instantiates it with R-tree leaves and its related work considers
+quadtrees.  This bench swaps the partitioner under the identical
+filter-and-refine machinery — results must match exactly; cost reflects
+partition shape quality (R-tree leaves adapt to data density, quadtree
+cells to the space).
+"""
+
+import pytest
+
+from repro import stps_join
+
+from _common import BENCH_USERS, PRESET_NAMES, dataset_for, thresholds_for
+
+PARTITIONERS = ("rtree", "quadtree")
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("partitioner", PARTITIONERS)
+def test_partitioner(run_once, preset, partitioner):
+    dataset = dataset_for(preset, BENCH_USERS)
+    eps_loc, eps_doc, eps_user = thresholds_for(preset)
+    result = run_once(
+        stps_join,
+        dataset,
+        eps_loc,
+        eps_doc,
+        eps_user,
+        algorithm="s-ppj-d",
+        partitioner=partitioner,
+        fanout=64,
+    )
+    assert isinstance(result, list)
+
+
+def test_partitioners_agree():
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, 60)
+        thresholds = thresholds_for(preset)
+        results = {
+            p: {
+                pair.key
+                for pair in stps_join(
+                    dataset, *thresholds, algorithm="s-ppj-d",
+                    partitioner=p, fanout=64,
+                )
+            }
+            for p in PARTITIONERS
+        }
+        assert results["rtree"] == results["quadtree"]

@@ -1,0 +1,48 @@
+"""Ablation — partitioning choice for the substrate point join.
+
+Compares the flat PPJ, grid-partitioned PPJ-C and R-tree-partitioned
+PPJ-R on the single-point ST-SJOIN (the Bouros et al. query the paper's
+set algorithms generalize).  Note the measured outcome (EXPERIMENTS.md):
+at point level PPJ-R is competitive with or faster than the grid on
+sparse data — the set-level dominance of S-PPJ-F comes from per-user-pair
+filtering over eps_loc-sized cells, not raw point-join throughput.
+"""
+
+import pytest
+
+from repro.joins.ppj import ppj_self_join
+from repro.joins.ppj_c import ppj_c_join
+from repro.joins.ppj_r import ppj_r_join
+
+from _common import PRESET_NAMES, dataset_for, thresholds_for
+
+JOINS = {
+    "ppj-flat": lambda objs, eps_loc, eps_doc: ppj_self_join(objs, eps_loc, eps_doc),
+    "ppj-c": lambda objs, eps_loc, eps_doc: ppj_c_join(objs, eps_loc, eps_doc),
+    "ppj-r": lambda objs, eps_loc, eps_doc: ppj_r_join(objs, eps_loc, eps_doc, fanout=100),
+}
+
+POINT_USERS = 60
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("join", sorted(JOINS))
+def test_point_join(run_once, preset, join):
+    dataset = dataset_for(preset, POINT_USERS)
+    eps_loc, eps_doc, _ = thresholds_for(preset)
+    result = run_once(JOINS[join], dataset.objects, eps_loc, eps_doc)
+    assert isinstance(result, list)
+
+
+def test_point_joins_agree():
+    def normalize(pairs):
+        return {(i, j) if i < j else (j, i) for i, j in pairs}
+
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, 30)
+        eps_loc, eps_doc, _ = thresholds_for(preset)
+        results = {
+            name: normalize(fn(dataset.objects, eps_loc, eps_doc))
+            for name, fn in JOINS.items()
+        }
+        assert results["ppj-flat"] == results["ppj-c"] == results["ppj-r"]

@@ -1,0 +1,32 @@
+"""Ablation — PPJ-B vs PPJ-C as the refinement step of S-PPJ-F.
+
+S-PPJ-F refines filter survivors with PPJ-B (snake traversal + Lemma 1
+early termination).  Swapping in the plain PPJ-C evaluator keeps results
+identical and shows what the early-termination machinery contributes
+inside the filter-and-refine scheme (DESIGN.md ablation #2).
+"""
+
+import pytest
+
+from repro import STPSJoinQuery
+from repro.core.sppj_f import sppj_f
+
+from _common import BENCH_USERS, PRESET_NAMES, dataset_for, thresholds_for
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("refine", ("ppj-b", "ppj-c"))
+def test_refinement_strategy(run_once, preset, refine):
+    dataset = dataset_for(preset, BENCH_USERS)
+    query = STPSJoinQuery(*thresholds_for(preset))
+    result = run_once(sppj_f, dataset, query, refine=refine)
+    assert isinstance(result, list)
+
+
+def test_refinements_agree():
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, BENCH_USERS)
+        query = STPSJoinQuery(*thresholds_for(preset))
+        with_b = {p.key for p in sppj_f(dataset, query, refine="ppj-b")}
+        with_c = {p.key for p in sppj_f(dataset, query, refine="ppj-c")}
+        assert with_b == with_c

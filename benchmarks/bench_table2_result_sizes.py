@@ -1,0 +1,59 @@
+"""Table 2 — STPSJoin result-set sizes across parameter settings.
+
+Times S-PPJ-F across the scalability and threshold-sweep settings and
+records the result sizes (the quantity Table 2 reports); the shape test
+asserts the Flickr-like dataset yields the largest result sets relative
+to its size, the paper's explanation being near-duplicate POI photos.
+"""
+
+import statistics
+
+import pytest
+
+from repro import stps_join
+from repro.bench.experiments import _threshold_sweep
+
+from _common import BENCH_USERS, PRESET_NAMES, SCALABILITY_USERS, dataset_for, thresholds_for
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+def test_scalability_result_sizes(benchmark, preset):
+    sizes = []
+
+    def run():
+        sizes.clear()
+        for num_users in SCALABILITY_USERS:
+            dataset = dataset_for(preset, num_users)
+            thresholds = thresholds_for(preset)
+            sizes.append(len(stps_join(dataset, *thresholds, algorithm="s-ppj-f")))
+        return sizes
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["sizes"] = list(sizes)
+    benchmark.extra_info["mean"] = round(statistics.fmean(sizes), 2)
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+def test_threshold_sweep_result_sizes(benchmark, preset):
+    dataset = dataset_for(preset, BENCH_USERS)
+    sizes = []
+
+    def run():
+        sizes.clear()
+        for thresholds in _threshold_sweep(preset):
+            sizes.append(len(stps_join(dataset, *thresholds, algorithm="s-ppj-f")))
+        return sizes
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["sizes"] = list(sizes)
+
+
+def test_table2_shape():
+    """Flickr-like data produces the largest result sets at its own
+    (strictest!) thresholds — the paper's near-duplicate-POI effect."""
+    sizes = {}
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, BENCH_USERS)
+        thresholds = thresholds_for(preset)
+        sizes[preset] = len(stps_join(dataset, *thresholds, algorithm="s-ppj-f"))
+    assert sizes["flickr"] >= sizes["twitter"], sizes

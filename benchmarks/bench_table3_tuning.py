@@ -1,0 +1,53 @@
+"""Table 3 — automated threshold tuning.
+
+Times the tuning walk (after the initial S-PPJ-F run) per dataset and
+target result size, and asserts the paper's qualitative findings: tuning
+reaches the target, and the initial S-PPJ-F execution consumes a
+significant share of the end-to-end time.
+"""
+
+import pytest
+
+from repro import STPSJoinQuery, tune_thresholds
+from repro.bench.experiments import TUNING_INITIAL_THRESHOLDS
+
+from _common import PRESET_NAMES, dataset_for
+
+TUNING_USERS = 60
+TARGETS = (5, 25, 50)
+
+
+@pytest.mark.parametrize("preset", PRESET_NAMES)
+@pytest.mark.parametrize("target", TARGETS)
+def test_tuning(benchmark, preset, target):
+    dataset = dataset_for(preset, TUNING_USERS)
+    initial = STPSJoinQuery(*TUNING_INITIAL_THRESHOLDS[preset])
+
+    result = benchmark.pedantic(
+        tune_thresholds,
+        args=(dataset, target, initial),
+        kwargs={"seed": 1},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.initial_result_size > target
+    assert len(result.pairs) <= target
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["initial_result_size"] = result.initial_result_size
+    benchmark.extra_info["final_size"] = len(result.pairs)
+    benchmark.extra_info["sppjf_ms"] = round(result.initial_join_seconds * 1e3, 1)
+    benchmark.extra_info["tuning_ms"] = round(result.tuning_seconds * 1e3, 1)
+
+
+def test_table3_shape():
+    """The initial S-PPJ-F run is a significant share of total time for at
+    least one dataset (the paper: 'consumes a significant amount')."""
+    ratios = []
+    for preset in PRESET_NAMES:
+        dataset = dataset_for(preset, TUNING_USERS)
+        initial = STPSJoinQuery(*TUNING_INITIAL_THRESHOLDS[preset])
+        result = tune_thresholds(dataset, 25, initial, seed=1)
+        total = result.initial_join_seconds + result.tuning_seconds
+        ratios.append(result.initial_join_seconds / total if total else 0.0)
+    assert max(ratios) > 0.25, ratios

@@ -1,0 +1,21 @@
+"""Benchmark-suite fixtures."""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the callable exactly once under the benchmark timer.
+
+    Join times at benchmark sizes are tens of milliseconds to seconds —
+    far above timer noise — and the quadratic baselines are too slow to
+    repeat, so a single round keeps the suite fast without hurting
+    comparability.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return runner

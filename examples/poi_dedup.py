@@ -1,0 +1,106 @@
+"""De-duplicating POIs across two catalogues with the point-level ST-SJOIN.
+
+The paper's introduction motivates spatio-textual point joins with
+duplicate detection: the same place appears in two catalogues with
+slightly different coordinates and overlapping-but-unequal descriptions.
+This script fabricates two POI catalogues with a known overlap — POIs
+clustered into city blocks so that purely spatial matching confuses
+neighbours, and same-category vocabularies so that purely textual
+matching confuses lookalikes — then measures precision/recall of PPJ-C
+duplicate detection across a threshold sweep.
+
+Run:  python examples/poi_dedup.py
+"""
+
+import numpy as np
+
+from repro import STDataset
+from repro.joins import ppj_c_join
+
+CATEGORIES = {
+    "cafe": ["coffee", "espresso", "breakfast", "wifi", "pastry", "brunch"],
+    "museum": ["art", "history", "exhibition", "gallery", "tickets", "tour"],
+    "park": ["green", "playground", "trees", "walk", "dogs", "pond"],
+    "station": ["trains", "platform", "tickets", "departures", "metro", "exit"],
+}
+
+
+def build_catalogues(n_blocks=40, pois_per_block=3, overlap=0.6, seed=4):
+    """Two catalogues; returns (records, poi_of_record, true_pair_count)."""
+    rng = np.random.default_rng(seed)
+    names = list(CATEGORIES)
+    records = []
+    poi_of = []
+    poi_id = 0
+    duplicates = 0
+    for _ in range(n_blocks):
+        bx, by = rng.uniform(0.0, 1.0, 2)
+        for _ in range(pois_per_block):
+            # POIs inside a block sit within ~1e-3 of each other.
+            x = float(bx + rng.normal(0.0, 4e-4))
+            y = float(by + rng.normal(0.0, 4e-4))
+            cat = names[int(rng.integers(0, len(names)))]
+            vocab = CATEGORIES[cat]
+            keywords = {cat} | {
+                vocab[int(j)]
+                for j in rng.choice(len(vocab), size=3, replace=False)
+            }
+            records.append(("catalogue-a", x, y, keywords))
+            poi_of.append(poi_id)
+            if rng.random() < overlap:
+                # The duplicate: nudged location, one keyword rewritten.
+                dx, dy = rng.normal(0.0, 1e-4, 2)
+                altered = set(keywords)
+                altered.discard(vocab[int(rng.integers(0, len(vocab)))])
+                altered.add(vocab[int(rng.integers(0, len(vocab)))])
+                records.append(
+                    ("catalogue-b", x + float(dx), y + float(dy), altered)
+                )
+                poi_of.append(poi_id)
+                duplicates += 1
+            poi_id += 1
+    return records, poi_of, duplicates
+
+
+def main() -> None:
+    records, poi_of, n_duplicates = build_catalogues()
+    dataset = STDataset.from_records(records)
+    objects = dataset.objects
+    print(
+        f"{len(dataset.user_objects('catalogue-a'))} POIs in catalogue A, "
+        f"{len(dataset.user_objects('catalogue-b'))} in catalogue B "
+        f"({n_duplicates} true duplicates)\n"
+    )
+
+    print(
+        f"{'eps_loc':>9} {'eps_doc':>9} {'reported':>9} "
+        f"{'precision':>10} {'recall':>8}"
+    )
+    for eps_loc, eps_doc in [
+        (0.0005, 0.75),
+        (0.0005, 0.5),
+        (0.0005, 0.25),
+        (0.00005, 0.5),
+        (0.005, 0.5),
+        (0.005, 0.25),
+    ]:
+        pairs = ppj_c_join(objects, eps_loc, eps_doc)
+        cross = [
+            (i, j) for i, j in pairs if objects[i].user != objects[j].user
+        ]
+        hits = sum(1 for i, j in cross if poi_of[i] == poi_of[j])
+        precision = hits / len(cross) if cross else 1.0
+        recall = hits / n_duplicates if n_duplicates else 1.0
+        print(
+            f"{eps_loc:>9} {eps_doc:>9} {len(cross):>9} "
+            f"{precision:>10.2f} {recall:>8.2f}"
+        )
+    print(
+        "\nlesson: eps_loc must absorb the coordinate noise (1e-4) without "
+        "spanning the block (4e-4), and eps_doc must tolerate one rewritten "
+        "keyword without admitting same-category neighbours."
+    )
+
+
+if __name__ == "__main__":
+    main()

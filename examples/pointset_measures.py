@@ -1,0 +1,56 @@
+"""Why sigma instead of Hausdorff?  A measure comparison on one dataset.
+
+Related work (Adelfio et al.) matches point sets with the Hausdorff
+distance — the *maximum* discrepancy between two sets, so one stray point
+dominates the score.  The paper's sigma instead counts how many objects
+find a spatio-textually matching counterpart.  This script builds users
+with heavily overlapping behaviour plus a single outlier trip each and
+shows the two measures disagreeing about who is similar.
+
+Run:  python examples/pointset_measures.py
+"""
+
+from repro import STDataset, topk_stps_join
+from repro.core.hausdorff import hausdorff_distance, topk_hausdorff_pairs
+
+
+def build_dataset() -> STDataset:
+    records = []
+    # 'ana' and 'ben' share a neighbourhood and vocabulary almost object
+    # for object, but each took one long trip to a different place.
+    for i in range(8):
+        records.append(("ana", 0.10 + i * 1e-4, 0.10, {"coffee", "market", f"day{i}"}))
+        records.append(("ben", 0.10 + i * 1e-4, 0.1001, {"coffee", "market", f"day{i}"}))
+    records.append(("ana", 5.0, 5.0, {"holiday"}))
+    records.append(("ben", -5.0, -5.0, {"conference"}))
+    # 'cleo' and 'dan' are compact sets sitting close together but
+    # textually unrelated - geometrically tight, behaviourally different.
+    for i in range(6):
+        records.append(("cleo", 0.50 + i * 1e-4, 0.50, {"yoga", f"pose{i}"}))
+        records.append(("dan", 0.50 + i * 1e-4, 0.5001, {"poker", f"hand{i}"}))
+    return STDataset.from_records(records)
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print(f"dataset: {dataset.num_objects} objects, {dataset.num_users} users\n")
+
+    print("Hausdorff ranking (purely spatial, outlier-sensitive):")
+    for ua, ub, dist in topk_hausdorff_pairs(dataset, 3):
+        print(f"  {ua} ~ {ub}: distance {dist:.3f}")
+
+    print("\nsigma ranking (spatio-textual, counts matched objects):")
+    for pair in topk_stps_join(dataset, eps_loc=0.001, eps_doc=0.5, k=3):
+        print(f"  {pair.user_a} ~ {pair.user_b}: sigma {pair.score:.3f}")
+
+    ana = dataset.user_objects("ana")
+    ben = dataset.user_objects("ben")
+    print(
+        f"\nana~ben: Hausdorff {hausdorff_distance(ana, ben):.2f} "
+        "(dominated by the two opposite trips), yet 16 of their 18 objects "
+        "match one another — sigma sees the similarity Hausdorff hides."
+    )
+
+
+if __name__ == "__main__":
+    main()

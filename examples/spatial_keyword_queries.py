@@ -1,0 +1,59 @@
+"""Spatial keyword queries: the related-work query types, runnable.
+
+Beyond joins, a spatio-textual library gets asked point queries: "which
+objects inside this window mention X?", "the nearest object about Y?",
+"the best object balancing proximity and topical match?".  This script
+runs the three classic query types of the paper's related work (boolean
+range, kNN with keyword predicate, top-k combined relevance) over a
+Flickr-like dataset through :class:`repro.stindex.SpatialKeywordIndex`.
+
+Run:  python examples/spatial_keyword_queries.py
+"""
+
+from collections import Counter
+
+from repro import FLICKR_LIKE, generate_dataset
+from repro.spatial import Rect
+from repro.stindex import SpatialKeywordIndex
+
+
+def main() -> None:
+    dataset = generate_dataset(FLICKR_LIKE, seed=8, num_users=120)
+    index = SpatialKeywordIndex(dataset, fanout=64)
+    print(f"indexed {dataset.num_objects} objects ({len(dataset.vocab)} tokens)")
+
+    # Pick the two most common tags as query keywords.
+    df = Counter()
+    for obj in dataset.objects:
+        df.update(dataset.vocab.decode(obj.doc))
+    (tag_a, _), (tag_b, _) = df.most_common(2)
+    print(f"query keywords: {tag_a!r}, {tag_b!r}\n")
+
+    center = dataset.bounds.center()
+    half = 0.1 * max(dataset.bounds.width, dataset.bounds.height)
+    window = Rect(center[0] - half, center[1] - half, center[0] + half, center[1] + half)
+
+    both = index.boolean_range(window, {tag_a, tag_b}, match_all=True)
+    either = index.boolean_range(window, {tag_a, tag_b}, match_all=False)
+    print(
+        f"boolean range over a {2 * half:.3f}-wide window: "
+        f"{len(both)} objects tagged with both, {len(either)} with either"
+    )
+
+    nearest = index.knn_keyword(center[0], center[1], {tag_a}, k=5)
+    print(f"\n5 nearest objects tagged {tag_a!r}:")
+    for obj, dist in nearest:
+        print(f"  oid {obj.oid:5d} (user {obj.user}) at distance {dist:.4f}")
+
+    print(f"\ntop-5 by combined relevance (alpha = 0.3, text-leaning):")
+    for obj, cost in index.topk_relevance(center[0], center[1], {tag_a, tag_b}, 5, alpha=0.3):
+        tags = sorted(map(str, dataset.vocab.decode(obj.doc)))[:4]
+        print(f"  oid {obj.oid:5d} cost {cost:.3f} tags {tags}")
+
+    print(f"\ntop-5 by combined relevance (alpha = 0.9, proximity-leaning):")
+    for obj, cost in index.topk_relevance(center[0], center[1], {tag_a, tag_b}, 5, alpha=0.9):
+        print(f"  oid {obj.oid:5d} cost {cost:.3f}")
+
+
+if __name__ == "__main__":
+    main()

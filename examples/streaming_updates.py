@@ -1,0 +1,74 @@
+"""Maintaining the STPSJoin result while objects stream in.
+
+Social-media objects arrive continuously; rerunning a batch join after
+every tweet is wasteful.  This script replays a Twitter-like dataset as a
+stream through :class:`IncrementalSTPSJoin`, reports how the result set
+evolves, and verifies the final state against a batch S-PPJ-F run over the
+same objects.  It also demonstrates the single-user kNN query and the
+temporal join on the same data.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import time
+
+from repro import (
+    STPSJoinQuery,
+    TWITTER_LIKE,
+    generate_dataset,
+    similar_users,
+    stps_join,
+)
+from repro.core.incremental import IncrementalSTPSJoin
+from repro.core.query import pairs_to_dict
+from repro.core.temporal import TemporalDataset, TemporalQuery, temporal_stps_join
+
+EPS_LOC, EPS_DOC, EPS_USER = 0.015, 0.25, 0.15
+
+
+def main() -> None:
+    dataset = generate_dataset(TWITTER_LIKE, seed=21, num_users=80)
+    stream = [
+        (o.user, o.x, o.y, dataset.vocab.decode(o.doc)) for o in dataset.objects
+    ]
+    print(f"replaying {len(stream)} objects from {dataset.num_users} users\n")
+
+    query = STPSJoinQuery(EPS_LOC, EPS_DOC, EPS_USER)
+    engine = IncrementalSTPSJoin(dataset.bounds, query)
+    start = time.perf_counter()
+    checkpoints = {len(stream) // 4, len(stream) // 2, 3 * len(stream) // 4}
+    for i, record in enumerate(stream, start=1):
+        engine.add_object(*record)
+        if i in checkpoints:
+            print(f"  after {i:5d} objects: {len(engine.results())} similar pairs")
+    elapsed = time.perf_counter() - start
+    print(
+        f"  after {len(stream):5d} objects: {len(engine.results())} similar pairs "
+        f"({elapsed * 1e3:.0f} ms total, "
+        f"{elapsed / len(stream) * 1e6:.0f} us/insert)"
+    )
+
+    batch = stps_join(dataset, EPS_LOC, EPS_DOC, EPS_USER)
+    assert pairs_to_dict(engine.results()).keys() == pairs_to_dict(batch).keys()
+    print("  final state matches a batch S-PPJ-F run\n")
+
+    if batch:
+        probe = batch[0].user_a
+        neighbours = similar_users(dataset, probe, EPS_LOC, EPS_DOC, 3)
+        print(f"kNN probe for user {probe}:")
+        for other, score in neighbours:
+            print(f"  {other}  sigma = {score:.3f}")
+
+    # Temporal variant: timestamps spread the objects across a week; only
+    # users active at overlapping times remain similar.
+    times = [(o.oid * 37 % 1000) / 1000.0 * 7.0 for o in dataset.objects]
+    tds = TemporalDataset(dataset, times)
+    for eps_time in (7.0, 0.5):
+        pairs = temporal_stps_join(
+            tds, TemporalQuery(EPS_LOC, EPS_DOC, eps_time, EPS_USER)
+        )
+        print(f"\ntemporal join, eps_time = {eps_time} days: {len(pairs)} pairs")
+
+
+if __name__ == "__main__":
+    main()

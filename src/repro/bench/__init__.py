@@ -1,0 +1,34 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from .experiments import (
+    DEFAULT_THRESHOLDS,
+    JOIN_COMPETITORS,
+    TOPK_COMPETITORS,
+    benchmark_dataset,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    run_all,
+    table1,
+    table2,
+    table3,
+)
+from .reporting import format_seconds, format_table
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "JOIN_COMPETITORS",
+    "TOPK_COMPETITORS",
+    "benchmark_dataset",
+    "table1",
+    "table2",
+    "table3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "run_all",
+    "format_table",
+    "format_seconds",
+]

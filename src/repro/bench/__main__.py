@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — run the full experiment suite."""
+
+from .experiments import main
+
+main()

@@ -1,0 +1,407 @@
+"""Experiment harness reproducing every table and figure of Section 5.
+
+Each public function regenerates one experiment of the paper on the
+synthetic Flickr/Twitter/GeoText-like datasets (scaled to laptop size) and
+returns plain row dictionaries; ``main()`` renders them as the tables the
+paper's figures plot.  Absolute times are not comparable to the paper's
+Java/16GB testbed — the claims under test are the *shapes*: which
+algorithm wins, by roughly what factor, and how times move with each
+parameter.
+
+Default workload sizes are deliberately modest because the baseline
+S-PPJ-C is quadratic in users; every function takes size parameters so a
+patient caller can scale up.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.api import stps_join, topk_stps_join
+from ..core.model import STDataset
+from ..core.query import STPSJoinQuery
+from ..core.tuning import tune_thresholds
+from ..datasets.stats import dataset_stats
+from ..datasets.synthetic import PRESETS, generate_dataset
+from .reporting import Row, format_seconds, format_table
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "JOIN_COMPETITORS",
+    "TOPK_COMPETITORS",
+    "benchmark_dataset",
+    "table1",
+    "table2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "table3",
+    "run_all",
+]
+
+#: Per-preset default thresholds (eps_loc, eps_doc, eps_user), the analogue
+#: of the defaults under Figure 4 — chosen so result sets are non-empty at
+#: bench scale while preserving the paper's per-dataset ordering
+#: (Flickr strictest text/user thresholds, GeoText loosest).
+DEFAULT_THRESHOLDS: Dict[str, Tuple[float, float, float]] = {
+    "geotext": (0.15, 0.20, 0.20),
+    "flickr": (0.004, 0.60, 0.60),
+    "twitter": (0.004, 0.40, 0.40),
+}
+
+#: The four STPSJoin competitors of Figures 4 and 5, in the paper's order.
+JOIN_COMPETITORS: Tuple[str, ...] = ("s-ppj-c", "s-ppj-b", "s-ppj-f", "s-ppj-d")
+
+#: The three top-k competitors of Figure 7.
+TOPK_COMPETITORS: Tuple[str, ...] = ("topk-s-ppj-f", "topk-s-ppj-s", "topk-s-ppj-p")
+
+#: Default dataset sizes (users) per experiment; kept small because the
+#: baselines are quadratic in users.
+DEFAULT_SCALABILITY_USERS: Tuple[int, ...] = (50, 100, 200, 400)
+DEFAULT_BENCH_USERS = 150
+
+
+@lru_cache(maxsize=32)
+def benchmark_dataset(preset_name: str, num_users: int, seed: int = 1) -> STDataset:
+    """A (cached) synthetic dataset for one preset at the given size."""
+    return generate_dataset(PRESETS[preset_name], seed=seed, num_users=num_users)
+
+
+def _timed(fn: Callable[[], object]) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return (time.perf_counter() - start, result)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — dataset characteristics
+# ---------------------------------------------------------------------------
+
+
+def table1(num_users: int = DEFAULT_BENCH_USERS, seed: int = 1) -> List[Row]:
+    """Descriptive statistics of the three synthetic datasets."""
+    rows: List[Row] = []
+    for name in ("twitter", "flickr", "geotext"):
+        s = dataset_stats(benchmark_dataset(name, num_users, seed), name=name)
+        rows.append(
+            {
+                "dataset": s.name,
+                "objects": s.num_objects,
+                "users": s.num_users,
+                "tokens/object": f"{s.tokens_per_object[0]:.2f} ({s.tokens_per_object[1]:.2f})",
+                "objects/token": f"{s.objects_per_token[0]:.2f} ({s.objects_per_token[1]:.2f})",
+                "objects/user": f"{s.objects_per_user[0]:.2f} ({s.objects_per_user[1]:.2f})",
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — result-set sizes across parameter settings
+# ---------------------------------------------------------------------------
+
+
+def table2(
+    num_users_list: Sequence[int] = DEFAULT_SCALABILITY_USERS,
+    tuning_users: int = DEFAULT_BENCH_USERS,
+    seed: int = 1,
+) -> List[Row]:
+    """Mean (std) STPSJoin result sizes over the scalability and threshold
+    settings, per dataset — the analogue of Table 2."""
+    rows: List[Row] = []
+    for name in ("geotext", "flickr", "twitter"):
+        scalability_sizes = []
+        for n in num_users_list:
+            ds = benchmark_dataset(name, n, seed)
+            thr = DEFAULT_THRESHOLDS[name]
+            scalability_sizes.append(float(len(stps_join(ds, *thr, algorithm="s-ppj-f"))))
+        tuning_sizes = []
+        ds = benchmark_dataset(name, tuning_users, seed)
+        for eps_loc, eps_doc, eps_user in _threshold_sweep(name):
+            tuning_sizes.append(
+                float(
+                    len(
+                        stps_join(
+                            ds, eps_loc, eps_doc, eps_user, algorithm="s-ppj-f"
+                        )
+                    )
+                )
+            )
+        rows.append(
+            {
+                "dataset": name,
+                "scalability": _mean_std_str(scalability_sizes),
+                "tuning": _mean_std_str(tuning_sizes),
+            }
+        )
+    return rows
+
+
+def _mean_std_str(values: Sequence[float]) -> str:
+    if not values:
+        return "-"
+    mean = statistics.fmean(values)
+    std = statistics.pstdev(values) if len(values) > 1 else 0.0
+    return f"{mean:.2f} ({std:.2f})"
+
+
+def _threshold_sweep(name: str) -> List[Tuple[float, float, float]]:
+    """The per-dataset threshold combinations used by Figure 5 / Table 2."""
+    base_loc, base_doc, base_user = DEFAULT_THRESHOLDS[name]
+    combos: List[Tuple[float, float, float]] = []
+    for eps_loc in (base_loc * 0.5, base_loc, base_loc * 2.0):
+        combos.append((eps_loc, base_doc, base_user))
+    for eps_doc in _around_unit(base_doc):
+        combos.append((base_loc, eps_doc, base_user))
+    for eps_user in _around_unit(base_user):
+        combos.append((base_loc, base_doc, eps_user))
+    return combos
+
+
+def _around_unit(value: float) -> List[float]:
+    """value * {0.75, 1, 1.25} clamped into (0, 1]."""
+    return [min(1.0, max(0.05, value * f)) for f in (0.75, 1.0, 1.25)]
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — scalability
+# ---------------------------------------------------------------------------
+
+
+def figure4(
+    num_users_list: Sequence[int] = DEFAULT_SCALABILITY_USERS,
+    algorithms: Sequence[str] = JOIN_COMPETITORS,
+    presets: Sequence[str] = ("geotext", "flickr", "twitter"),
+    seed: int = 1,
+) -> List[Row]:
+    """Runtime vs. dataset size for the four STPSJoin algorithms."""
+    rows: List[Row] = []
+    for name in presets:
+        thr = DEFAULT_THRESHOLDS[name]
+        for n in num_users_list:
+            ds = benchmark_dataset(name, n, seed)
+            row: Dict[str, object] = {
+                "dataset": name,
+                "users": n,
+                "objects": ds.num_objects,
+            }
+            for algo in algorithms:
+                seconds, result = _timed(lambda: stps_join(ds, *thr, algorithm=algo))
+                row[algo] = format_seconds(seconds)
+                row[f"_{algo}_seconds"] = seconds
+                row["result"] = len(result)  # identical across algorithms
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — effect of the similarity thresholds
+# ---------------------------------------------------------------------------
+
+
+def figure5(
+    num_users: int = DEFAULT_BENCH_USERS,
+    algorithms: Sequence[str] = JOIN_COMPETITORS,
+    presets: Sequence[str] = ("geotext", "flickr", "twitter"),
+    seed: int = 1,
+) -> List[Row]:
+    """Runtime for varying eps_loc / eps_doc / eps_user, one panel each."""
+    rows: List[Row] = []
+    for name in presets:
+        base_loc, base_doc, base_user = DEFAULT_THRESHOLDS[name]
+        ds = benchmark_dataset(name, num_users, seed)
+        panels: List[Tuple[str, List[Tuple[float, float, float]]]] = [
+            (
+                "eps_loc",
+                [(v, base_doc, base_user) for v in (base_loc * 0.5, base_loc, base_loc * 2, base_loc * 4)],
+            ),
+            (
+                "eps_doc",
+                [(base_loc, v, base_user) for v in _around_unit(base_doc)],
+            ),
+            (
+                "eps_user",
+                [(base_loc, base_doc, v) for v in _around_unit(base_user)],
+            ),
+        ]
+        for varied, combos in panels:
+            for thr in combos:
+                varied_value = {"eps_loc": thr[0], "eps_doc": thr[1], "eps_user": thr[2]}[varied]
+                row: Dict[str, object] = {
+                    "dataset": name,
+                    "varied": varied,
+                    "value": round(varied_value, 6),
+                }
+                for algo in algorithms:
+                    seconds, result = _timed(
+                        lambda: stps_join(ds, *thr, algorithm=algo)
+                    )
+                    row[algo] = format_seconds(seconds)
+                    row[f"_{algo}_seconds"] = seconds
+                    row["result"] = len(result)
+                rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — effect of the R-tree fanout on S-PPJ-D
+# ---------------------------------------------------------------------------
+
+
+def figure6(
+    fanouts: Sequence[int] = (50, 100, 150, 200, 250),
+    num_users: int = DEFAULT_BENCH_USERS,
+    presets: Sequence[str] = ("geotext", "flickr", "twitter"),
+    seed: int = 1,
+) -> List[Row]:
+    """S-PPJ-D runtime as the R-tree fanout varies."""
+    rows: List[Row] = []
+    for name in presets:
+        thr = DEFAULT_THRESHOLDS[name]
+        ds = benchmark_dataset(name, num_users, seed)
+        row: Dict[str, object] = {"dataset": name, "users": num_users}
+        for fanout in fanouts:
+            seconds, _ = _timed(
+                lambda: stps_join(ds, *thr, algorithm="s-ppj-d", fanout=fanout)
+            )
+            row[f"fanout={fanout}"] = format_seconds(seconds)
+            row[f"_fanout_{fanout}_seconds"] = seconds
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — top-k algorithms
+# ---------------------------------------------------------------------------
+
+
+def figure7(
+    ks: Sequence[int] = (1, 5, 10, 50),
+    num_users: int = DEFAULT_BENCH_USERS,
+    algorithms: Sequence[str] = TOPK_COMPETITORS,
+    presets: Sequence[str] = ("geotext", "flickr", "twitter"),
+    seed: int = 1,
+) -> List[Row]:
+    """Top-k runtime vs. k for the three TOPK-S-PPJ variants."""
+    rows: List[Row] = []
+    for name in presets:
+        eps_loc, eps_doc, _ = DEFAULT_THRESHOLDS[name]
+        ds = benchmark_dataset(name, num_users, seed)
+        for k in ks:
+            row: Dict[str, object] = {"dataset": name, "k": k}
+            for algo in algorithms:
+                seconds, result = _timed(
+                    lambda: topk_stps_join(ds, eps_loc, eps_doc, k, algorithm=algo)
+                )
+                row[algo] = format_seconds(seconds)
+                row[f"_{algo}_seconds"] = seconds
+                row["returned"] = len(result)
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — parameter tuning
+# ---------------------------------------------------------------------------
+
+
+#: Relaxed initial thresholds for the tuning experiment — deliberately
+#: loose so the initial result set far exceeds every target size.
+TUNING_INITIAL_THRESHOLDS: Dict[str, Tuple[float, float, float]] = {
+    "geotext": (0.8, 0.08, 0.08),
+    "flickr": (0.01, 0.20, 0.20),
+    "twitter": (0.03, 0.10, 0.08),
+}
+
+
+def table3(
+    target_sizes: Sequence[int] = (5, 25, 50),
+    num_users: Optional[int] = None,
+    seed: int = 1,
+) -> List[Row]:
+    """Tuning time and iterations for the requested result sizes."""
+    rows: List[Row] = []
+    for name in ("geotext", "flickr", "twitter"):
+        n = num_users if num_users is not None else 60
+        initial = STPSJoinQuery(*TUNING_INITIAL_THRESHOLDS[name])
+        ds = benchmark_dataset(name, n, seed)
+        row: Dict[str, object] = {
+            "dataset": name,
+            "initial |R|": None,
+            "S-PPJ-F": None,
+        }
+        for target in target_sizes:
+            result = tune_thresholds(ds, target, initial, seed=seed)
+            row["initial |R|"] = result.initial_result_size
+            row["S-PPJ-F"] = format_seconds(result.initial_join_seconds)
+            row[f"target={target}"] = (
+                f"{format_seconds(result.tuning_seconds)} ({result.iterations})"
+            )
+            row[f"_target_{target}_final"] = len(result.pairs)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def run_all(fast: bool = False) -> str:
+    """Run every experiment and render the full report."""
+    users = 80 if fast else DEFAULT_BENCH_USERS
+    scale = (30, 60, 120) if fast else DEFAULT_SCALABILITY_USERS
+    sections = [
+        format_table(
+            table1(num_users=users),
+            ["dataset", "objects", "users", "tokens/object", "objects/token", "objects/user"],
+            title="Table 1 — dataset characteristics",
+        ),
+        format_table(
+            table2(num_users_list=scale),
+            ["dataset", "scalability", "tuning"],
+            title="Table 2 — result-set sizes, mean (std)",
+        ),
+        format_table(
+            figure4(num_users_list=scale),
+            ["dataset", "users", "objects", *JOIN_COMPETITORS, "result"],
+            title="Figure 4 — scalability (runtime per algorithm)",
+        ),
+        format_table(
+            figure5(num_users=users),
+            ["dataset", "varied", "value", *JOIN_COMPETITORS, "result"],
+            title="Figure 5 — effect of similarity thresholds",
+        ),
+        format_table(
+            figure6(num_users=users),
+            ["dataset", "users"] + [f"fanout={f}" for f in (50, 100, 150, 200, 250)],
+            title="Figure 6 — S-PPJ-D vs R-tree fanout",
+        ),
+        format_table(
+            figure7(num_users=users),
+            ["dataset", "k", *TOPK_COMPETITORS, "returned"],
+            title="Figure 7 — top-k STPSJoin (runtime per algorithm)",
+        ),
+        format_table(
+            table3(num_users=40 if fast else 60),
+            ["dataset", "initial |R|", "S-PPJ-F"]
+            + [f"target={t}" for t in (5, 25, 50)],
+            title="Table 3 — parameter tuning (time and iterations)",
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    import sys
+
+    fast = "--fast" in sys.argv
+    print(run_all(fast=fast))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports its evaluation as log-scale time plots (Figures 4-7) and
+small tables (Tables 1-3).  Matplotlib is out of scope offline, so every
+experiment here renders as a fixed-width table: one row per measured
+configuration, one column per competitor, matching what each figure's
+panels plot.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_seconds", "write_csv", "Row"]
+
+Row = Mapping[str, Any]
+
+
+def format_seconds(value: float) -> str:
+    """Human-scale duration: µs/ms/s with three significant figures."""
+    if value < 0:
+        raise ValueError("durations cannot be negative")
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def write_csv(
+    rows: Sequence[Row],
+    path: Union[str, os.PathLike],
+    columns: Optional[Sequence[str]] = None,
+) -> int:
+    """Write experiment rows to a CSV file; returns the row count.
+
+    With ``columns=None`` every key appearing in any row is exported —
+    including the machine-readable ``_*_seconds`` columns the harness adds
+    alongside the human-formatted durations, which is what plotting
+    scripts want.
+    """
+    if columns is None:
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col) for col in columns})
+    return len(rows)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+    min_width: int = 10,
+) -> str:
+    """Render ``rows`` (dicts) as a fixed-width table over ``columns``.
+
+    Missing cells render as ``-``; floats are shown with 4 significant
+    digits unless the value is already a string.
+    """
+    def cell(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {
+        col: max(min_width, len(col), *(len(cell(r.get(col))) for r in rows))
+        if rows
+        else max(min_width, len(col))
+        for col in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(cell(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,330 @@
+"""Command-line interface: generate data, run joins, tune, benchmark.
+
+Installed as ``stpsjoin`` (or run as ``python -m repro``).  Subcommands::
+
+    stpsjoin generate --preset twitter --users 200 --out data.tsv
+    stpsjoin stats data.tsv
+    stpsjoin join data.tsv --eps-loc 0.004 --eps-doc 0.4 --eps-user 0.4
+    stpsjoin topk data.tsv --eps-loc 0.004 --eps-doc 0.4 -k 10
+    stpsjoin tune data.tsv --target 25 --eps-loc 0.02 --eps-doc 0.2 --eps-user 0.2
+    stpsjoin bench --fast
+    stpsjoin bench --experiment figure4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .bench import experiments
+from .bench.reporting import format_seconds, format_table, write_csv
+from .core.api import JOIN_ALGORITHMS, TOPK_ALGORITHMS, stps_join, topk_stps_join
+from .core.export import save_pairs
+from .core.knn import similar_users
+from .core.parallel import parallel_stps_join
+from .core.query import STPSJoinQuery
+from .core.tuning import tune_thresholds
+from .datasets.ingest import load_delimited
+from .datasets.loaders import load_tsv, save_tsv
+from .datasets.stats import dataset_stats, format_table1
+from .datasets.synthetic import PRESETS, generate_dataset, preset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="stpsjoin",
+        description="Similarity search on spatio-textual point sets (EDBT 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    p_gen.add_argument("--preset", choices=sorted(PRESETS), default="twitter")
+    p_gen.add_argument("--users", type=int, default=None, help="number of users")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument(
+        "--objects-scale", type=float, default=1.0, help="scale objects per user"
+    )
+    p_gen.add_argument("--out", required=True, help="output TSV path")
+
+    p_ingest = sub.add_parser(
+        "ingest", help="convert a delimited geotagged-text export to dataset TSV"
+    )
+    p_ingest.add_argument("path", help="input delimited file")
+    p_ingest.add_argument("--out", required=True, help="output dataset TSV")
+    p_ingest.add_argument("--delimiter", default="\t", help="field separator")
+    p_ingest.add_argument("--user-col", type=int, required=True)
+    p_ingest.add_argument("--x-col", type=int, required=True)
+    p_ingest.add_argument("--y-col", type=int, required=True)
+    p_ingest.add_argument("--text-col", type=int, required=True)
+    p_ingest.add_argument("--skip-header", action="store_true")
+
+    p_stats = sub.add_parser("stats", help="profile a dataset (Table 1 metrics)")
+    p_stats.add_argument("path", help="TSV dataset path")
+
+    p_join = sub.add_parser("join", help="run an STPSJoin query")
+    p_join.add_argument("path", help="TSV dataset path")
+    p_join.add_argument("--eps-loc", type=float, required=True)
+    p_join.add_argument("--eps-doc", type=float, required=True)
+    p_join.add_argument("--eps-user", type=float, required=True)
+    p_join.add_argument(
+        "--algorithm", choices=sorted(JOIN_ALGORITHMS), default="s-ppj-f"
+    )
+    p_join.add_argument("--fanout", type=int, default=100, help="R-tree fanout (s-ppj-d)")
+    p_join.add_argument("--limit", type=int, default=20, help="max pairs to print")
+    p_join.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate with N worker processes (PPJ-B pair evaluation)",
+    )
+    p_join.add_argument("--out", default=None, help="write result pairs to a TSV file")
+
+    p_topk = sub.add_parser("topk", help="run a top-k STPSJoin query")
+    p_topk.add_argument("path", help="TSV dataset path")
+    p_topk.add_argument("--eps-loc", type=float, required=True)
+    p_topk.add_argument("--eps-doc", type=float, required=True)
+    p_topk.add_argument("-k", type=int, required=True)
+    p_topk.add_argument(
+        "--algorithm", choices=sorted(TOPK_ALGORITHMS), default="topk-s-ppj-p"
+    )
+    p_topk.add_argument("--out", default=None, help="write result pairs to a TSV file")
+
+    p_knn = sub.add_parser("knn", help="find the k most similar users to one user")
+    p_knn.add_argument("path", help="TSV dataset path")
+    p_knn.add_argument("--user", required=True, help="probe user id")
+    p_knn.add_argument("--eps-loc", type=float, required=True)
+    p_knn.add_argument("--eps-doc", type=float, required=True)
+    p_knn.add_argument("-k", type=int, required=True)
+
+    p_tune = sub.add_parser("tune", help="auto-tune thresholds to a result size")
+    p_tune.add_argument("path", help="TSV dataset path")
+    p_tune.add_argument("--target", type=int, required=True)
+    p_tune.add_argument(
+        "--eps-loc", type=float, default=None,
+        help="relaxed initial (omit all three for auto-discovery)",
+    )
+    p_tune.add_argument("--eps-doc", type=float, default=None, help="relaxed initial")
+    p_tune.add_argument("--eps-user", type=float, default=None, help="relaxed initial")
+    p_tune.add_argument(
+        "--strategy", choices=("probabilistic", "least_modified"), default="probabilistic"
+    )
+    p_tune.add_argument("--seed", type=int, default=0)
+
+    p_bench = sub.add_parser("bench", help="regenerate the paper's experiments")
+    p_bench.add_argument("--fast", action="store_true", help="smaller workloads")
+    p_bench.add_argument(
+        "--experiment",
+        choices=("table1", "table2", "table3", "figure4", "figure5", "figure6", "figure7"),
+        default=None,
+        help="run a single experiment instead of the full suite",
+    )
+    p_bench.add_argument(
+        "--csv",
+        default=None,
+        help="additionally write the experiment rows to this CSV file "
+        "(single-experiment mode only)",
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = preset(args.preset)
+    dataset = generate_dataset(
+        spec, seed=args.seed, num_users=args.users, objects_scale=args.objects_scale
+    )
+    lines = save_tsv(dataset, args.out)
+    print(
+        f"wrote {lines} objects / {dataset.num_users} users "
+        f"({args.preset}, seed {args.seed}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    dataset = load_delimited(
+        args.path,
+        user_col=args.user_col,
+        x_col=args.x_col,
+        y_col=args.y_col,
+        text_col=args.text_col,
+        delimiter=args.delimiter,
+        skip_header=args.skip_header,
+    )
+    lines = save_tsv(dataset, args.out)
+    print(
+        f"ingested {lines} objects / {dataset.num_users} users from "
+        f"{args.path} to {args.out}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = load_tsv(args.path)
+    print(format_table1([dataset_stats(dataset, name=args.path)]))
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    dataset = load_tsv(args.path)
+    start = time.perf_counter()
+    if args.workers is not None and args.workers > 1:
+        query = STPSJoinQuery(args.eps_loc, args.eps_doc, args.eps_user)
+        pairs = parallel_stps_join(dataset, query, workers=args.workers)
+        label = f"parallel ppj-b, {args.workers} workers"
+    else:
+        kwargs = {"fanout": args.fanout} if args.algorithm == "s-ppj-d" else {}
+        pairs = stps_join(
+            dataset,
+            args.eps_loc,
+            args.eps_doc,
+            args.eps_user,
+            algorithm=args.algorithm,
+            **kwargs,
+        )
+        label = f"algorithm {args.algorithm}"
+    elapsed = time.perf_counter() - start
+    print(f"{len(pairs)} pairs ({label}, {format_seconds(elapsed)})")
+    for pair in pairs[: args.limit]:
+        print(f"  {pair.user_a}\t{pair.user_b}\t{pair.score:.4f}")
+    if len(pairs) > args.limit:
+        print(f"  ... {len(pairs) - args.limit} more")
+    if args.out:
+        save_pairs(pairs, args.out)
+        print(f"wrote {len(pairs)} pairs to {args.out}")
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    dataset = load_tsv(args.path)
+    start = time.perf_counter()
+    pairs = topk_stps_join(
+        dataset, args.eps_loc, args.eps_doc, args.k, algorithm=args.algorithm
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"top-{args.k}: {len(pairs)} pairs (algorithm {args.algorithm}, "
+        f"{format_seconds(elapsed)})"
+    )
+    for pair in pairs:
+        print(f"  {pair.user_a}\t{pair.user_b}\t{pair.score:.4f}")
+    if args.out:
+        save_pairs(pairs, args.out)
+        print(f"wrote {len(pairs)} pairs to {args.out}")
+    return 0
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    dataset = load_tsv(args.path)
+    start = time.perf_counter()
+    neighbours = similar_users(
+        dataset, args.user, args.eps_loc, args.eps_doc, args.k
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"{len(neighbours)} similar users for {args.user} "
+        f"({format_seconds(elapsed)})"
+    )
+    for other, score in neighbours:
+        print(f"  {other}\t{score:.4f}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    dataset = load_tsv(args.path)
+    given = (args.eps_loc, args.eps_doc, args.eps_user)
+    if all(v is None for v in given):
+        initial = None  # auto-discovery
+    elif any(v is None for v in given):
+        print(
+            "error: provide all of --eps-loc/--eps-doc/--eps-user or none",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        initial = STPSJoinQuery(
+            eps_loc=args.eps_loc, eps_doc=args.eps_doc, eps_user=args.eps_user
+        )
+    result = tune_thresholds(
+        dataset, args.target, initial, strategy=args.strategy, seed=args.seed
+    )
+    q = result.query
+    print(
+        f"tuned thresholds: eps_loc={q.eps_loc:.6g} eps_doc={q.eps_doc:.4g} "
+        f"eps_user={q.eps_user:.4g}"
+    )
+    print(
+        f"result size {len(result.pairs)} (target {args.target}), "
+        f"{result.iterations} iterations, "
+        f"initial join {format_seconds(result.initial_join_seconds)}, "
+        f"tuning {format_seconds(result.tuning_seconds)}"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment is None:
+        if args.csv:
+            print("error: --csv requires --experiment", file=sys.stderr)
+            return 2
+        print(experiments.run_all(fast=args.fast))
+        return 0
+    users = 80 if args.fast else experiments.DEFAULT_BENCH_USERS
+    scale = (30, 60, 120) if args.fast else experiments.DEFAULT_SCALABILITY_USERS
+    if args.experiment == "table1":
+        rows = experiments.table1(num_users=users)
+        cols = ["dataset", "objects", "users", "tokens/object", "objects/token", "objects/user"]
+    elif args.experiment == "table2":
+        rows = experiments.table2(num_users_list=scale)
+        cols = ["dataset", "scalability", "tuning"]
+    elif args.experiment == "table3":
+        rows = experiments.table3(num_users=40 if args.fast else 60)
+        cols = ["dataset", "initial |R|", "S-PPJ-F"] + [f"target={t}" for t in (5, 25, 50)]
+    elif args.experiment == "figure4":
+        rows = experiments.figure4(num_users_list=scale)
+        cols = ["dataset", "users", "objects", *experiments.JOIN_COMPETITORS, "result"]
+    elif args.experiment == "figure5":
+        rows = experiments.figure5(num_users=users)
+        cols = ["dataset", "varied", "value", *experiments.JOIN_COMPETITORS, "result"]
+    elif args.experiment == "figure6":
+        rows = experiments.figure6(num_users=users)
+        cols = ["dataset", "users"] + [f"fanout={f}" for f in (50, 100, 150, 200, 250)]
+    else:  # figure7
+        rows = experiments.figure7(num_users=users)
+        cols = ["dataset", "k", *experiments.TOPK_COMPETITORS, "returned"]
+    print(format_table(rows, cols, title=args.experiment))
+    if args.csv:
+        count = write_csv(rows, args.csv)
+        print(f"wrote {count} rows to {args.csv}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "ingest": _cmd_ingest,
+    "stats": _cmd_stats,
+    "join": _cmd_join,
+    "topk": _cmd_topk,
+    "knn": _cmd_knn,
+    "tune": _cmd_tune,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Public facade: evaluate (top-k) STPSJoin queries by algorithm name.
+
+This is the entry point downstream code should use::
+
+    from repro import STDataset, stps_join, topk_stps_join
+
+    dataset = STDataset.from_records(records)
+    pairs = stps_join(dataset, eps_loc=0.001, eps_doc=0.4, eps_user=0.4)
+    best = topk_stps_join(dataset, eps_loc=0.001, eps_doc=0.4, k=10)
+
+Results are :class:`~repro.core.query.UserPair` lists; threshold queries
+return pairs sorted by descending score, top-k queries return exactly the
+k best (fewer when fewer positive pairs exist).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .model import STDataset
+from .naive import naive_stps_join, naive_topk_stps_join
+from .pair_eval import PairEvalStats
+from .query import STPSJoinQuery, TopKQuery, UserPair
+from .sppj_b import sppj_b
+from .sppj_c import sppj_c
+from .sppj_d import sppj_d
+from .sppj_f import sppj_f
+from .topk import topk_sppj_f, topk_sppj_p, topk_sppj_s
+from .topk_d import topk_sppj_d
+
+__all__ = [
+    "JOIN_ALGORITHMS",
+    "TOPK_ALGORITHMS",
+    "stps_join",
+    "topk_stps_join",
+]
+
+#: Threshold-join algorithms by name.  "s-ppj-f" is the paper's best.
+JOIN_ALGORITHMS: Dict[str, Callable[..., List[UserPair]]] = {
+    "naive": lambda ds, q, stats=None, **kw: naive_stps_join(ds, q),
+    "s-ppj-c": lambda ds, q, stats=None, **kw: sppj_c(ds, q, stats=stats),
+    "s-ppj-b": lambda ds, q, stats=None, **kw: sppj_b(ds, q, stats=stats),
+    "s-ppj-f": lambda ds, q, stats=None, **kw: sppj_f(ds, q, stats=stats),
+    "s-ppj-d": lambda ds, q, stats=None, **kw: sppj_d(ds, q, stats=stats, **kw),
+}
+
+#: Top-k algorithms by name.  "topk-s-ppj-p" wins on most datasets;
+#: "topk-s-ppj-d" is the leaf-partitioned variant the paper sketches.
+TOPK_ALGORITHMS: Dict[str, Callable[..., List[UserPair]]] = {
+    "naive": lambda ds, q, stats=None: naive_topk_stps_join(ds, q),
+    "topk-s-ppj-f": topk_sppj_f,
+    "topk-s-ppj-s": topk_sppj_s,
+    "topk-s-ppj-p": topk_sppj_p,
+    "topk-s-ppj-d": topk_sppj_d,
+}
+
+
+def stps_join(
+    dataset: STDataset,
+    eps_loc: float,
+    eps_doc: float,
+    eps_user: float,
+    algorithm: str = "s-ppj-f",
+    stats: Optional[PairEvalStats] = None,
+    **kwargs,
+) -> List[UserPair]:
+    """Evaluate an STPSJoin query (Definition 1).
+
+    Parameters
+    ----------
+    eps_loc:
+        Spatial distance threshold (same units as the coordinates).
+    eps_doc:
+        Jaccard keyword-similarity threshold in (0, 1].
+    eps_user:
+        Point-set similarity threshold in (0, 1].
+    algorithm:
+        One of :data:`JOIN_ALGORITHMS`; ``"s-ppj-d"`` additionally accepts
+        ``fanout=`` and ``index=``.
+    stats:
+        Optional :class:`PairEvalStats` to collect work counters.
+    """
+    try:
+        run = JOIN_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {sorted(JOIN_ALGORITHMS)}"
+        ) from None
+    query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
+    pairs = run(dataset, query, stats=stats, **kwargs)
+    return sorted(pairs, key=lambda p: (-p.score, str(p.user_a), str(p.user_b)))
+
+
+def topk_stps_join(
+    dataset: STDataset,
+    eps_loc: float,
+    eps_doc: float,
+    k: int,
+    algorithm: str = "topk-s-ppj-p",
+    stats: Optional[PairEvalStats] = None,
+) -> List[UserPair]:
+    """Evaluate a top-k STPSJoin query (Definition 2)."""
+    try:
+        run = TOPK_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {sorted(TOPK_ALGORITHMS)}"
+        ) from None
+    query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
+    return run(dataset, query, stats=stats)

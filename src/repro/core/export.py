@@ -1,0 +1,54 @@
+"""Result persistence: write and read join results as TSV.
+
+Join runs over large datasets are expensive; persisting their results lets
+downstream analysis (and the CLI's ``--out`` flag) decouple querying from
+consumption.  Format, one pair per line::
+
+    user_a <TAB> user_b <TAB> score
+
+Scores round-trip exactly (written with ``repr``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+from .query import UserPair
+
+__all__ = ["save_pairs", "load_pairs"]
+
+
+def save_pairs(pairs: List[UserPair], path: Union[str, os.PathLike]) -> int:
+    """Write result pairs to ``path``; returns the number of lines."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for pair in pairs:
+            user_a, user_b = str(pair.user_a), str(pair.user_b)
+            for user in (user_a, user_b):
+                if "\t" in user or "\n" in user:
+                    raise ValueError(f"user id {user!r} contains a reserved character")
+            handle.write(f"{user_a}\t{user_b}\t{pair.score!r}\n")
+            count += 1
+    return count
+
+
+def load_pairs(path: Union[str, os.PathLike]) -> List[UserPair]:
+    """Read result pairs written by :func:`save_pairs`.
+
+    User ids come back as strings regardless of their original type.
+    """
+    out: List[UserPair] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 3 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            out.append(UserPair(parts[0], parts[1], float(parts[2])))
+    return out

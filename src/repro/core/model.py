@@ -1,0 +1,175 @@
+"""Data model of the STPSJoin problem (Section 3 of the paper).
+
+A *spatio-textual object* is a triple ``o = <u, loc, doc>``: the user that
+generated it, a point location, and a set of keywords.  A database ``D``
+groups objects per user; ``Du`` denotes the objects of user ``u``.  The
+paper assumes a total ordering over users (to report each pair once);
+here that ordering is the natural sort order of the user identifiers.
+
+:class:`STDataset` is the canonical in-memory database: on construction it
+builds the token dictionary (document-frequency order) and stores each
+object's keywords both as a sorted id tuple — the representation the
+PPJOIN-family joins need — and as a frozen set for O(1) membership tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..spatial.geometry import Rect
+from ..textual.vocabulary import TokenDictionary
+
+__all__ = ["STObject", "STDataset", "UserId", "RawRecord"]
+
+#: Identifier of a user; any sortable hashable (ints and strings in practice).
+UserId = Hashable
+
+#: Input record: ``(user, x, y, keywords)``.
+RawRecord = Tuple[UserId, float, float, Iterable[Hashable]]
+
+
+@dataclass(frozen=True)
+class STObject:
+    """A spatio-textual object with its canonical document.
+
+    Attributes
+    ----------
+    oid:
+        Dense object id, equal to the object's index in ``STDataset.objects``.
+    user:
+        Owning user.
+    x, y:
+        Point location.
+    doc:
+        Keyword ids sorted ascending in document-frequency order.
+    doc_set:
+        The same ids as a frozenset, for constant-time membership.
+    """
+
+    oid: int
+    user: UserId
+    x: float
+    y: float
+    doc: Tuple[int, ...]
+    doc_set: FrozenSet[int] = field(repr=False)
+
+    @property
+    def location(self) -> Tuple[float, float]:
+        """The ``(x, y)`` location tuple."""
+        return (self.x, self.y)
+
+
+class STDataset:
+    """An immutable database of spatio-textual objects grouped by user."""
+
+    def __init__(
+        self,
+        objects: List[STObject],
+        vocab: TokenDictionary,
+        users: List[UserId],
+        by_user: Dict[UserId, List[STObject]],
+    ):
+        self.objects = objects
+        self.vocab = vocab
+        #: Users in the total order ≺U (ascending identifier sort).
+        self.users = users
+        self._by_user = by_user
+        self._bounds: Optional[Rect] = None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[RawRecord]) -> "STDataset":
+        """Build a dataset (and its token dictionary) from raw records.
+
+        Keywords are deduplicated per object; objects without keywords are
+        kept but can never match anything (their textual similarity to any
+        object is zero by definition in :mod:`repro.core.similarity`).
+        """
+        staged: List[Tuple[UserId, float, float, FrozenSet[Hashable]]] = [
+            (user, float(x), float(y), frozenset(keywords))
+            for user, x, y, keywords in records
+        ]
+        vocab = TokenDictionary.build(kw for _, _, _, kw in staged)
+        objects: List[STObject] = []
+        by_user: Dict[UserId, List[STObject]] = {}
+        for user, x, y, keywords in staged:
+            doc = vocab.encode(keywords)
+            obj = STObject(
+                oid=len(objects),
+                user=user,
+                x=x,
+                y=y,
+                doc=doc,
+                doc_set=frozenset(doc),
+            )
+            objects.append(obj)
+            by_user.setdefault(user, []).append(obj)
+        users = sorted(by_user.keys(), key=lambda u: (str(type(u)), u))
+        return cls(objects, vocab, users, by_user)
+
+    def subset_users(self, users: Sequence[UserId]) -> "STDataset":
+        """A new dataset restricted to ``users`` (for scalability sweeps).
+
+        The token dictionary is rebuilt from the retained objects so the
+        document-frequency ordering matches the subset — exactly what
+        would happen if the subset were loaded from scratch.
+        """
+        keep = set(users)
+        records = [
+            (o.user, o.x, o.y, self.vocab.decode(o.doc))
+            for o in self.objects
+            if o.user in keep
+        ]
+        return STDataset.from_records(records)
+
+    # -- accessors ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    def user_objects(self, user: UserId) -> List[STObject]:
+        """The point set ``Du`` of ``user`` (empty list for unknown users)."""
+        return self._by_user.get(user, [])
+
+    def iter_user_sets(self) -> Iterator[Tuple[UserId, List[STObject]]]:
+        """Iterate ``(user, Du)`` in the user total order."""
+        for user in self.users:
+            yield user, self._by_user[user]
+
+    @property
+    def bounds(self) -> Rect:
+        """The MBR of all object locations (cached)."""
+        if self._bounds is None:
+            if not self.objects:
+                self._bounds = Rect(0.0, 0.0, 0.0, 0.0)
+            else:
+                self._bounds = Rect.from_points(
+                    (o.x, o.y) for o in self.objects
+                )
+        return self._bounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"STDataset({self.num_objects} objects, {self.num_users} users, "
+            f"{len(self.vocab)} tokens)"
+        )

@@ -1,0 +1,64 @@
+"""Exhaustive STPSJoin evaluation — the correctness oracle.
+
+Evaluates ``sigma`` for every user pair with the quadratic definition from
+:mod:`repro.core.similarity`.  No indexes, no pruning; this is the
+semantics every optimized algorithm (S-PPJ-C/B/F/D, the top-k variants)
+is tested against, and the denominator of "orders of magnitude faster"
+claims in benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from .model import STDataset
+from .query import STPSJoinQuery, TopKQuery, UserPair
+from .similarity import set_similarity
+
+__all__ = ["naive_stps_join", "naive_topk_stps_join", "all_pair_scores"]
+
+
+def naive_stps_join(dataset: STDataset, query: STPSJoinQuery) -> List[UserPair]:
+    """All user pairs with ``sigma >= eps_user``, by exhaustive evaluation."""
+    results: List[UserPair] = []
+    users = dataset.users
+    for i, ua in enumerate(users):
+        du_a = dataset.user_objects(ua)
+        for ub in users[i + 1 :]:
+            du_b = dataset.user_objects(ub)
+            score = set_similarity(du_a, du_b, query.eps_loc, query.eps_doc)
+            if score >= query.eps_user:
+                results.append(UserPair(ua, ub, score))
+    return results
+
+
+def all_pair_scores(
+    dataset: STDataset, eps_loc: float, eps_doc: float
+) -> List[UserPair]:
+    """``sigma`` for *every* user pair (including zeros) — used by tests."""
+    out: List[UserPair] = []
+    users = dataset.users
+    for i, ua in enumerate(users):
+        du_a = dataset.user_objects(ua)
+        for ub in users[i + 1 :]:
+            du_b = dataset.user_objects(ub)
+            out.append(
+                UserPair(ua, ub, set_similarity(du_a, du_b, eps_loc, eps_doc))
+            )
+    return out
+
+
+def naive_topk_stps_join(dataset: STDataset, query: TopKQuery) -> List[UserPair]:
+    """The ``k`` best-scoring user pairs, by exhaustive evaluation.
+
+    Pairs with zero similarity never qualify (they match no object at
+    all), mirroring the optimized algorithms which cannot surface pairs
+    without a single candidate match.  Ties at the k-th position are
+    broken arbitrarily, as permitted by Definition 2.
+    """
+    scored = [
+        p for p in all_pair_scores(dataset, query.eps_loc, query.eps_doc) if p.score > 0
+    ]
+    top = heapq.nlargest(query.k, scored, key=lambda p: p.score)
+    return sorted(top, key=lambda p: -p.score)

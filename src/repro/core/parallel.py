@@ -1,0 +1,120 @@
+"""Multi-process STPSJoin evaluation — the future-work scaling direction.
+
+Section 6 of the paper: *"we plan to focus on distributed architectures in
+order to further enhance the efficiency of our methods."*  The pairwise
+algorithms are embarrassingly parallel over user pairs, and this module
+provides a process-parallel S-PPJ-B: the spatio-textual grid is built
+once, the triangular pair space is split into chunks, and worker processes
+evaluate chunks with PPJ-B independently.  Results are identical to the
+sequential algorithm regardless of worker count or chunking.
+
+The implementation relies on the ``fork`` start method so workers inherit
+the (read-only) grid index without serialization; on platforms without
+``fork`` it transparently falls back to sequential evaluation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+from ..stindex.stgrid import STGridIndex
+from .model import STDataset, UserId
+from .pair_eval import ppj_b_pair
+from .query import STPSJoinQuery, UserPair
+from .sppj_b import sppj_b
+
+__all__ = ["parallel_stps_join"]
+
+#: Worker-side state, populated in the parent before forking.
+_WORKER_STATE: dict = {}
+
+
+def _evaluate_chunk(chunk: Sequence[Tuple[int, int]]) -> List[Tuple[int, int, float]]:
+    """Evaluate a chunk of user-index pairs with PPJ-B (runs in a worker)."""
+    index: STGridIndex = _WORKER_STATE["index"]
+    users: List[UserId] = _WORKER_STATE["users"]
+    sizes: List[int] = _WORKER_STATE["sizes"]
+    query: STPSJoinQuery = _WORKER_STATE["query"]
+    out: List[Tuple[int, int, float]] = []
+    for i, j in chunk:
+        score = ppj_b_pair(
+            index,
+            users[i],
+            users[j],
+            query.eps_loc,
+            query.eps_doc,
+            query.eps_user,
+            sizes[i],
+            sizes[j],
+        )
+        if score >= query.eps_user:
+            out.append((i, j, score))
+    return out
+
+
+def _pair_chunks(n_users: int, chunk_size: int):
+    """Split the triangular pair space into contiguous chunks."""
+    chunk: List[Tuple[int, int]] = []
+    for i in range(n_users):
+        for j in range(i + 1, n_users):
+            chunk.append((i, j))
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+    if chunk:
+        yield chunk
+
+
+def parallel_stps_join(
+    dataset: STDataset,
+    query: STPSJoinQuery,
+    workers: Optional[int] = None,
+    chunk_size: int = 2048,
+) -> List[UserPair]:
+    """Evaluate an STPSJoin with PPJ-B across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` uses ``os.cpu_count()``.  ``workers <= 1``
+        — or a platform without the ``fork`` start method — evaluates
+        sequentially (identical results).
+    chunk_size:
+        User pairs per task; large enough to amortize task dispatch,
+        small enough to balance load.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be positive")
+
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    if (workers is not None and workers == 1) or not fork_available:
+        return sppj_b(dataset, query)
+
+    users = list(dataset.users)
+    if len(users) < 2:
+        return []
+    index = STGridIndex.build(dataset, query.eps_loc, with_tokens=False)
+    sizes = [len(dataset.user_objects(u)) for u in users]
+
+    _WORKER_STATE["index"] = index
+    _WORKER_STATE["users"] = users
+    _WORKER_STATE["sizes"] = sizes
+    _WORKER_STATE["query"] = query
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            chunk_results = pool.map(
+                _evaluate_chunk, _pair_chunks(len(users), chunk_size)
+            )
+    finally:
+        _WORKER_STATE.clear()
+
+    results = [
+        UserPair(users[i], users[j], score)
+        for chunk in chunk_results
+        for i, j, score in chunk
+    ]
+    return sorted(results, key=lambda p: (-p.score, str(p.user_a), str(p.user_b)))

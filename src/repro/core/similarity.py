@@ -1,0 +1,108 @@
+"""The matching predicate and point-set similarity measure (Section 3).
+
+Two objects *match* (predicate ``mu``) when their Euclidean distance is at
+most ``eps_loc`` **and** the Jaccard similarity of their keyword sets is
+at least ``eps_doc``.  ``M(A, B)`` collects the objects of ``A`` matching
+at least one object of ``B``, and the point-set similarity is
+
+``sigma(A, B) = (|M(A, B)| + |M(B, A)|) / (|A| + |B|)``
+
+— a Jaccard-inspired measure counting *matched objects*, not matched
+pairs.  These definitions are the semantic ground truth for every join
+algorithm in :mod:`repro.core`; the optimized algorithms are tested for
+exact agreement with them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from ..spatial.geometry import euclidean_sq
+from .model import STObject
+
+__all__ = [
+    "text_similarity",
+    "spatial_distance_sq",
+    "objects_match",
+    "matched_objects",
+    "matched_object_count",
+    "set_similarity",
+]
+
+
+def text_similarity(a: STObject, b: STObject) -> float:
+    """Jaccard similarity ``tau`` of the keyword sets of two objects.
+
+    Objects without keywords have zero similarity to everything — an
+    object that documents nothing cannot evidence behavioural similarity.
+    """
+    sa, sb = a.doc_set, b.doc_set
+    if not sa or not sb:
+        return 0.0
+    inter = len(sa & sb)
+    if inter == 0:
+        return 0.0
+    return inter / (len(sa) + len(sb) - inter)
+
+
+def spatial_distance_sq(a: STObject, b: STObject) -> float:
+    """Squared Euclidean distance ``delta^2`` between two objects."""
+    return euclidean_sq(a.x, a.y, b.x, b.y)
+
+
+def objects_match(
+    a: STObject, b: STObject, eps_loc: float, eps_doc: float
+) -> bool:
+    """The matching predicate ``mu``: spatially close and textually similar."""
+    if spatial_distance_sq(a, b) > eps_loc * eps_loc:
+        return False
+    return text_similarity(a, b) >= eps_doc
+
+
+def matched_objects(
+    set_a: Sequence[STObject],
+    set_b: Sequence[STObject],
+    eps_loc: float,
+    eps_doc: float,
+) -> Set[int]:
+    """``M(A, B)``: oids of objects in ``A`` matching some object of ``B``."""
+    out: Set[int] = set()
+    for a in set_a:
+        for b in set_b:
+            if objects_match(a, b, eps_loc, eps_doc):
+                out.add(a.oid)
+                break
+    return out
+
+
+def matched_object_count(
+    set_a: Sequence[STObject],
+    set_b: Sequence[STObject],
+    eps_loc: float,
+    eps_doc: float,
+) -> int:
+    """``|M(A, B)| + |M(B, A)|`` computed exhaustively (oracle path)."""
+    matched_a: Set[int] = set()
+    matched_b: Set[int] = set()
+    eps_sq = eps_loc * eps_loc
+    for a in set_a:
+        for b in set_b:
+            if a.oid in matched_a and b.oid in matched_b:
+                continue
+            if spatial_distance_sq(a, b) <= eps_sq and text_similarity(a, b) >= eps_doc:
+                matched_a.add(a.oid)
+                matched_b.add(b.oid)
+    return len(matched_a) + len(matched_b)
+
+
+def set_similarity(
+    set_a: Sequence[STObject],
+    set_b: Sequence[STObject],
+    eps_loc: float,
+    eps_doc: float,
+) -> float:
+    """The point-set similarity ``sigma`` of two object sets (exhaustive)."""
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 0.0
+    return matched_object_count(set_a, set_b, eps_loc, eps_doc) / total

@@ -1,0 +1,49 @@
+"""S-PPJ-B — S-PPJ-C with early termination per pair (Section 4.1.2).
+
+Identical pair enumeration to S-PPJ-C, but every pair is evaluated with
+PPJ-B instead of PPJ-C: the snake grid traversal decides each object's
+fate as early as possible, and the unmatched-object bound of Lemma 1
+(``beta = (1 - eps_user) * (|Du| + |Du'|)``) aborts hopeless pairs before
+their grids are fully traversed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..stindex.stgrid import STGridIndex
+from .model import STDataset
+from .pair_eval import PairEvalStats, ppj_b_pair
+from .query import STPSJoinQuery, UserPair
+
+__all__ = ["sppj_b"]
+
+
+def sppj_b(
+    dataset: STDataset,
+    query: STPSJoinQuery,
+    stats: Optional[PairEvalStats] = None,
+) -> List[UserPair]:
+    """Evaluate an STPSJoin query with S-PPJ-B."""
+    index = STGridIndex.build(dataset, query.eps_loc, with_tokens=False)
+    results: List[UserPair] = []
+    users = dataset.users
+    sizes = {u: len(dataset.user_objects(u)) for u in users}
+
+    for i, user_b in enumerate(users):
+        size_b = sizes[user_b]
+        for user_a in users[:i]:
+            score = ppj_b_pair(
+                index,
+                user_a,
+                user_b,
+                query.eps_loc,
+                query.eps_doc,
+                query.eps_user,
+                sizes[user_a],
+                size_b,
+                stats,
+            )
+            if score >= query.eps_user:
+                results.append(UserPair(user_a, user_b, score))
+    return results

@@ -1,0 +1,127 @@
+"""Cross-algorithm validation: run competitors and diff their results.
+
+All STPSJoin algorithms compute the same query, so any disagreement is a
+bug — in this library, in a fork, or in an experimental variant a
+downstream user is developing.  :func:`compare_algorithms` runs a set of
+algorithms on one query and reports agreement, per-algorithm timing and
+the exact discrepancies, which is both a debugging tool and the programmatic
+form of the consistency checks the benchmark shape-tests perform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .api import JOIN_ALGORITHMS, stps_join
+from .model import STDataset, UserId
+from .query import STPSJoinQuery, UserPair, pairs_to_dict
+
+__all__ = ["AlgorithmRun", "ComparisonReport", "compare_algorithms"]
+
+#: Score differences below this are attributed to float noise.
+_SCORE_TOLERANCE = 1e-9
+
+
+@dataclass
+class AlgorithmRun:
+    """One algorithm's outcome."""
+
+    algorithm: str
+    seconds: float
+    pairs: List[UserPair]
+
+    @property
+    def result_size(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass
+class ComparisonReport:
+    """Agreement report across algorithm runs."""
+
+    query: STPSJoinQuery
+    runs: List[AlgorithmRun]
+    #: Pair keys not returned by every algorithm, with the algorithms
+    #: that did return them.
+    membership_diffs: Dict[Tuple[UserId, UserId], Set[str]] = field(
+        default_factory=dict
+    )
+    #: Pair keys returned everywhere but with differing scores.
+    score_diffs: Dict[Tuple[UserId, UserId], Dict[str, float]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def agreed(self) -> bool:
+        return not self.membership_diffs and not self.score_diffs
+
+    def fastest(self) -> AlgorithmRun:
+        return min(self.runs, key=lambda r: r.seconds)
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable report."""
+        lines = [
+            f"query: eps_loc={self.query.eps_loc}, eps_doc={self.query.eps_doc}, "
+            f"eps_user={self.query.eps_user}"
+        ]
+        for run in sorted(self.runs, key=lambda r: r.seconds):
+            lines.append(
+                f"  {run.algorithm:10s} {run.seconds * 1e3:9.1f} ms  "
+                f"|R| = {run.result_size}"
+            )
+        if self.agreed:
+            lines.append("  all algorithms agree")
+        else:
+            lines.append(
+                f"  DISAGREEMENT: {len(self.membership_diffs)} membership "
+                f"diffs, {len(self.score_diffs)} score diffs"
+            )
+        return "\n".join(lines)
+
+
+def compare_algorithms(
+    dataset: STDataset,
+    query: STPSJoinQuery,
+    algorithms: Optional[Sequence[str]] = None,
+) -> ComparisonReport:
+    """Run ``algorithms`` on the same query and diff everything.
+
+    Defaults to the four optimized S-PPJ variants (the exhaustive naive
+    algorithm can be added explicitly when its cost is acceptable).
+    """
+    if algorithms is None:
+        algorithms = ("s-ppj-c", "s-ppj-b", "s-ppj-f", "s-ppj-d")
+    unknown = set(algorithms) - set(JOIN_ALGORITHMS)
+    if unknown:
+        raise ValueError(f"unknown algorithms: {sorted(unknown)}")
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+
+    runs: List[AlgorithmRun] = []
+    for algorithm in algorithms:
+        start = time.perf_counter()
+        pairs = stps_join(
+            dataset,
+            query.eps_loc,
+            query.eps_doc,
+            query.eps_user,
+            algorithm=algorithm,
+        )
+        runs.append(
+            AlgorithmRun(algorithm, time.perf_counter() - start, pairs)
+        )
+
+    report = ComparisonReport(query=query, runs=runs)
+    by_algo = {run.algorithm: pairs_to_dict(run.pairs) for run in runs}
+    all_keys = set().union(*by_algo.values()) if by_algo else set()
+    for key in all_keys:
+        holders = {name for name, result in by_algo.items() if key in result}
+        if len(holders) != len(runs):
+            report.membership_diffs[key] = holders
+            continue
+        scores = {name: result[key] for name, result in by_algo.items()}
+        if max(scores.values()) - min(scores.values()) > _SCORE_TOLERANCE:
+            report.score_diffs[key] = scores
+    return report

@@ -1,0 +1,34 @@
+"""Dataset substrate: synthetic generators, persistence and profiling."""
+
+from .ingest import DEFAULT_STOPWORDS, load_delimited, simple_tokenize
+from .loaders import load_temporal_tsv, load_tsv, save_temporal_tsv, save_tsv
+from .stats import DatasetStats, dataset_stats, format_table1
+from .synthetic import (
+    FLICKR_LIKE,
+    GEOTEXT_LIKE,
+    PRESETS,
+    TWITTER_LIKE,
+    DatasetSpec,
+    generate_dataset,
+    preset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "FLICKR_LIKE",
+    "TWITTER_LIKE",
+    "GEOTEXT_LIKE",
+    "PRESETS",
+    "preset",
+    "generate_dataset",
+    "save_tsv",
+    "load_tsv",
+    "save_temporal_tsv",
+    "load_temporal_tsv",
+    "load_delimited",
+    "simple_tokenize",
+    "DEFAULT_STOPWORDS",
+    "DatasetStats",
+    "dataset_stats",
+    "format_table1",
+]

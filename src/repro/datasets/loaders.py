@@ -1,0 +1,116 @@
+"""TSV persistence for spatio-textual datasets.
+
+Line format (tab-separated)::
+
+    user <TAB> x <TAB> y <TAB> keyword,keyword,...
+
+and, for temporal datasets, a fifth timestamp column::
+
+    user <TAB> x <TAB> y <TAB> keyword,keyword,... <TAB> t
+
+Users and keywords are stored as strings; keywords must not contain tabs,
+commas or newlines (the generator's tokens never do — enforce on save).
+This is the on-disk interchange format of the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+from ..core.model import RawRecord, STDataset
+from ..core.temporal import TemporalDataset
+
+__all__ = ["save_tsv", "load_tsv", "save_temporal_tsv", "load_temporal_tsv"]
+
+_FORBIDDEN = ("\t", ",", "\n", "\r")
+
+
+def save_tsv(dataset: STDataset, path: Union[str, os.PathLike]) -> int:
+    """Write ``dataset`` to ``path``; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for obj in dataset.objects:
+            keywords = sorted(str(k) for k in dataset.vocab.decode(obj.doc))
+            for keyword in keywords:
+                if any(ch in keyword for ch in _FORBIDDEN):
+                    raise ValueError(
+                        f"keyword {keyword!r} contains a reserved character"
+                    )
+            user = str(obj.user)
+            if any(ch in user for ch in _FORBIDDEN):
+                raise ValueError(f"user id {user!r} contains a reserved character")
+            handle.write(f"{user}\t{obj.x!r}\t{obj.y!r}\t{','.join(keywords)}\n")
+            count += 1
+    return count
+
+
+def save_temporal_tsv(
+    tdataset: TemporalDataset, path: Union[str, os.PathLike]
+) -> int:
+    """Write a temporal dataset (5-column format); returns lines written."""
+    dataset = tdataset.dataset
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for obj in dataset.objects:
+            keywords = sorted(str(k) for k in dataset.vocab.decode(obj.doc))
+            for keyword in keywords:
+                if any(ch in keyword for ch in _FORBIDDEN):
+                    raise ValueError(
+                        f"keyword {keyword!r} contains a reserved character"
+                    )
+            user = str(obj.user)
+            if any(ch in user for ch in _FORBIDDEN):
+                raise ValueError(f"user id {user!r} contains a reserved character")
+            t = tdataset.timestamp(obj)
+            handle.write(
+                f"{user}\t{obj.x!r}\t{obj.y!r}\t{','.join(keywords)}\t{t!r}\n"
+            )
+            count += 1
+    return count
+
+
+def load_temporal_tsv(path: Union[str, os.PathLike]) -> TemporalDataset:
+    """Read a temporal dataset written by :func:`save_temporal_tsv`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 5:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 5 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            user, x_str, y_str, keywords_str, t_str = parts
+            keywords = [k for k in keywords_str.split(",") if k]
+            records.append(
+                (user, float(x_str), float(y_str), keywords, float(t_str))
+            )
+    return TemporalDataset.from_records(records)
+
+
+def load_tsv(path: Union[str, os.PathLike]) -> STDataset:
+    """Read a dataset previously written by :func:`save_tsv`.
+
+    User ids and keywords come back as strings regardless of their
+    original types; coordinates are exact (written with ``repr``).
+    """
+    records: List[RawRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 4:
+                raise ValueError(
+                    f"{path}:{line_no}: expected 4 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            user, x_str, y_str, keywords_str = parts
+            keywords = [k for k in keywords_str.split(",") if k]
+            records.append((user, float(x_str), float(y_str), keywords))
+    return STDataset.from_records(records)

@@ -1,0 +1,81 @@
+"""Dataset profiling — the descriptive statistics of Table 1.
+
+The paper characterizes each dataset by object and user counts plus the
+mean (and standard deviation) of three per-entity metrics: tokens per
+object, objects per token (document frequency), and objects per user.
+:func:`dataset_stats` computes them; :func:`format_table1` renders the
+same table layout for any collection of datasets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.model import STDataset
+
+__all__ = ["DatasetStats", "dataset_stats", "format_table1"]
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Population mean and standard deviation (0, 0 for empty input)."""
+    n = len(values)
+    if n == 0:
+        return (0.0, 0.0)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return (mean, math.sqrt(var))
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The Table 1 row for one dataset."""
+
+    name: str
+    num_objects: int
+    num_users: int
+    tokens_per_object: Tuple[float, float]
+    objects_per_token: Tuple[float, float]
+    objects_per_user: Tuple[float, float]
+
+
+def dataset_stats(dataset: STDataset, name: str = "dataset") -> DatasetStats:
+    """Compute the Table 1 statistics of ``dataset``."""
+    tokens_per_object = [float(len(o.doc)) for o in dataset.objects]
+
+    df: Dict[int, int] = {}
+    for obj in dataset.objects:
+        for token in obj.doc:
+            df[token] = df.get(token, 0) + 1
+    objects_per_token = [float(v) for v in df.values()]
+
+    objects_per_user = [
+        float(len(dataset.user_objects(u))) for u in dataset.users
+    ]
+
+    return DatasetStats(
+        name=name,
+        num_objects=dataset.num_objects,
+        num_users=dataset.num_users,
+        tokens_per_object=_mean_std(tokens_per_object),
+        objects_per_token=_mean_std(objects_per_token),
+        objects_per_user=_mean_std(objects_per_user),
+    )
+
+
+def format_table1(rows: Sequence[DatasetStats]) -> str:
+    """Render statistics in the paper's Table 1 layout."""
+    header = (
+        f"{'Dataset':<12}{'Objects':>10}{'Users':>8}"
+        f"{'Tokens/Object':>18}{'Objects/Token':>18}{'Objects/User':>20}"
+    )
+    lines: List[str] = [header, "-" * len(header)]
+    for s in rows:
+        lines.append(
+            f"{s.name:<12}{s.num_objects:>10,}{s.num_users:>8,}"
+            f"{s.tokens_per_object[0]:>9.2f} ({s.tokens_per_object[1]:.2f})"
+            f"{s.objects_per_token[0]:>9.2f} ({s.objects_per_token[1]:.2f})"
+            f"{s.objects_per_user[0]:>11.2f} ({s.objects_per_user[1]:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Spatio-textual point joins (ST-SJOIN; Bouros et al., PVLDB 2012)."""
+
+from .ppj import naive_st_join, ppj_rs_join, ppj_self_join
+from .ppj_c import ppj_c_join
+from .ppj_r import ppj_r_join
+
+__all__ = [
+    "ppj_self_join",
+    "ppj_rs_join",
+    "naive_st_join",
+    "ppj_c_join",
+    "ppj_r_join",
+]

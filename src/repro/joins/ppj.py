@@ -1,0 +1,80 @@
+"""PPJ — the flat spatio-textual point similarity join (Bouros et al.).
+
+``ST-SJOIN(D, eps_loc, eps_doc)`` returns every object pair that is both
+within ``eps_loc`` and at least ``eps_doc``-Jaccard-similar.  PPJ is
+PPJOIN with the spatial distance check added to candidate verification —
+no spatial index at all, making it the flat baseline PPJ-C and PPJ-R are
+measured against and the primitive they invoke per cell / leaf pair.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.model import STObject
+from ..core.similarity import objects_match
+from ..textual.ppjoin import similarity_rs_join, similarity_self_join
+
+__all__ = ["ppj_self_join", "ppj_rs_join", "naive_st_join"]
+
+
+def ppj_self_join(
+    objects: Sequence[STObject],
+    eps_loc: float,
+    eps_doc: float,
+    *,
+    suffix: bool = False,
+) -> List[Tuple[int, int]]:
+    """All matching object pairs within one collection.
+
+    Returns index pairs ``(i, j)``, ``i < j``, into ``objects``.  With
+    ``suffix=True`` the textual engine runs as PPJOIN+.
+    """
+    eps_sq = eps_loc * eps_loc
+    docs = [o.doc for o in objects]
+
+    def spatially_close(i: int, j: int) -> bool:
+        a, b = objects[i], objects[j]
+        dx = a.x - b.x
+        dy = a.y - b.y
+        return dx * dx + dy * dy <= eps_sq
+
+    return similarity_self_join(
+        docs, eps_doc, suffix=suffix, pair_predicate=spatially_close
+    )
+
+
+def ppj_rs_join(
+    objects_r: Sequence[STObject],
+    objects_s: Sequence[STObject],
+    eps_loc: float,
+    eps_doc: float,
+    *,
+    suffix: bool = False,
+) -> List[Tuple[int, int]]:
+    """All matching object pairs across two collections."""
+    eps_sq = eps_loc * eps_loc
+    docs_r = [o.doc for o in objects_r]
+    docs_s = [o.doc for o in objects_s]
+
+    def spatially_close(i: int, j: int) -> bool:
+        a, b = objects_r[i], objects_s[j]
+        dx = a.x - b.x
+        dy = a.y - b.y
+        return dx * dx + dy * dy <= eps_sq
+
+    return similarity_rs_join(
+        docs_r, docs_s, eps_doc, suffix=suffix, pair_predicate=spatially_close
+    )
+
+
+def naive_st_join(
+    objects: Sequence[STObject], eps_loc: float, eps_doc: float
+) -> List[Tuple[int, int]]:
+    """Quadratic spatio-textual self-join — the test oracle."""
+    out: List[Tuple[int, int]] = []
+    for i in range(len(objects)):
+        for j in range(i + 1, len(objects)):
+            if objects_match(objects[i], objects[j], eps_loc, eps_doc):
+                out.append((i, j))
+    return out

@@ -1,0 +1,58 @@
+"""PPJ-C — grid-partitioned spatio-textual point join (Bouros et al.).
+
+The space is partitioned into ``eps_loc``-sized cells visited in ascending
+row-wise id; each cell is PPJ-self-joined and PPJ-RS-joined with its four
+lower-id neighbours, so every candidate cell pair is examined exactly once
+and objects farther than one cell apart are never compared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.model import STObject
+from ..spatial.geometry import Rect
+from ..spatial.grid import UniformGrid
+from .ppj import ppj_rs_join, ppj_self_join
+
+__all__ = ["ppj_c_join"]
+
+
+def ppj_c_join(
+    objects: Sequence[STObject],
+    eps_loc: float,
+    eps_doc: float,
+    *,
+    suffix: bool = False,
+) -> List[Tuple[int, int]]:
+    """All matching object pairs, via the grid traversal.
+
+    Returns index pairs ``(i, j)``, ``i < j``, into ``objects``.
+    """
+    if not objects:
+        return []
+    bounds = Rect.from_points((o.x, o.y) for o in objects)
+    grid = UniformGrid(bounds, eps_loc)
+
+    cells: Dict[Tuple[int, int], List[int]] = {}
+    for idx, obj in enumerate(objects):
+        cells.setdefault(grid.cell_of(obj.x, obj.y), []).append(idx)
+
+    results: List[Tuple[int, int]] = []
+    for cell in sorted(cells.keys(), key=grid.cell_id):
+        here = cells[cell]
+        objs_here = [objects[i] for i in here]
+        for a, b in ppj_self_join(objs_here, eps_loc, eps_doc, suffix=suffix):
+            i, j = here[a], here[b]
+            results.append((i, j) if i < j else (j, i))
+        for other in grid.lower_id_neighbours(cell):
+            there = cells.get(other)
+            if not there:
+                continue
+            objs_there = [objects[i] for i in there]
+            for a, b in ppj_rs_join(
+                objs_here, objs_there, eps_loc, eps_doc, suffix=suffix
+            ):
+                i, j = here[a], there[b]
+                results.append((i, j) if i < j else (j, i))
+    return results

@@ -1,0 +1,69 @@
+"""PPJ-R — R-tree-partitioned spatio-textual point join (Bouros et al.).
+
+The database is packed into an R-tree; leaf pairs whose ``eps_loc``-
+extended MBRs intersect (found with the Brinkhoff R-tree self-join) are
+the only partitions joined.  Cross-leaf joins are restricted to objects
+inside the intersection of the two extended MBRs, the same optimization
+PPJ-D applies at the user-pair level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.model import STObject
+from ..spatial.rtree import RTree
+from ..spatial.spatial_join import rtree_relevant_leaf_pairs
+from .ppj import ppj_rs_join, ppj_self_join
+
+__all__ = ["ppj_r_join"]
+
+
+def ppj_r_join(
+    objects: Sequence[STObject],
+    eps_loc: float,
+    eps_doc: float,
+    fanout: int = 100,
+    *,
+    suffix: bool = False,
+) -> List[Tuple[int, int]]:
+    """All matching object pairs, via R-tree leaf partitioning.
+
+    Returns index pairs ``(i, j)``, ``i < j``, into ``objects``.
+    """
+    if not objects:
+        return []
+    entries = [(obj.x, obj.y, idx) for idx, obj in enumerate(objects)]
+    tree = RTree.bulk_load(entries, fanout=fanout)
+    leaves = tree.leaves()
+    leaf_members: List[List[int]] = [
+        [item for _, _, item in leaf.entries] for leaf in leaves
+    ]
+    extended = [leaf.mbr.extend(eps_loc) for leaf in leaves]  # type: ignore[union-attr]
+
+    results: List[Tuple[int, int]] = []
+    for la, lb in rtree_relevant_leaf_pairs(tree, eps_loc):
+        if la == lb:
+            members = leaf_members[la]
+            objs = [objects[i] for i in members]
+            for a, b in ppj_self_join(objs, eps_loc, eps_doc, suffix=suffix):
+                i, j = members[a], members[b]
+                results.append((i, j) if i < j else (j, i))
+            continue
+        area = extended[la].intersection(extended[lb])
+        if area is None:
+            continue
+        members_a = [
+            i for i in leaf_members[la] if area.contains_point(objects[i].x, objects[i].y)
+        ]
+        members_b = [
+            i for i in leaf_members[lb] if area.contains_point(objects[i].x, objects[i].y)
+        ]
+        if not members_a or not members_b:
+            continue
+        objs_a = [objects[i] for i in members_a]
+        objs_b = [objects[i] for i in members_b]
+        for a, b in ppj_rs_join(objs_a, objs_b, eps_loc, eps_doc, suffix=suffix):
+            i, j = members_a[a], members_b[b]
+            results.append((i, j) if i < j else (j, i))
+    return results

@@ -1,0 +1,30 @@
+"""Spatial substrate: geometry, grid, R-tree, quadtree and spatial joins."""
+
+from .geometry import Point, Rect, bounding_rect, euclidean, euclidean_sq
+from .grid import CellCoord, UniformGrid
+from .quadtree import QuadTree, QuadTreeNode
+from .rtree import RTree, RTreeNode
+from .spatial_join import (
+    rtree_leaf_join,
+    rtree_relevant_leaf_pairs,
+    sweep_point_pairs,
+    sweep_rect_pairs,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "bounding_rect",
+    "euclidean",
+    "euclidean_sq",
+    "CellCoord",
+    "UniformGrid",
+    "QuadTree",
+    "QuadTreeNode",
+    "RTree",
+    "RTreeNode",
+    "rtree_leaf_join",
+    "rtree_relevant_leaf_pairs",
+    "sweep_point_pairs",
+    "sweep_rect_pairs",
+]

@@ -1,0 +1,223 @@
+"""Geometry primitives shared by every spatial index and join.
+
+The paper works in a two-dimensional Euclidean space: every spatio-textual
+object carries a point location ``loc = (x, y)``, the spatial predicate of
+the join is an Euclidean distance threshold ``eps_loc``, and the R-tree
+based algorithms reason about minimum bounding rectangles (MBRs) and their
+``eps_loc``-extensions.  This module provides those primitives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "Point",
+    "Rect",
+    "euclidean",
+    "euclidean_sq",
+    "bounding_rect",
+]
+
+
+def euclidean_sq(ax: float, ay: float, bx: float, by: float) -> float:
+    """Squared Euclidean distance between ``(ax, ay)`` and ``(bx, by)``.
+
+    The join algorithms compare squared distances against a squared
+    threshold to avoid a ``sqrt`` in the innermost loop.
+    """
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def euclidean(ax: float, ay: float, bx: float, by: float) -> float:
+    """Euclidean distance between ``(ax, ay)`` and ``(bx, by)``."""
+    return math.sqrt(euclidean_sq(ax, ay, bx, by))
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable point in the plane."""
+
+    x: float
+    y: float
+
+    def distance(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return euclidean(self.x, self.y, other.x, other.y)
+
+    def distance_sq(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other``."""
+        return euclidean_sq(self.x, self.y, other.x, other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (MBR) with inclusive bounds.
+
+    Degenerate rectangles (points, segments) are valid; an "empty"
+    rectangle is represented by ``None`` at call sites rather than a
+    sentinel instance.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"invalid Rect: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def from_point(x: float, y: float) -> "Rect":
+        """A degenerate rectangle covering a single point."""
+        return Rect(x, y, x, y)
+
+    @staticmethod
+    def from_points(points: Iterable[Tuple[float, float]]) -> "Rect":
+        """The MBR of a non-empty collection of ``(x, y)`` tuples."""
+        it = iter(points)
+        try:
+            x, y = next(it)
+        except StopIteration:
+            raise ValueError("Rect.from_points: empty point collection")
+        min_x = max_x = x
+        min_y = max_y = y
+        for x, y in it:
+            if x < min_x:
+                min_x = x
+            elif x > max_x:
+                max_x = x
+            if y < min_y:
+                min_y = y
+            elif y > max_y:
+                max_y = y
+        return Rect(min_x, min_y, max_x, max_y)
+
+    # -- measures --------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    def center(self) -> Tuple[float, float]:
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # -- predicates ------------------------------------------------------------
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` lies inside the rectangle (borders included)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles share at least a border point."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    # -- constructive operations -------------------------------------------------
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or ``None`` when disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def union(self, other: "Rect") -> "Rect":
+        """The MBR of both rectangles."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def extend(self, eps: float) -> "Rect":
+        """Grow the rectangle by ``eps`` on every side.
+
+        This is the ``eps_loc``-extension of leaf MBRs used by S-PPJ-D
+        (Section 4.1.4): two partitions can only contain matching objects
+        if their extended MBRs intersect.
+        """
+        if eps < 0:
+            raise ValueError("extend: eps must be non-negative")
+        return Rect(
+            self.min_x - eps, self.min_y - eps, self.max_x + eps, self.max_y + eps
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed for this rectangle to also cover ``other``.
+
+        Used by the R-tree ChooseLeaf heuristic.
+        """
+        return self.union(other).area() - self.area()
+
+    # -- distances ---------------------------------------------------------------
+
+    def min_distance_to_point(self, x: float, y: float) -> float:
+        """Smallest Euclidean distance from ``(x, y)`` to the rectangle."""
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def min_distance(self, other: "Rect") -> float:
+        """Smallest Euclidean distance between the two rectangles."""
+        dx = max(self.min_x - other.max_x, 0.0, other.min_x - self.max_x)
+        dy = max(self.min_y - other.max_y, 0.0, other.min_y - self.max_y)
+        return math.hypot(dx, dy)
+
+
+def bounding_rect(rects: Sequence[Rect]) -> Rect:
+    """The MBR of a non-empty sequence of rectangles."""
+    if not rects:
+        raise ValueError("bounding_rect: empty sequence")
+    out = rects[0]
+    for rect in rects[1:]:
+        out = out.union(rect)
+    return out
+
+
+def iter_pairs(n: int) -> Iterator[Tuple[int, int]]:
+    """All index pairs ``(i, j)`` with ``i < j`` — tiny helper for oracles."""
+    for i in range(n):
+        for j in range(i + 1, n):
+            yield i, j

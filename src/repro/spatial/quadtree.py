@@ -1,0 +1,160 @@
+"""A point-region quadtree, an alternative data-partitioning scheme.
+
+The paper's related work (Rao et al., *Partitioning strategies for
+spatio-textual similarity join*, BigSpatial 2014) considers quadtree-based
+partitioning as an alternative to grids; S-PPJ-D itself is defined over
+"a given data partitioning" with the R-tree as the concrete instance.  We
+provide a quadtree with the same partition-facing interface as
+:class:`repro.spatial.rtree.RTree` (``leaves()`` with stable ids, MBRs and
+entries, plus range queries) so that the partition-sensitivity ablation
+bench can swap partitioners.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from .geometry import Rect
+
+__all__ = ["QuadTree", "QuadTreeNode"]
+
+Entry = Tuple[float, float, Any]
+
+
+class QuadTreeNode:
+    """A quadtree node covering ``rect``; leaves hold up to ``capacity`` points."""
+
+    __slots__ = ("rect", "entries", "children", "leaf_id")
+
+    def __init__(self, rect: Rect):
+        self.rect = rect
+        self.entries: Optional[List[Entry]] = []
+        self.children: Optional[List["QuadTreeNode"]] = None
+        self.leaf_id: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def mbr(self) -> Rect:
+        """Tight MBR of the contained points (leaf) or the cell rect."""
+        if self.is_leaf and self.entries:
+            return Rect.from_points((x, y) for x, y, _ in self.entries)
+        return self.rect
+
+
+class QuadTree:
+    """A point-region quadtree over a fixed bounding rectangle.
+
+    Parameters
+    ----------
+    bounds:
+        The region covered by the root; inserted points must fall inside.
+    capacity:
+        Maximum points per leaf before it splits into four quadrants
+        (analogous to the R-tree fanout).
+    max_depth:
+        Hard recursion limit; a leaf at ``max_depth`` absorbs overflow
+        instead of splitting, which keeps duplicate-heavy inputs safe.
+    """
+
+    def __init__(self, bounds: Rect, capacity: int = 64, max_depth: int = 24):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.bounds = bounds
+        self.capacity = int(capacity)
+        self.max_depth = int(max_depth)
+        self.root = QuadTreeNode(bounds)
+        self._size = 0
+        self._leaves_dirty = True
+        self._leaves: List[QuadTreeNode] = []
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction ------------------------------------------------------------
+
+    def insert(self, x: float, y: float, item: Any) -> None:
+        """Insert a point; points outside ``bounds`` are rejected."""
+        if not self.bounds.contains_point(x, y):
+            raise ValueError(f"point ({x}, {y}) outside quadtree bounds")
+        self._insert(self.root, x, y, item, depth=1)
+        self._size += 1
+        self._leaves_dirty = True
+
+    def _insert(
+        self, node: QuadTreeNode, x: float, y: float, item: Any, depth: int
+    ) -> None:
+        while node.children is not None:
+            node = self._quadrant_for(node, x, y)
+            depth += 1
+        assert node.entries is not None
+        node.entries.append((x, y, item))
+        if len(node.entries) > self.capacity and depth < self.max_depth:
+            self._split(node)
+
+    @staticmethod
+    def _quadrant_for(node: QuadTreeNode, x: float, y: float) -> QuadTreeNode:
+        assert node.children is not None
+        cx, cy = node.rect.center()
+        index = (1 if x > cx else 0) + (2 if y > cy else 0)
+        return node.children[index]
+
+    def _split(self, node: QuadTreeNode) -> None:
+        """Split a leaf into four quadrant children and push entries down."""
+        r = node.rect
+        cx, cy = r.center()
+        node.children = [
+            QuadTreeNode(Rect(r.min_x, r.min_y, cx, cy)),  # SW
+            QuadTreeNode(Rect(cx, r.min_y, r.max_x, cy)),  # SE
+            QuadTreeNode(Rect(r.min_x, cy, cx, r.max_y)),  # NW
+            QuadTreeNode(Rect(cx, cy, r.max_x, r.max_y)),  # NE
+        ]
+        entries = node.entries or []
+        node.entries = None
+        for x, y, item in entries:
+            child = self._quadrant_for(node, x, y)
+            assert child.entries is not None
+            child.entries.append((x, y, item))
+        # A pathological split can put everything in one child; recursion
+        # happens lazily on the next insert, bounded by max_depth.
+
+    # -- queries -----------------------------------------------------------------
+
+    def range_query(self, rect: Rect) -> List[Entry]:
+        """All entries with points inside ``rect`` (borders included)."""
+        out: List[Entry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(rect):
+                continue
+            if node.children is not None:
+                stack.extend(node.children)
+            else:
+                assert node.entries is not None
+                out.extend(
+                    e for e in node.entries if rect.contains_point(e[0], e[1])
+                )
+        return out
+
+    # -- partitions ----------------------------------------------------------------
+
+    def leaves(self) -> List[QuadTreeNode]:
+        """Non-empty leaves with stable ``leaf_id`` values (traversal order)."""
+        if self._leaves_dirty:
+            self._leaves = []
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                if node.children is not None:
+                    stack.extend(reversed(node.children))
+                elif node.entries:
+                    self._leaves.append(node)
+            for i, leaf in enumerate(self._leaves):
+                leaf.leaf_id = i
+            self._leaves_dirty = False
+        return self._leaves

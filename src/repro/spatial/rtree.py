@@ -1,0 +1,441 @@
+"""An R-tree over points, the data-partitioning substrate of S-PPJ-D.
+
+The paper's S-PPJ-D algorithm (Section 4.1.4) assumes the database is
+already partitioned by a data-partitioning scheme — concretely, the leaf
+nodes of an R-tree whose ``fanout`` (maximum entries per node) is the
+tuning parameter studied in Figure 6.  This module provides:
+
+* :class:`RTree` — a classic Guttman R-tree with quadratic split for
+  dynamic insertion, plus Sort-Tile-Recursive (STR) bulk loading, which is
+  what the reproduction uses by default because it produces deterministic,
+  well-packed partitions;
+* range and distance queries (used by PPJ-R and by tests as oracles);
+* leaf enumeration with stable leaf ids (the partitions S-PPJ-D joins).
+
+Entries are ``(x, y, item)`` triples; the tree never interprets ``item``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from .geometry import Rect
+
+__all__ = ["RTree", "RTreeNode", "Entry"]
+
+#: A leaf entry: point coordinates plus an opaque payload.
+Entry = Tuple[float, float, Any]
+
+
+class RTreeNode:
+    """A node of the R-tree.
+
+    Leaf nodes keep point entries in ``entries``; internal nodes keep child
+    nodes in ``children``.  ``mbr`` is always the tight bounding rectangle
+    of the node's contents.
+    """
+
+    __slots__ = ("is_leaf", "entries", "children", "mbr", "leaf_id")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: List[Entry] = []
+        self.children: List["RTreeNode"] = []
+        self.mbr: Optional[Rect] = None
+        #: Stable id assigned to leaves after construction; ``-1`` until then.
+        self.leaf_id: int = -1
+
+    # -- MBR maintenance -------------------------------------------------------
+
+    def recompute_mbr(self) -> None:
+        """Recompute ``mbr`` from the node contents."""
+        if self.is_leaf:
+            if not self.entries:
+                self.mbr = None
+                return
+            self.mbr = Rect.from_points((x, y) for x, y, _ in self.entries)
+        else:
+            if not self.children:
+                self.mbr = None
+                return
+            mbr = self.children[0].mbr
+            for child in self.children[1:]:
+                assert child.mbr is not None
+                mbr = mbr.union(child.mbr) if mbr is not None else child.mbr
+            self.mbr = mbr
+
+    def include_point(self, x: float, y: float) -> None:
+        """Grow ``mbr`` to cover ``(x, y)``."""
+        point_rect = Rect.from_point(x, y)
+        self.mbr = point_rect if self.mbr is None else self.mbr.union(point_rect)
+
+    def include_rect(self, rect: Rect) -> None:
+        """Grow ``mbr`` to cover ``rect``."""
+        self.mbr = rect if self.mbr is None else self.mbr.union(rect)
+
+    def __len__(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+
+class RTree:
+    """R-tree over point data with a configurable fanout.
+
+    Parameters
+    ----------
+    fanout:
+        Maximum number of entries in a leaf / children in an internal node.
+        This is the parameter swept in Figure 6 of the paper.
+    min_fill:
+        Minimum node occupancy after a split, as a fraction of ``fanout``
+        (Guttman's ``m``).  Only relevant for dynamic insertion.
+    """
+
+    def __init__(self, fanout: int = 100, min_fill: float = 0.4):
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        self.fanout = int(fanout)
+        self.min_entries = max(1, int(math.floor(fanout * min_fill)))
+        self.root = RTreeNode(is_leaf=True)
+        self._size = 0
+        self._leaves_dirty = True
+        self._leaves: List[RTreeNode] = []
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, entries: Sequence[Entry], fanout: int = 100, min_fill: float = 0.4
+    ) -> "RTree":
+        """Build a packed tree with Sort-Tile-Recursive (STR) loading.
+
+        STR sorts entries by x, slices them into vertical strips of
+        ``ceil(sqrt(n / fanout))`` tiles, sorts each strip by y and packs
+        runs of ``fanout`` entries into leaves; the produced leaves are
+        then packed recursively the same way.  The result is deterministic
+        for a given input order, which keeps experiments reproducible.
+        """
+        tree = cls(fanout=fanout, min_fill=min_fill)
+        items = list(entries)
+        tree._size = len(items)
+        if not items:
+            return tree
+
+        leaves = tree._str_pack_entries(items)
+        level: List[RTreeNode] = leaves
+        while len(level) > 1:
+            level = tree._str_pack_nodes(level)
+        tree.root = level[0]
+        tree._leaves_dirty = True
+        return tree
+
+    def _str_pack_entries(self, items: List[Entry]) -> List[RTreeNode]:
+        """Pack point entries into leaf nodes with the STR tiling."""
+        capacity = self.fanout
+        n = len(items)
+        nleaves = math.ceil(n / capacity)
+        nstrips = math.ceil(math.sqrt(nleaves))
+        per_strip = nstrips * capacity
+        items.sort(key=lambda e: (e[0], e[1]))
+        leaves: List[RTreeNode] = []
+        for s in range(0, n, per_strip):
+            strip = items[s : s + per_strip]
+            strip.sort(key=lambda e: (e[1], e[0]))
+            for i in range(0, len(strip), capacity):
+                leaf = RTreeNode(is_leaf=True)
+                leaf.entries = strip[i : i + capacity]
+                leaf.recompute_mbr()
+                leaves.append(leaf)
+        return leaves
+
+    def _str_pack_nodes(self, nodes: List[RTreeNode]) -> List[RTreeNode]:
+        """Pack one tree level into the next with the STR tiling."""
+        capacity = self.fanout
+        n = len(nodes)
+        nparents = math.ceil(n / capacity)
+        nstrips = math.ceil(math.sqrt(nparents))
+        per_strip = nstrips * capacity
+
+        def center(node: RTreeNode) -> Tuple[float, float]:
+            assert node.mbr is not None
+            return node.mbr.center()
+
+        nodes.sort(key=lambda nd: center(nd)[0])
+        parents: List[RTreeNode] = []
+        for s in range(0, n, per_strip):
+            strip = nodes[s : s + per_strip]
+            strip.sort(key=lambda nd: center(nd)[1])
+            for i in range(0, len(strip), capacity):
+                parent = RTreeNode(is_leaf=False)
+                parent.children = strip[i : i + capacity]
+                parent.recompute_mbr()
+                parents.append(parent)
+        return parents
+
+    # -- dynamic insertion -----------------------------------------------------
+
+    def insert(self, x: float, y: float, item: Any) -> None:
+        """Insert a point entry (Guttman insertion with quadratic split)."""
+        self._size += 1
+        self._leaves_dirty = True
+        split = self._insert_into(self.root, x, y, item)
+        if split is not None:
+            new_root = RTreeNode(is_leaf=False)
+            new_root.children = [self.root, split]
+            new_root.recompute_mbr()
+            self.root = new_root
+
+    def _insert_into(
+        self, node: RTreeNode, x: float, y: float, item: Any
+    ) -> Optional[RTreeNode]:
+        """Recursive insert; returns the sibling node when ``node`` splits."""
+        if node.is_leaf:
+            node.entries.append((x, y, item))
+            node.include_point(x, y)
+            if len(node.entries) > self.fanout:
+                return self._split_leaf(node)
+            return None
+
+        child = self._choose_subtree(node, x, y)
+        split = self._insert_into(child, x, y, item)
+        node.include_point(x, y)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.fanout:
+                return self._split_internal(node)
+        return None
+
+    @staticmethod
+    def _choose_subtree(node: RTreeNode, x: float, y: float) -> RTreeNode:
+        """Guttman's ChooseLeaf step: least enlargement, then least area."""
+        point = Rect.from_point(x, y)
+        best = None
+        best_key = None
+        for child in node.children:
+            assert child.mbr is not None
+            key = (child.mbr.enlargement(point), child.mbr.area())
+            if best_key is None or key < best_key:
+                best = child
+                best_key = key
+        assert best is not None
+        return best
+
+    def _split_leaf(self, node: RTreeNode) -> RTreeNode:
+        """Quadratic split of an overfull leaf; returns the new sibling."""
+        entries = node.entries
+        rects = [Rect.from_point(x, y) for x, y, _ in entries]
+        group_a, group_b = self._quadratic_partition(rects)
+        sibling = RTreeNode(is_leaf=True)
+        node.entries = [entries[i] for i in group_a]
+        sibling.entries = [entries[i] for i in group_b]
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    def _split_internal(self, node: RTreeNode) -> RTreeNode:
+        """Quadratic split of an overfull internal node."""
+        children = node.children
+        rects = [child.mbr for child in children]
+        assert all(rect is not None for rect in rects)
+        group_a, group_b = self._quadratic_partition(rects)  # type: ignore[arg-type]
+        sibling = RTreeNode(is_leaf=False)
+        node.children = [children[i] for i in group_a]
+        sibling.children = [children[i] for i in group_b]
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    def _quadratic_partition(
+        self, rects: Sequence[Rect]
+    ) -> Tuple[List[int], List[int]]:
+        """Guttman's quadratic PickSeeds/PickNext partition of rect indexes."""
+        n = len(rects)
+        # PickSeeds: the pair wasting the most area if grouped together.
+        worst = (0, 1)
+        worst_waste = -math.inf
+        for i in range(n):
+            for j in range(i + 1, n):
+                waste = (
+                    rects[i].union(rects[j]).area()
+                    - rects[i].area()
+                    - rects[j].area()
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst = (i, j)
+
+        seed_a, seed_b = worst
+        group_a, group_b = [seed_a], [seed_b]
+        mbr_a, mbr_b = rects[seed_a], rects[seed_b]
+        remaining = [i for i in range(n) if i not in (seed_a, seed_b)]
+
+        while remaining:
+            # Force-assign when one group must absorb everything left to
+            # reach minimum occupancy.
+            if len(group_a) + len(remaining) <= self.min_entries:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) <= self.min_entries:
+                group_b.extend(remaining)
+                break
+            # PickNext: the rect with the largest preference difference.
+            best_idx = 0
+            best_diff = -1.0
+            for pos, idx in enumerate(remaining):
+                d_a = mbr_a.enlargement(rects[idx])
+                d_b = mbr_b.enlargement(rects[idx])
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_idx = pos
+            idx = remaining.pop(best_idx)
+            d_a = mbr_a.enlargement(rects[idx])
+            d_b = mbr_b.enlargement(rects[idx])
+            if (d_a, mbr_a.area(), len(group_a)) <= (d_b, mbr_b.area(), len(group_b)):
+                group_a.append(idx)
+                mbr_a = mbr_a.union(rects[idx])
+            else:
+                group_b.append(idx)
+                mbr_b = mbr_b.union(rects[idx])
+        return group_a, group_b
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels in the tree (a lone leaf root has height 1)."""
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    def range_query(self, rect: Rect) -> List[Entry]:
+        """All entries whose point lies inside ``rect`` (borders included)."""
+        out: List[Entry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(rect):
+                continue
+            if node.is_leaf:
+                out.extend(
+                    e for e in node.entries if rect.contains_point(e[0], e[1])
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def nearest(self, x: float, y: float, k: int = 1) -> List[Entry]:
+        """The ``k`` entries nearest to ``(x, y)``, ascending by distance.
+
+        Classic best-first (incremental) nearest-neighbour search: nodes
+        are expanded in order of their MBR's minimum distance to the query
+        point, entries pop in exact distance order.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        import heapq
+        import itertools
+
+        if self.root.mbr is None:
+            return []
+        counter = itertools.count()
+        heap: List = [(0.0, next(counter), self.root, None)]
+        out: List[Entry] = []
+        while heap and len(out) < k:
+            _, _, node, entry = heapq.heappop(heap)
+            if entry is not None:
+                out.append(entry)
+                continue
+            if node.is_leaf:
+                for ex, ey, item in node.entries:
+                    d = math.hypot(ex - x, ey - y)
+                    heapq.heappush(heap, (d, next(counter), None, (ex, ey, item)))
+            else:
+                for child in node.children:
+                    assert child.mbr is not None
+                    d = child.mbr.min_distance_to_point(x, y)
+                    heapq.heappush(heap, (d, next(counter), child, None))
+        return out
+
+    def within_distance(self, x: float, y: float, eps: float) -> List[Entry]:
+        """All entries within Euclidean distance ``eps`` of ``(x, y)``."""
+        eps_sq = eps * eps
+        out: List[Entry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or node.mbr.min_distance_to_point(x, y) > eps:
+                continue
+            if node.is_leaf:
+                for ex, ey, item in node.entries:
+                    dx, dy = ex - x, ey - y
+                    if dx * dx + dy * dy <= eps_sq:
+                        out.append((ex, ey, item))
+            else:
+                stack.extend(node.children)
+        return out
+
+    # -- leaves (the partitions S-PPJ-D consumes) ---------------------------------
+
+    def leaves(self) -> List[RTreeNode]:
+        """All leaf nodes, with stable ``leaf_id`` values assigned.
+
+        Leaf ids follow a deterministic left-to-right traversal of the
+        tree and serve as the total ordering over partitions that PPJ-D's
+        merge-style traversal requires.
+        """
+        if self._leaves_dirty:
+            self._leaves = []
+            self._collect_leaves(self.root, self._leaves)
+            for i, leaf in enumerate(self._leaves):
+                leaf.leaf_id = i
+            self._leaves_dirty = False
+        return self._leaves
+
+    def _collect_leaves(self, node: RTreeNode, out: List[RTreeNode]) -> None:
+        if node.is_leaf:
+            if node.entries:
+                out.append(node)
+            return
+        for child in node.children:
+            self._collect_leaves(child, out)
+
+    def iter_entries(self) -> Iterator[Entry]:
+        """Iterate every entry in the tree."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on failure.
+
+        Used by the test suite: every node MBR must tightly contain its
+        contents, and no node may exceed the fanout.
+        """
+        self._validate_node(self.root, is_root=True)
+
+    def _validate_node(self, node: RTreeNode, is_root: bool = False) -> None:
+        if node.is_leaf:
+            assert len(node.entries) <= self.fanout or is_root
+            if node.entries:
+                tight = Rect.from_points((x, y) for x, y, _ in node.entries)
+                assert node.mbr is not None and node.mbr.contains_rect(tight)
+        else:
+            assert len(node.children) <= self.fanout
+            assert node.children, "internal node without children"
+            for child in node.children:
+                assert child.mbr is not None and node.mbr is not None
+                assert node.mbr.contains_rect(child.mbr)
+                self._validate_node(child)

@@ -1,0 +1,8 @@
+"""Hybrid spatio-textual indexes (Figure 3) and spatial keyword queries."""
+
+from .irtree import IRTree
+from .leaf_index import STLeafIndex
+from .queries import SpatialKeywordIndex
+from .stgrid import STGridIndex
+
+__all__ = ["STGridIndex", "STLeafIndex", "SpatialKeywordIndex", "IRTree"]

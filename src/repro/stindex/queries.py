@@ -1,0 +1,195 @@
+"""Spatial keyword queries over spatio-textual objects.
+
+The paper's related work (Section 2.1) surveys the query types that
+spatio-textual indexes serve — boolean range queries, k-nearest-neighbour
+queries with keyword predicates, and top-k queries ranking by a combined
+spatial/textual score (SPIRIT, IR-tree, and friends).  This module
+provides those queries over a single R-tree + vocabulary, both because a
+downstream user of a spatio-textual library expects them and because they
+exercise the same substrate the joins are built on:
+
+* :meth:`SpatialKeywordIndex.boolean_range` — objects in a window whose
+  keywords cover (or intersect) the query keywords;
+* :meth:`SpatialKeywordIndex.knn_keyword` — the k nearest objects
+  satisfying the keyword predicate (best-first R-tree search);
+* :meth:`SpatialKeywordIndex.topk_relevance` — the k best objects under
+  ``cost = alpha * distance / diameter + (1 - alpha) * (1 - jaccard)``,
+  via an admissible best-first search mixing nodes and objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Hashable, Iterable, List, Tuple
+
+from ..core.model import STDataset, STObject
+from ..spatial.geometry import Rect
+from ..spatial.rtree import RTree
+
+__all__ = ["SpatialKeywordIndex"]
+
+
+class SpatialKeywordIndex:
+    """R-tree-backed query engine for boolean/kNN/top-k keyword queries."""
+
+    def __init__(self, dataset: STDataset, fanout: int = 64):
+        self.dataset = dataset
+        self.tree = RTree.bulk_load(
+            [(o.x, o.y, o) for o in dataset.objects], fanout=fanout
+        )
+        bounds = dataset.bounds
+        #: Normalization constant for the combined score: the diagonal of
+        #: the data extent (1.0 for degenerate extents).
+        self.diameter = math.hypot(bounds.width, bounds.height) or 1.0
+        #: Nodes popped from the queue in the last best-first query; the
+        #: IR-tree comparison measures its pruning against this.
+        self.expansions = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _query_doc(self, keywords: Iterable[Hashable]) -> frozenset:
+        """Known token ids of the query keywords (unknown ones dropped)."""
+        return frozenset(self.dataset.vocab.encode_partial(keywords))
+
+    @staticmethod
+    def _satisfies(obj: STObject, tokens: frozenset, match_all: bool) -> bool:
+        if not tokens:
+            return False
+        if match_all:
+            return tokens <= obj.doc_set
+        return bool(tokens & obj.doc_set)
+
+    # -- queries -----------------------------------------------------------------
+
+    def boolean_range(
+        self,
+        window: Rect,
+        keywords: Iterable[Hashable],
+        match_all: bool = True,
+    ) -> List[STObject]:
+        """Objects inside ``window`` satisfying the keyword predicate.
+
+        ``match_all=True`` requires every query keyword (boolean AND);
+        ``False`` requires at least one (boolean OR).  Keywords absent
+        from the corpus can never match under AND semantics, so a query
+        containing one returns no objects.
+        """
+        raw = frozenset(keywords)
+        tokens = self._query_doc(raw)
+        if match_all and len(tokens) != len(raw):
+            return []  # an out-of-corpus keyword can never be covered
+        return [
+            obj
+            for _, _, obj in self.tree.range_query(window)
+            if self._satisfies(obj, tokens, match_all)
+        ]
+
+    def knn_keyword(
+        self,
+        x: float,
+        y: float,
+        keywords: Iterable[Hashable],
+        k: int,
+        match_all: bool = True,
+    ) -> List[Tuple[STObject, float]]:
+        """The ``k`` nearest objects satisfying the keyword predicate.
+
+        Classic best-first (incremental nearest-neighbour) search over the
+        R-tree: nodes are expanded in order of their minimum distance to
+        the query point, objects pop in exact distance order.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        raw = frozenset(keywords)
+        tokens = self._query_doc(raw)
+        if not tokens or (match_all and len(tokens) != len(raw)):
+            return []
+
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object, bool]] = []
+        root = self.tree.root
+        if root.mbr is None:
+            return []
+        heapq.heappush(heap, (0.0, next(counter), root, False))
+        out: List[Tuple[STObject, float]] = []
+        while heap and len(out) < k:
+            dist, _, item, is_object = heapq.heappop(heap)
+            if is_object:
+                out.append((item, dist))  # type: ignore[arg-type]
+                continue
+            node = item
+            if node.is_leaf:  # type: ignore[union-attr]
+                for ex, ey, obj in node.entries:  # type: ignore[union-attr]
+                    if self._satisfies(obj, tokens, match_all):
+                        d = math.hypot(ex - x, ey - y)
+                        heapq.heappush(heap, (d, next(counter), obj, True))
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    assert child.mbr is not None
+                    d = child.mbr.min_distance_to_point(x, y)
+                    heapq.heappush(heap, (d, next(counter), child, False))
+        return out
+
+    def topk_relevance(
+        self,
+        x: float,
+        y: float,
+        keywords: Iterable[Hashable],
+        k: int,
+        alpha: float = 0.5,
+    ) -> List[Tuple[STObject, float]]:
+        """The ``k`` objects minimizing the combined spatio-textual cost
+
+        ``cost(o) = alpha * dist(q, o) / diameter
+                   + (1 - alpha) * (1 - jaccard(q, o.doc))``
+
+        — the ranking used by top-k spatial keyword queries (IR-tree and
+        successors).  Best-first search with the admissible node bound
+        ``alpha * mindist / diameter`` guarantees exact results.  Objects
+        sharing no keyword with the query still rank (by distance alone),
+        matching the standard definition.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        tokens = self._query_doc(keywords)
+        self.expansions = 0
+
+        def cost(obj: STObject) -> float:
+            d = math.hypot(obj.x - x, obj.y - y) / self.diameter
+            if tokens or obj.doc_set:
+                inter = len(tokens & obj.doc_set)
+                union = len(tokens) + len(obj.doc_set) - inter
+                tau = inter / union if union else 1.0
+            else:
+                tau = 1.0
+            return alpha * d + (1.0 - alpha) * (1.0 - tau)
+
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object, bool]] = []
+        root = self.tree.root
+        if root.mbr is None:
+            return []
+        heapq.heappush(heap, (0.0, next(counter), root, False))
+        out: List[Tuple[STObject, float]] = []
+        while heap and len(out) < k:
+            bound, _, item, is_object = heapq.heappop(heap)
+            if is_object:
+                out.append((item, bound))  # type: ignore[arg-type]
+                continue
+            self.expansions += 1
+            node = item
+            if node.is_leaf:  # type: ignore[union-attr]
+                for _, _, obj in node.entries:  # type: ignore[union-attr]
+                    heapq.heappush(heap, (cost(obj), next(counter), obj, True))
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    assert child.mbr is not None
+                    lower = (
+                        alpha * child.mbr.min_distance_to_point(x, y) / self.diameter
+                    )
+                    heapq.heappush(heap, (lower, next(counter), child, False))
+        return out

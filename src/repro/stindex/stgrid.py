@@ -1,0 +1,136 @@
+"""The spatio-textual grid index of S-PPJ-F (Figure 3 of the paper).
+
+A dynamic uniform grid whose cells carry two structures:
+
+* per cell, the contained objects grouped by user (``D^c_u``) — needed by
+  every grid-based join in the paper, including S-PPJ-C and S-PPJ-B;
+* per cell, an inverted list mapping each token appearing in the cell to
+  the set of users owning an object with that token — the filter
+  structure of S-PPJ-F and TOPK-S-PPJ-P.
+
+The index supports both bulk construction over a whole dataset (what
+Algorithm 1's ``createGridIndex`` does) and the incremental, one-user-at-
+a-time population that Algorithm 2 interleaves with candidate search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core.model import STDataset, STObject, UserId
+from ..spatial.geometry import Rect
+from ..spatial.grid import CellCoord, UniformGrid
+
+__all__ = ["STGridIndex"]
+
+
+class STGridIndex:
+    """Grid + per-cell inverted lists over spatio-textual objects.
+
+    Parameters
+    ----------
+    bounds:
+        Spatial extent of the data; cells outside are clamped.
+    eps_loc:
+        Cell extent in each dimension — the grid is tailor-made for the
+        query's spatial threshold, so matching objects are always in the
+        same or adjacent cells.
+    with_tokens:
+        Maintain the per-cell token -> users inverted lists.  S-PPJ-C and
+        S-PPJ-B do not need them; skipping saves construction time, which
+        is part of what the experiments compare.
+    """
+
+    def __init__(self, bounds: Rect, eps_loc: float, with_tokens: bool = True):
+        self.grid = UniformGrid(bounds, eps_loc)
+        self.eps_loc = float(eps_loc)
+        self.with_tokens = with_tokens
+        # cell -> user -> objects of that user in the cell (D^c_u).
+        self._cell_objects: Dict[CellCoord, Dict[UserId, List[STObject]]] = {}
+        # cell -> token id -> users having the token in the cell.
+        self._cell_token_users: Dict[CellCoord, Dict[int, Set[UserId]]] = {}
+        # user -> cells containing the user's objects, sorted by cell id (Cu).
+        self._user_cells: Dict[UserId, List[CellCoord]] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        dataset: STDataset,
+        eps_loc: float,
+        with_tokens: bool = True,
+        users: Optional[Sequence[UserId]] = None,
+    ) -> "STGridIndex":
+        """Bulk-build the index over ``dataset`` (optionally a user subset)."""
+        index = cls(dataset.bounds, eps_loc, with_tokens=with_tokens)
+        for user in users if users is not None else dataset.users:
+            index.add_user(user, dataset.user_objects(user))
+        return index
+
+    def add_user(self, user: UserId, objects: Iterable[STObject]) -> None:
+        """Insert every object of ``user`` (``G.addUser`` in Algorithm 2)."""
+        cells: Set[CellCoord] = set()
+        for obj in objects:
+            cell = self.grid.cell_of(obj.x, obj.y)
+            cells.add(cell)
+            self._cell_objects.setdefault(cell, {}).setdefault(user, []).append(obj)
+            if self.with_tokens:
+                token_map = self._cell_token_users.setdefault(cell, {})
+                for token in obj.doc:
+                    token_map.setdefault(token, set()).add(user)
+        ordered = sorted(cells, key=self.grid.cell_id)
+        if user in self._user_cells:
+            merged = set(self._user_cells[user]) | cells
+            ordered = sorted(merged, key=self.grid.cell_id)
+        self._user_cells[user] = ordered
+
+    # -- accessors ----------------------------------------------------------------
+
+    def user_cells(self, user: UserId) -> List[CellCoord]:
+        """Cells containing objects of ``user``, ascending by cell id (Cu)."""
+        return self._user_cells.get(user, [])
+
+    def cell_objects(self, cell: CellCoord, user: UserId) -> List[STObject]:
+        """``D^c_u``: objects of ``user`` inside ``cell``."""
+        per_user = self._cell_objects.get(cell)
+        if not per_user:
+            return []
+        return per_user.get(user, [])
+
+    def cell_user_count(self, cell: CellCoord, user: UserId) -> int:
+        """``|D^c_u|`` without materializing a list."""
+        per_user = self._cell_objects.get(cell)
+        if not per_user:
+            return 0
+        objs = per_user.get(user)
+        return len(objs) if objs else 0
+
+    def cell_users(self, cell: CellCoord) -> List[UserId]:
+        """Users having at least one object in ``cell``."""
+        per_user = self._cell_objects.get(cell)
+        return list(per_user.keys()) if per_user else []
+
+    def token_users(self, cell: CellCoord, token: int) -> Set[UserId]:
+        """``G.getTokenUsers``: users whose objects in ``cell`` contain ``token``."""
+        if not self.with_tokens:
+            raise RuntimeError("index built without token lists")
+        token_map = self._cell_token_users.get(cell)
+        if not token_map:
+            return set()
+        return token_map.get(token, set())
+
+    def user_cell_tokens(self, user: UserId, cell: CellCoord) -> Set[int]:
+        """``calculateTokens``: tokens of ``user``'s objects inside ``cell``."""
+        tokens: Set[int] = set()
+        for obj in self.cell_objects(cell, user):
+            tokens.update(obj.doc)
+        return tokens
+
+    def relevant_cells(self, cell: CellCoord) -> List[CellCoord]:
+        """``cell`` and its in-range neighbours (``G.getRelevantCells``)."""
+        return self.grid.relevant_cells(cell)
+
+    def occupied_relevant_cells(self, cell: CellCoord) -> List[CellCoord]:
+        """Relevant cells that actually contain objects."""
+        return [c for c in self.grid.relevant_cells(cell) if c in self._cell_objects]

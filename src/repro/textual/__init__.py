@@ -1,0 +1,72 @@
+"""Textual substrate: token dictionary, similarity filters and set joins."""
+
+from .allpairs import (
+    all_pairs_rs_join,
+    all_pairs_self_join,
+    naive_rs_join,
+    naive_self_join,
+)
+from .measures import (
+    COSINE,
+    DICE,
+    JACCARD,
+    MEASURES,
+    OVERLAP,
+    CosineMeasure,
+    DiceMeasure,
+    JaccardMeasure,
+    OverlapMeasure,
+    SimilarityMeasure,
+)
+from .ppjoin import (
+    ppjoin_plus_rs_join,
+    ppjoin_plus_self_join,
+    ppjoin_rs_join,
+    ppjoin_self_join,
+    similarity_rs_join,
+    similarity_self_join,
+)
+from .verify import (
+    index_prefix_length,
+    jaccard,
+    overlap,
+    overlap_at_least,
+    position_upper_bound,
+    probe_prefix_length,
+    required_overlap,
+    suffix_filter,
+)
+from .vocabulary import TokenDictionary, encode_corpus
+
+__all__ = [
+    "TokenDictionary",
+    "encode_corpus",
+    "SimilarityMeasure",
+    "JaccardMeasure",
+    "CosineMeasure",
+    "DiceMeasure",
+    "OverlapMeasure",
+    "JACCARD",
+    "COSINE",
+    "DICE",
+    "OVERLAP",
+    "MEASURES",
+    "jaccard",
+    "overlap",
+    "overlap_at_least",
+    "required_overlap",
+    "probe_prefix_length",
+    "index_prefix_length",
+    "position_upper_bound",
+    "suffix_filter",
+    "similarity_self_join",
+    "similarity_rs_join",
+    "ppjoin_self_join",
+    "ppjoin_rs_join",
+    "ppjoin_plus_self_join",
+    "ppjoin_plus_rs_join",
+    "all_pairs_self_join",
+    "all_pairs_rs_join",
+    "naive_self_join",
+    "naive_rs_join",
+]

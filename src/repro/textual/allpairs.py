@@ -1,0 +1,72 @@
+"""ALL-PAIRS set-similarity join (Bayardo et al., WWW 2007) and oracles.
+
+ALL-PAIRS is the prefix-filtering ancestor PPJOIN builds on; the paper's
+related work ([32]) explores it as the alternative textual engine inside
+spatio-textual joins, which is what the textual-engine ablation bench
+reproduces.  Here it is realized as the shared engine with the positional
+and suffix filters switched off — filtering only by record size and prefix
+overlap.
+
+The module also hosts the quadratic brute-force join used as the test
+oracle for the entire textual layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .ppjoin import similarity_rs_join, similarity_self_join
+from .verify import jaccard
+
+__all__ = [
+    "all_pairs_self_join",
+    "all_pairs_rs_join",
+    "naive_self_join",
+    "naive_rs_join",
+]
+
+Doc = Tuple[int, ...]
+
+
+def all_pairs_self_join(
+    docs: Sequence[Doc], threshold: float, **kwargs
+) -> List[Tuple[int, int]]:
+    """ALL-PAIRS self-join: size + prefix filters only."""
+    return similarity_self_join(
+        docs, threshold, positional=False, suffix=False, **kwargs
+    )
+
+
+def all_pairs_rs_join(
+    docs_r: Sequence[Doc], docs_s: Sequence[Doc], threshold: float, **kwargs
+) -> List[Tuple[int, int]]:
+    """ALL-PAIRS RS-join: size + prefix filters only."""
+    return similarity_rs_join(
+        docs_r, docs_s, threshold, positional=False, suffix=False, **kwargs
+    )
+
+
+def naive_self_join(docs: Sequence[Doc], threshold: float) -> List[Tuple[int, int]]:
+    """Quadratic Jaccard self-join over non-empty documents (test oracle)."""
+    out: List[Tuple[int, int]] = []
+    for i in range(len(docs)):
+        if not docs[i]:
+            continue
+        for j in range(i + 1, len(docs)):
+            if docs[j] and jaccard(docs[i], docs[j]) >= threshold:
+                out.append((i, j))
+    return out
+
+
+def naive_rs_join(
+    docs_r: Sequence[Doc], docs_s: Sequence[Doc], threshold: float
+) -> List[Tuple[int, int]]:
+    """Quadratic Jaccard RS-join over non-empty documents (test oracle)."""
+    out: List[Tuple[int, int]] = []
+    for i, r in enumerate(docs_r):
+        if not r:
+            continue
+        for j, s in enumerate(docs_s):
+            if s and jaccard(r, s) >= threshold:
+                out.append((i, j))
+    return out

@@ -1,0 +1,205 @@
+"""Set-similarity measures for the PPJOIN family of joins.
+
+Xiao et al.'s framework is not Jaccard-specific: any measure whose
+threshold converts to (a) an equivalent *overlap* lower bound for a pair
+of record sizes, (b) partner-size bounds, and (c) prefix lengths plugs
+into the same prefix/positional/suffix filtering machinery.  The paper's
+STPSJoin uses Jaccard for its textual predicate, but the substrate
+supports the standard four:
+
+* **Jaccard**   ``|x ∩ y| / |x ∪ y|``
+* **Cosine**    ``|x ∩ y| / sqrt(|x| · |y|)``
+* **Dice**      ``2 |x ∩ y| / (|x| + |y|)``
+* **Overlap**   ``|x ∩ y|`` (threshold is an absolute count)
+
+Every derived bound errs on the loose side (filters may admit extra
+candidates, never drop a true match); exactness comes from the final
+:meth:`SimilarityMeasure.similarity` comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence
+
+from .verify import overlap
+
+__all__ = [
+    "SimilarityMeasure",
+    "JaccardMeasure",
+    "CosineMeasure",
+    "DiceMeasure",
+    "OverlapMeasure",
+    "JACCARD",
+    "COSINE",
+    "DICE",
+    "OVERLAP",
+    "MEASURES",
+]
+
+#: Slack subtracted inside ``ceil`` so float error never tightens a bound.
+_EPS = 1e-9
+
+
+class SimilarityMeasure(ABC):
+    """Threshold arithmetic of one set-similarity measure.
+
+    ``index_prefix_length`` is only valid in self-joins where records are
+    probed in non-decreasing length order (the indexed record is never
+    longer than the prober); RS-joins must index with
+    ``probe_prefix_length``.
+    """
+
+    #: Registry name (e.g. ``"jaccard"``).
+    name: str = "abstract"
+
+    #: Whether thresholds live in (0, 1] (False for overlap counts).
+    normalized: bool = True
+
+    def validate_threshold(self, threshold: float) -> None:
+        """Raise ``ValueError`` for a threshold outside the measure's domain."""
+        if self.normalized:
+            if not 0.0 < threshold <= 1.0:
+                raise ValueError(
+                    f"{self.name} threshold must be in (0, 1], got {threshold}"
+                )
+        elif threshold < 1:
+            raise ValueError(
+                f"{self.name} threshold must be a count >= 1, got {threshold}"
+            )
+
+    @abstractmethod
+    def similarity_from_overlap(self, count: int, len_a: int, len_b: int) -> float:
+        """Similarity value implied by an exact overlap ``count``."""
+
+    def similarity(self, doc_a: Sequence[int], doc_b: Sequence[int]) -> float:
+        """Exact similarity of two canonical documents.
+
+        Defined through :meth:`similarity_from_overlap` so join
+        verification (which already holds the overlap count) computes
+        bit-identical values.
+        """
+        return self.similarity_from_overlap(
+            overlap(doc_a, doc_b), len(doc_a), len(doc_b)
+        )
+
+    @abstractmethod
+    def required_overlap(self, threshold: float, len_a: int, len_b: int) -> int:
+        """Minimum ``|a ∩ b|`` so the pair can reach ``threshold``."""
+
+    @abstractmethod
+    def min_partner_size(self, threshold: float, length: int) -> float:
+        """Smallest partner size that can reach ``threshold``."""
+
+    @abstractmethod
+    def max_partner_size(self, threshold: float, length: int) -> float:
+        """Largest partner size that can reach ``threshold``."""
+
+    def probe_prefix_length(self, threshold: float, length: int) -> int:
+        """Probing prefix: ``l - min_alpha + 1`` over all legal partners."""
+        if length == 0:
+            return 0
+        lo = max(1, math.ceil(self.min_partner_size(threshold, length) - _EPS))
+        alpha = self.required_overlap(threshold, length, lo)
+        return max(1, length - alpha + 1)
+
+    def index_prefix_length(self, threshold: float, length: int) -> int:
+        """Indexing prefix for self-joins (partner at least as long)."""
+        if length == 0:
+            return 0
+        alpha = self.required_overlap(threshold, length, length)
+        return max(1, length - alpha + 1)
+
+
+class JaccardMeasure(SimilarityMeasure):
+    """``|x ∩ y| / |x ∪ y|`` — the measure the paper's ``tau`` uses."""
+
+    name = "jaccard"
+
+    def similarity_from_overlap(self, count, len_a, len_b):
+        union = len_a + len_b - count
+        return count / union if union else 1.0
+
+    def required_overlap(self, threshold, len_a, len_b):
+        return max(
+            1,
+            math.ceil(threshold / (1.0 + threshold) * (len_a + len_b) - _EPS),
+        )
+
+    def min_partner_size(self, threshold, length):
+        return threshold * length
+
+    def max_partner_size(self, threshold, length):
+        return length / threshold
+
+
+class CosineMeasure(SimilarityMeasure):
+    """``|x ∩ y| / sqrt(|x| |y|)``."""
+
+    name = "cosine"
+
+    def similarity_from_overlap(self, count, len_a, len_b):
+        if len_a == 0 or len_b == 0:
+            return 1.0 if len_a == len_b else 0.0
+        return count / math.sqrt(len_a * len_b)
+
+    def required_overlap(self, threshold, len_a, len_b):
+        return max(1, math.ceil(threshold * math.sqrt(len_a * len_b) - _EPS))
+
+    def min_partner_size(self, threshold, length):
+        return threshold * threshold * length
+
+    def max_partner_size(self, threshold, length):
+        return length / (threshold * threshold)
+
+
+class DiceMeasure(SimilarityMeasure):
+    """``2 |x ∩ y| / (|x| + |y|)``."""
+
+    name = "dice"
+
+    def similarity_from_overlap(self, count, len_a, len_b):
+        total = len_a + len_b
+        if total == 0:
+            return 1.0
+        return 2.0 * count / total
+
+    def required_overlap(self, threshold, len_a, len_b):
+        return max(1, math.ceil(threshold * (len_a + len_b) / 2.0 - _EPS))
+
+    def min_partner_size(self, threshold, length):
+        return threshold * length / (2.0 - threshold)
+
+    def max_partner_size(self, threshold, length):
+        return (2.0 - threshold) * length / threshold
+
+
+class OverlapMeasure(SimilarityMeasure):
+    """``|x ∩ y|`` — the threshold is an absolute token count."""
+
+    name = "overlap"
+    normalized = False
+
+    def similarity_from_overlap(self, count, len_a, len_b):
+        return float(count)
+
+    def required_overlap(self, threshold, len_a, len_b):
+        return max(1, math.ceil(threshold - _EPS))
+
+    def min_partner_size(self, threshold, length):
+        return threshold
+
+    def max_partner_size(self, threshold, length):
+        return math.inf
+
+
+JACCARD = JaccardMeasure()
+COSINE = CosineMeasure()
+DICE = DiceMeasure()
+OVERLAP = OverlapMeasure()
+
+#: Measures by name, for CLI/config lookups.
+MEASURES: Dict[str, SimilarityMeasure] = {
+    m.name: m for m in (JACCARD, COSINE, DICE, OVERLAP)
+}

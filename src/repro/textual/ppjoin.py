@@ -1,0 +1,284 @@
+"""PPJOIN / PPJOIN+ set-similarity joins (Xiao et al., TODS 2011).
+
+These are the textual engines at the bottom of the paper's stack: PPJ —
+the spatio-textual point join of Bouros et al. that all S-PPJ-* algorithms
+refine pairs with — is PPJOIN extended with a spatial distance predicate,
+which this implementation exposes as the ``pair_predicate`` hook.
+
+Both the self-join (one collection against itself) and the RS-join (two
+collections, as needed when joining the objects of two different users or
+two different grid cells) are provided.  The filters implemented are:
+
+* **size filter** — ``t * |x| <= |y| <= |x| / t``;
+* **prefix filter** — matching pairs share a token in their prefixes under
+  the global document-frequency order;
+* **positional filter** (PPJOIN) — prefix-match positions bound the
+  achievable overlap;
+* **suffix filter** (PPJOIN+) — bounded-depth Hamming-distance probe.
+
+A record is a *canonical document*: a tuple of token ids sorted ascending
+(:mod:`repro.textual.vocabulary`).  Joins report index pairs into the
+input sequences; callers attach payloads (objects, users) themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .measures import JACCARD, SimilarityMeasure
+from .verify import overlap_exact_or_pruned, suffix_filter
+
+__all__ = [
+    "similarity_self_join",
+    "similarity_rs_join",
+    "ppjoin_self_join",
+    "ppjoin_rs_join",
+    "ppjoin_plus_self_join",
+    "ppjoin_plus_rs_join",
+]
+
+Doc = Tuple[int, ...]
+PairPredicate = Callable[[int, int], bool]
+
+#: Sentinel marking a candidate eliminated by the positional filter.
+_PRUNED = -1
+
+#: Slack keeping float size-filter bounds loose-safe.
+_EPS = 1e-9
+
+
+def _passes_suffix_filter(doc_a: Doc, doc_b: Doc, alpha: int) -> bool:
+    """PPJOIN+ candidate test on the full records.
+
+    Jaccard >= t implies Hamming distance
+    ``H(a, b) = |a| + |b| - 2 * overlap <= |a| + |b| - 2 * alpha``;
+    the suffix filter lower-bounds ``H`` and prunes when the bound is
+    already too large.
+    """
+    hamming_max = len(doc_a) + len(doc_b) - 2 * alpha
+    if hamming_max < 0:
+        return False
+    return suffix_filter(doc_a, doc_b, hamming_max) <= hamming_max
+
+
+def _verify(
+    measure: SimilarityMeasure, doc_a: Doc, doc_b: Doc, threshold: float, alpha: int
+) -> bool:
+    """Exact verification: measure similarity >= threshold.
+
+    ``alpha`` is a loose bound used only to terminate the overlap merge
+    early; the final comparison is the measure's own exact arithmetic, so
+    join results are bit-identical to a brute-force evaluation.
+    """
+    count = overlap_exact_or_pruned(doc_a, doc_b, alpha)
+    if count < 0:
+        return False
+    return (
+        measure.similarity_from_overlap(count, len(doc_a), len(doc_b)) >= threshold
+    )
+
+
+def similarity_self_join(
+    docs: Sequence[Doc],
+    threshold: float,
+    *,
+    positional: bool = True,
+    suffix: bool = False,
+    pair_predicate: Optional[PairPredicate] = None,
+    skip_pair: Optional[PairPredicate] = None,
+    measure: SimilarityMeasure = JACCARD,
+) -> List[Tuple[int, int]]:
+    """All index pairs ``(i, j)``, ``i < j``, with similarity >= ``threshold``.
+
+    Parameters
+    ----------
+    docs:
+        Canonical documents.  Empty documents never join (objects in the
+        paper's data model always carry keywords).
+    threshold:
+        Similarity threshold — in (0, 1] for the normalized measures, an
+        absolute count for overlap.
+    positional:
+        Apply the positional filter (PPJOIN); with ``False`` the engine
+        degrades to a plain prefix-filter join (ALL-PAIRS style).
+    suffix:
+        Additionally apply the suffix filter (PPJOIN+).
+    pair_predicate:
+        Extra predicate evaluated before textual verification — the
+        spatial distance check of PPJ plugs in here.
+    skip_pair:
+        When given and true for a candidate pair, verification is skipped
+        entirely; the point-set algorithms use this to ignore pairs whose
+        two objects are both already matched.
+    measure:
+        Set-similarity measure (Jaccard by default, as the paper's
+        ``tau``); see :mod:`repro.textual.measures`.
+    """
+    measure.validate_threshold(threshold)
+    order = sorted(range(len(docs)), key=lambda i: (len(docs[i]), i))
+    # Inverted index over indexed prefixes: token -> [(doc idx, position)].
+    index: Dict[int, List[Tuple[int, int]]] = {}
+    results: List[Tuple[int, int]] = []
+
+    for x_idx in order:
+        x = docs[x_idx]
+        lx = len(x)
+        if lx == 0:
+            continue
+        min_len = measure.min_partner_size(threshold, lx) - _EPS
+        probe_len = measure.probe_prefix_length(threshold, lx)
+        candidates: Dict[int, int] = {}
+        for pos_x in range(probe_len):
+            token = x[pos_x]
+            postings = index.get(token)
+            if not postings:
+                continue
+            for y_idx, pos_y in postings:
+                acc = candidates.get(y_idx, 0)
+                if acc == _PRUNED:
+                    continue
+                ly = len(docs[y_idx])
+                if ly < min_len:
+                    candidates[y_idx] = _PRUNED
+                    continue
+                if positional:
+                    alpha = measure.required_overlap(threshold, lx, ly)
+                    ubound = acc + 1 + min(lx - pos_x - 1, ly - pos_y - 1)
+                    if ubound < alpha:
+                        candidates[y_idx] = _PRUNED
+                        continue
+                candidates[y_idx] = acc + 1
+
+        for y_idx, acc in candidates.items():
+            if acc <= 0:
+                continue
+            if skip_pair is not None and skip_pair(x_idx, y_idx):
+                continue
+            if pair_predicate is not None and not pair_predicate(x_idx, y_idx):
+                continue
+            y = docs[y_idx]
+            alpha = measure.required_overlap(threshold, lx, len(y))
+            if suffix and not _passes_suffix_filter(x, y, alpha):
+                continue
+            if _verify(measure, x, y, threshold, alpha):
+                pair = (x_idx, y_idx) if x_idx < y_idx else (y_idx, x_idx)
+                results.append(pair)
+
+        # Index x for subsequent (longer) records.  The shorter indexing
+        # prefix is valid because records are processed in length order.
+        idx_len = (
+            measure.index_prefix_length(threshold, lx)
+            if positional
+            else measure.probe_prefix_length(threshold, lx)
+        )
+        for pos_x in range(idx_len):
+            index.setdefault(x[pos_x], []).append((x_idx, pos_x))
+    return results
+
+
+def similarity_rs_join(
+    docs_r: Sequence[Doc],
+    docs_s: Sequence[Doc],
+    threshold: float,
+    *,
+    positional: bool = True,
+    suffix: bool = False,
+    pair_predicate: Optional[PairPredicate] = None,
+    skip_pair: Optional[PairPredicate] = None,
+    measure: SimilarityMeasure = JACCARD,
+) -> List[Tuple[int, int]]:
+    """All pairs ``(i, j)`` with ``docs_r[i]`` similar to ``docs_s[j]``.
+
+    The smaller side is indexed over its probing prefixes (both sides must
+    use the full probing prefix in an RS-join, since neither side is
+    guaranteed to be the longer record), the other side probes.
+    ``pair_predicate`` and ``skip_pair`` receive ``(r_index, s_index)``
+    regardless of which side was indexed.
+    """
+    measure.validate_threshold(threshold)
+    if not docs_r or not docs_s:
+        return []
+
+    swap = len(docs_s) < len(docs_r)
+    probe_docs, index_docs = (docs_s, docs_r) if swap else (docs_r, docs_s)
+
+    index: Dict[int, List[Tuple[int, int]]] = {}
+    for y_idx, y in enumerate(index_docs):
+        for pos_y in range(measure.probe_prefix_length(threshold, len(y))):
+            index.setdefault(y[pos_y], []).append((y_idx, pos_y))
+
+    results: List[Tuple[int, int]] = []
+    for x_idx, x in enumerate(probe_docs):
+        lx = len(x)
+        if lx == 0:
+            continue
+        min_len = measure.min_partner_size(threshold, lx) - _EPS
+        max_len = measure.max_partner_size(threshold, lx) + _EPS
+        candidates: Dict[int, int] = {}
+        for pos_x in range(measure.probe_prefix_length(threshold, lx)):
+            postings = index.get(x[pos_x])
+            if not postings:
+                continue
+            for y_idx, pos_y in postings:
+                acc = candidates.get(y_idx, 0)
+                if acc == _PRUNED:
+                    continue
+                ly = len(index_docs[y_idx])
+                if ly < min_len or ly > max_len:
+                    candidates[y_idx] = _PRUNED
+                    continue
+                if positional:
+                    alpha = measure.required_overlap(threshold, lx, ly)
+                    ubound = acc + 1 + min(lx - pos_x - 1, ly - pos_y - 1)
+                    if ubound < alpha:
+                        candidates[y_idx] = _PRUNED
+                        continue
+                candidates[y_idx] = acc + 1
+
+        for y_idx, acc in candidates.items():
+            if acc <= 0:
+                continue
+            r_idx, s_idx = (y_idx, x_idx) if swap else (x_idx, y_idx)
+            if skip_pair is not None and skip_pair(r_idx, s_idx):
+                continue
+            if pair_predicate is not None and not pair_predicate(r_idx, s_idx):
+                continue
+            y = index_docs[y_idx]
+            alpha = measure.required_overlap(threshold, lx, len(y))
+            if suffix and not _passes_suffix_filter(x, y, alpha):
+                continue
+            if _verify(measure, x, y, threshold, alpha):
+                results.append((r_idx, s_idx))
+    return results
+
+
+def ppjoin_self_join(
+    docs: Sequence[Doc], threshold: float, **kwargs
+) -> List[Tuple[int, int]]:
+    """PPJOIN self-join: prefix + positional filters."""
+    return similarity_self_join(docs, threshold, positional=True, suffix=False, **kwargs)
+
+
+def ppjoin_rs_join(
+    docs_r: Sequence[Doc], docs_s: Sequence[Doc], threshold: float, **kwargs
+) -> List[Tuple[int, int]]:
+    """PPJOIN RS-join: prefix + positional filters."""
+    return similarity_rs_join(
+        docs_r, docs_s, threshold, positional=True, suffix=False, **kwargs
+    )
+
+
+def ppjoin_plus_self_join(
+    docs: Sequence[Doc], threshold: float, **kwargs
+) -> List[Tuple[int, int]]:
+    """PPJOIN+ self-join: prefix + positional + suffix filters."""
+    return similarity_self_join(docs, threshold, positional=True, suffix=True, **kwargs)
+
+
+def ppjoin_plus_rs_join(
+    docs_r: Sequence[Doc], docs_s: Sequence[Doc], threshold: float, **kwargs
+) -> List[Tuple[int, int]]:
+    """PPJOIN+ RS-join: prefix + positional + suffix filters."""
+    return similarity_rs_join(
+        docs_r, docs_s, threshold, positional=True, suffix=True, **kwargs
+    )

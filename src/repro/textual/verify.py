@@ -1,0 +1,254 @@
+"""Similarity measures and filter bounds for set-similarity joins.
+
+All functions operate on *canonical documents*: tuples of integer token
+ids sorted ascending (see :mod:`repro.textual.vocabulary`).  The module
+collects the arithmetic shared by ALL-PAIRS, PPJOIN and PPJOIN+:
+
+* exact Jaccard similarity and merge-based overlap;
+* the overlap threshold ``alpha`` equivalent to a Jaccard threshold;
+* probing/indexing prefix lengths (prefix-filtering principle);
+* the positional-filter upper bound;
+* the PPJOIN+ suffix filter (bounded-depth divide and conquer on the
+  Hamming distance of record suffixes).
+
+Float thresholds are handled with a tiny slack so that bounds only ever
+err on the *loose* side — filters may admit an extra candidate but can
+never prune a true result; exactness comes from final verification.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "jaccard",
+    "verify_jaccard",
+    "overlap",
+    "overlap_at_least",
+    "overlap_exact_or_pruned",
+    "required_overlap",
+    "probe_prefix_length",
+    "index_prefix_length",
+    "position_upper_bound",
+    "suffix_filter",
+]
+
+#: Slack subtracted inside ``ceil`` so float error never tightens a bound.
+_EPS = 1e-9
+
+#: Recursion budget of the suffix filter, per Xiao et al. (MAXDEPTH).
+_SUFFIX_MAX_DEPTH = 2
+
+
+def jaccard(doc_a: Sequence[int], doc_b: Sequence[int]) -> float:
+    """Exact Jaccard similarity of two canonical documents."""
+    if not doc_a and not doc_b:
+        return 1.0
+    inter = overlap(doc_a, doc_b)
+    union = len(doc_a) + len(doc_b) - inter
+    return inter / union if union else 1.0
+
+
+def overlap(doc_a: Sequence[int], doc_b: Sequence[int]) -> int:
+    """Size of the intersection of two sorted id tuples (linear merge)."""
+    i = j = count = 0
+    la, lb = len(doc_a), len(doc_b)
+    while i < la and j < lb:
+        a, b = doc_a[i], doc_b[j]
+        if a == b:
+            count += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def verify_jaccard(
+    doc_a: Sequence[int], doc_b: Sequence[int], threshold: float, alpha: int
+) -> bool:
+    """Exact verification: ``jaccard(doc_a, doc_b) >= threshold``.
+
+    ``alpha`` (from :func:`required_overlap`) is used only for early
+    termination of the merge — it is a *loose* bound, so the final test is
+    the exact floating-point Jaccard comparison, bit-identical to what a
+    brute-force join computes.  Relying on ``overlap >= alpha`` alone
+    would be wrong: ``alpha`` carries a small downward slack so that
+    filters never prune true results, and that slack must not let
+    near-threshold pairs through at verification time.
+    """
+    count = _overlap_bounded(doc_a, doc_b, alpha)
+    if count <= 0:
+        return False
+    union = len(doc_a) + len(doc_b) - count
+    return count / union >= threshold
+
+
+def overlap_exact_or_pruned(
+    doc_a: Sequence[int], doc_b: Sequence[int], alpha: int
+) -> int:
+    """Exact overlap, or ``-1`` once it provably cannot reach ``alpha``.
+
+    The workhorse of candidate verification: the merge carries the loose
+    overlap bound ``alpha`` for early termination, and when it completes
+    the returned count is exact, so any measure can apply its own exact
+    threshold comparison on top.
+    """
+    return _overlap_bounded(doc_a, doc_b, alpha)
+
+
+def _overlap_bounded(doc_a: Sequence[int], doc_b: Sequence[int], alpha: int) -> int:
+    """Exact overlap, or ``-1`` once it provably cannot reach ``alpha``."""
+    i = j = count = 0
+    la, lb = len(doc_a), len(doc_b)
+    while i < la and j < lb:
+        if count + min(la - i, lb - j) < alpha:
+            return -1
+        a, b = doc_a[i], doc_b[j]
+        if a == b:
+            count += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def overlap_at_least(
+    doc_a: Sequence[int], doc_b: Sequence[int], alpha: int
+) -> bool:
+    """True when ``|doc_a ∩ doc_b| >= alpha``, with early termination.
+
+    The merge stops as soon as the remaining tokens cannot reach
+    ``alpha`` — the standard verification loop of prefix-filter joins.
+    """
+    if alpha <= 0:
+        return True
+    i = j = count = 0
+    la, lb = len(doc_a), len(doc_b)
+    while i < la and j < lb:
+        # Upper bound on the final overlap given current progress.
+        if count + min(la - i, lb - j) < alpha:
+            return False
+        a, b = doc_a[i], doc_b[j]
+        if a == b:
+            count += 1
+            if count >= alpha:
+                return True
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return count >= alpha
+
+
+def required_overlap(threshold: float, len_a: int, len_b: int) -> int:
+    """Minimum overlap for Jaccard ``>= threshold`` between the two sizes.
+
+    ``alpha = ceil(t / (1 + t) * (|a| + |b|))`` — Xiao et al., eq. (2).
+    """
+    return max(1, math.ceil(threshold / (1.0 + threshold) * (len_a + len_b) - _EPS))
+
+
+def probe_prefix_length(length: int, threshold: float) -> int:
+    """Probing prefix length ``|x| - ceil(t * |x|) + 1`` for Jaccard ``t``.
+
+    If two records satisfy the threshold, their probing prefixes share at
+    least one token (prefix-filtering principle).
+    """
+    if length == 0:
+        return 0
+    return length - math.ceil(threshold * length - _EPS) + 1
+
+
+def index_prefix_length(length: int, threshold: float) -> int:
+    """Indexing prefix length ``|x| - ceil(2t/(1+t) * |x|) + 1``.
+
+    Valid for self-joins where records are processed in non-decreasing
+    length order: the probing record is always at least as long as the
+    indexed one, which permits the shorter indexed prefix.
+    """
+    if length == 0:
+        return 0
+    factor = 2.0 * threshold / (1.0 + threshold)
+    return length - math.ceil(factor * length - _EPS) + 1
+
+
+def position_upper_bound(
+    len_a: int, pos_a: int, len_b: int, pos_b: int, acc: int
+) -> int:
+    """Positional-filter bound on the total overlap of two records.
+
+    ``acc`` prefix tokens already matched, and the current match occurs at
+    (0-based) positions ``pos_a`` / ``pos_b``; at most
+    ``min(|a| - pos_a, |b| - pos_b)`` further tokens can match.
+    """
+    return acc + min(len_a - pos_a, len_b - pos_b)
+
+
+# ---------------------------------------------------------------------------
+# PPJOIN+ suffix filter
+# ---------------------------------------------------------------------------
+
+
+def suffix_filter(
+    suffix_a: Sequence[int],
+    suffix_b: Sequence[int],
+    hamming_max: int,
+    depth: int = 1,
+) -> int:
+    """Lower bound on the Hamming distance of two record suffixes.
+
+    The divide-and-conquer filter of Xiao et al.: partition both suffixes
+    around the median token ``w`` of one of them.  Because the suffixes
+    are sorted under the same global order, tokens can only match within
+    the left halves, within the right halves, or at ``w`` itself, so
+
+    ``H(a, b) >= H(a_left, b_left) + H(a_right, b_right) + diff``
+
+    with ``diff = 0`` when both sides contain ``w``.  Recursing to a fixed
+    depth (with ``|len(left)| - |len(right)|`` differences as the base
+    bound) yields an admissible lower bound: a result greater than
+    ``hamming_max`` disqualifies the candidate pair, and a true match can
+    never be pruned.  ``hamming_max`` is only used for early exit — the
+    returned value is a valid lower bound regardless.
+    """
+    la, lb = len(suffix_a), len(suffix_b)
+    if depth > _SUFFIX_MAX_DEPTH or la == 0 or lb == 0:
+        return abs(la - lb)
+
+    mid = lb // 2
+    w = suffix_b[mid]
+    b_left, b_right = suffix_b[:mid], suffix_b[mid + 1 :]
+
+    # Binary search for w's position in suffix_a.
+    lo, hi = 0, la
+    while lo < hi:
+        m = (lo + hi) // 2
+        if suffix_a[m] < w:
+            lo = m + 1
+        else:
+            hi = m
+    if lo < la and suffix_a[lo] == w:
+        a_left, a_right, diff = suffix_a[:lo], suffix_a[lo + 1 :], 0
+    else:
+        a_left, a_right, diff = suffix_a[:lo], suffix_a[lo:], 1
+
+    right_gap = abs(len(a_right) - len(b_right))
+    h = abs(len(a_left) - len(b_left)) + right_gap + diff
+    if h > hamming_max:
+        return h
+
+    h_left = suffix_filter(a_left, b_left, hamming_max - right_gap - diff, depth + 1)
+    h = h_left + right_gap + diff
+    if h > hamming_max:
+        return h
+    h_right = suffix_filter(a_right, b_right, hamming_max - h_left - diff, depth + 1)
+    return h_left + h_right + diff

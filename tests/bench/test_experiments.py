@@ -1,0 +1,96 @@
+"""The experiment harness: every table/figure function runs end to end on
+tiny workloads and produces sane rows."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.reporting import format_seconds, format_table, write_csv
+
+TINY = (8, 12)
+
+
+class TestHarness:
+    def test_benchmark_dataset_cached(self):
+        a = experiments.benchmark_dataset("twitter", 10)
+        b = experiments.benchmark_dataset("twitter", 10)
+        assert a is b
+
+    def test_table1_rows(self):
+        rows = experiments.table1(num_users=10)
+        assert [r["dataset"] for r in rows] == ["twitter", "flickr", "geotext"]
+        assert all(r["objects"] > 0 for r in rows)
+
+    def test_table2_rows(self):
+        rows = experiments.table2(num_users_list=TINY, tuning_users=12)
+        assert len(rows) == 3
+        assert all("scalability" in r and "tuning" in r for r in rows)
+
+    def test_figure4_rows(self):
+        rows = experiments.figure4(
+            num_users_list=(8,), algorithms=("s-ppj-f",), presets=("geotext",)
+        )
+        assert len(rows) == 1
+        assert "_s-ppj-f_seconds" in rows[0]
+        assert rows[0]["_s-ppj-f_seconds"] > 0
+
+    def test_figure5_rows(self):
+        rows = experiments.figure5(
+            num_users=8, algorithms=("s-ppj-f",), presets=("geotext",)
+        )
+        varied = {r["varied"] for r in rows}
+        assert varied == {"eps_loc", "eps_doc", "eps_user"}
+
+    def test_figure6_rows(self):
+        rows = experiments.figure6(
+            fanouts=(8, 16), num_users=8, presets=("twitter",)
+        )
+        assert "fanout=8" in rows[0] and "fanout=16" in rows[0]
+
+    def test_figure7_rows(self):
+        rows = experiments.figure7(
+            ks=(1, 2), num_users=8, algorithms=("topk-s-ppj-f",), presets=("flickr",)
+        )
+        assert [r["k"] for r in rows] == [1, 2]
+
+    def test_table3_rows(self):
+        rows = experiments.table3(target_sizes=(2,), num_users=14)
+        assert len(rows) == 3
+        assert all("target=2" in r for r in rows)
+
+
+class TestReporting:
+    def test_format_seconds_units(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.5).endswith("s")
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+    def test_format_table_renders(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 2}]
+        text = format_table(rows, ["a", "b"], title="demo")
+        assert "demo" in text
+        assert "0.1235" in text
+        assert "-" in text  # missing cell
+
+    def test_format_table_empty(self):
+        text = format_table([], ["col"])
+        assert "col" in text
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        import csv
+
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "c": 3.5}]
+        path = tmp_path / "rows.csv"
+        assert write_csv(rows, path) == 2
+        with open(path, newline="") as handle:
+            back = list(csv.DictReader(handle))
+        assert back[0]["a"] == "1"
+        assert back[1]["c"] == "3.5"
+        assert back[0]["c"] == ""  # missing cell
+
+    def test_write_csv_explicit_columns(self, tmp_path):
+        rows = [{"a": 1, "b": 2}]
+        path = tmp_path / "rows.csv"
+        write_csv(rows, path, columns=["b"])
+        assert path.read_text().splitlines()[0] == "b"

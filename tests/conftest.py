@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import STDataset
+
+
+@pytest.fixture
+def tiny_dataset() -> STDataset:
+    """The Figure 1 scenario: u1 and u3 are the only similar pair.
+
+    With ``eps_loc = 0.005`` and ``eps_doc = 0.3``: both objects of u1
+    match objects of u3 (co-located, one shared keyword out of three) and
+    two of u3's three objects match back, so sigma(u1, u3) = 4/5; every
+    pair involving u2 is either spatially or textually apart (sigma 0).
+    """
+    records = [
+        ("u1", 0.10, 0.10, {"shop", "jeans"}),
+        ("u1", 0.50, 0.50, {"tube", "ride"}),
+        ("u2", 0.90, 0.10, {"football", "match", "stadium"}),
+        ("u2", 0.52, 0.50, {"hurry", "tube", "time"}),
+        ("u2", 0.90, 0.12, {"football", "derby"}),
+        ("u3", 0.101, 0.101, {"shop", "market"}),
+        ("u3", 0.70, 0.90, {"thames", "bridge"}),
+        ("u3", 0.501, 0.501, {"bus", "ride"}),
+    ]
+    return STDataset.from_records(records)

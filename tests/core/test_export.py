@@ -1,0 +1,49 @@
+"""Result persistence (save/load UserPair lists)."""
+
+import pytest
+
+from repro.core.export import load_pairs, save_pairs
+from repro.core.query import UserPair
+
+
+class TestRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        pairs = [
+            UserPair("alice", "bob", 0.75),
+            UserPair("carol", "dave", 0.3333333333333333),
+        ]
+        path = tmp_path / "pairs.tsv"
+        assert save_pairs(pairs, path) == 2
+        back = load_pairs(path)
+        assert [(p.user_a, p.user_b, p.score) for p in back] == [
+            ("alice", "bob", 0.75),
+            ("carol", "dave", 0.3333333333333333),
+        ]
+
+    def test_scores_exact(self, tmp_path):
+        pairs = [UserPair("a", "b", 0.1 + 0.2)]
+        path = tmp_path / "p.tsv"
+        save_pairs(pairs, path)
+        assert load_pairs(path)[0].score == 0.1 + 0.2
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        assert save_pairs([], path) == 0
+        assert load_pairs(path) == []
+
+
+class TestValidation:
+    def test_reserved_char_in_user(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pairs([UserPair("bad\tuser", "b", 0.5)], tmp_path / "x.tsv")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only\ttwo\n")
+        with pytest.raises(ValueError, match="expected 3"):
+            load_pairs(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("a\tb\t0.5\n\nc\td\t0.25\n")
+        assert len(load_pairs(path)) == 2

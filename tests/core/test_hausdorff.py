@@ -1,0 +1,72 @@
+"""Hausdorff distance comparator."""
+
+import math
+
+import pytest
+
+from repro import STDataset
+from repro.core.hausdorff import (
+    directed_hausdorff,
+    hausdorff_distance,
+    topk_hausdorff_pairs,
+)
+
+
+def objects_of(records):
+    return STDataset.from_records(records).objects
+
+
+class TestDirected:
+    def test_known_value(self):
+        a = objects_of([("u", 0, 0, {"x"}), ("u", 1, 0, {"x"})])
+        b = objects_of([("v", 0, 0, {"x"})])
+        # Farthest point of a is (1,0), closest b point at distance 1.
+        assert directed_hausdorff(a, b) == pytest.approx(1.0)
+        assert directed_hausdorff(b, a) == pytest.approx(0.0)
+
+    def test_empty_sets_infinite(self):
+        a = objects_of([("u", 0, 0, {"x"})])
+        assert directed_hausdorff(a, []) == math.inf
+        assert directed_hausdorff([], a) == math.inf
+
+
+class TestSymmetric:
+    def test_max_of_directed(self):
+        a = objects_of([("u", 0, 0, {"x"}), ("u", 1, 0, {"x"})])
+        b = objects_of([("v", 0, 0, {"x"})])
+        assert hausdorff_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a = objects_of([("u", 0, 0, {"x"}), ("u", 3, 4, {"x"})])
+        b = objects_of([("v", 1, 1, {"x"})])
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+
+    def test_identical_sets_zero(self):
+        a = objects_of([("u", 0, 0, {"x"}), ("u", 1, 1, {"x"})])
+        assert hausdorff_distance(a, a) == 0.0
+
+    def test_outlier_dominates(self):
+        """One stray point dominates Hausdorff — the behaviour sigma avoids."""
+        base = [("u", 0.0, 0.0, {"x"}), ("u", 0.1, 0.0, {"x"})]
+        with_outlier = base + [("u", 100.0, 100.0, {"x"})]
+        a = objects_of(base)
+        b = objects_of(with_outlier)
+        assert hausdorff_distance(a, b) > 100.0
+
+
+class TestTopK:
+    def test_closest_pairs_first(self):
+        ds = STDataset.from_records(
+            [
+                ("a", 0.0, 0.0, {"x"}),
+                ("b", 0.001, 0.0, {"x"}),
+                ("c", 10.0, 10.0, {"x"}),
+            ]
+        )
+        pairs = topk_hausdorff_pairs(ds, 2)
+        assert pairs[0][:2] == ("a", "b")
+        assert pairs[0][2] <= pairs[1][2]
+
+    def test_invalid_k(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            topk_hausdorff_pairs(tiny_dataset, 0)

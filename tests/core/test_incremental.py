@@ -1,0 +1,119 @@
+"""Incremental STPSJoin maintenance: online state must equal a batch join
+over the objects inserted so far, after every single insertion."""
+
+import numpy as np
+import pytest
+
+from repro import STDataset, STPSJoinQuery
+from repro.core.incremental import IncrementalSTPSJoin
+from repro.core.naive import naive_stps_join
+from repro.core.query import pairs_to_dict
+from repro.spatial.geometry import Rect
+
+
+def stream_records(seed, n=40, n_users=6, extent=1.0, vocab=12):
+    rng = np.random.default_rng(seed)
+    records = []
+    for _ in range(n):
+        user = int(rng.integers(0, n_users))
+        x, y = rng.uniform(0, extent, 2)
+        keywords = {f"k{int(t)}" for t in rng.integers(0, vocab, int(rng.integers(1, 4)))}
+        records.append((user, float(x), float(y), keywords))
+    return records
+
+
+def batch_result(records, query):
+    if not records:
+        return {}
+    dataset = STDataset.from_records(records)
+    return pairs_to_dict(naive_stps_join(dataset, query))
+
+
+BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestOnlineEqualsBatch:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize(
+        "thresholds", [(0.15, 0.3, 0.2), (0.3, 0.4, 0.4), (0.05, 0.2, 0.1)]
+    )
+    def test_every_prefix_matches_batch(self, seed, thresholds):
+        query = STPSJoinQuery(*thresholds)
+        engine = IncrementalSTPSJoin(BOUNDS, query)
+        records = stream_records(seed)
+        for i, (user, x, y, keywords) in enumerate(records):
+            engine.add_object(user, x, y, keywords)
+            online = pairs_to_dict(engine.results())
+            batch = batch_result(records[: i + 1], query)
+            assert set(online) == set(batch), f"seed={seed} step={i}"
+            for key, score in online.items():
+                assert score == pytest.approx(batch[key])
+
+    def test_many_users_pair_key_ordering(self):
+        """Users 2 and 10 expose str-vs-typed ordering mismatches."""
+        query = STPSJoinQuery(0.15, 0.3, 0.1)
+        engine = IncrementalSTPSJoin(BOUNDS, query)
+        records = stream_records(12, n=60, n_users=14)
+        for rec in records:
+            engine.add_object(*rec)
+        online = pairs_to_dict(engine.results())
+        batch = batch_result(records, query)
+        assert online.keys() == batch.keys()
+
+    def test_insertion_order_irrelevant(self):
+        query = STPSJoinQuery(0.15, 0.3, 0.2)
+        records = stream_records(9)
+        forward = IncrementalSTPSJoin(BOUNDS, query)
+        backward = IncrementalSTPSJoin(BOUNDS, query)
+        for rec in records:
+            forward.add_object(*rec)
+        for rec in reversed(records):
+            backward.add_object(*rec)
+        assert pairs_to_dict(forward.results()) == pairs_to_dict(backward.results())
+
+
+class TestSemantics:
+    def test_score_query(self):
+        query = STPSJoinQuery(0.01, 1.0, 0.5)
+        engine = IncrementalSTPSJoin(BOUNDS, query)
+        engine.add_object("a", 0.5, 0.5, {"x"})
+        engine.add_object("b", 0.5, 0.5, {"x"})
+        assert engine.score("a", "b") == pytest.approx(1.0)
+        assert engine.score("b", "a") == pytest.approx(1.0)
+        assert engine.score("a", "ghost") == 0.0
+
+    def test_denominator_growth_evicts_pair(self):
+        query = STPSJoinQuery(0.01, 1.0, 0.9)
+        engine = IncrementalSTPSJoin(BOUNDS, query)
+        engine.add_object("a", 0.5, 0.5, {"x"})
+        engine.add_object("b", 0.5, 0.5, {"x"})
+        assert len(engine.results()) == 1
+        # A non-matching object for `a` dilutes the pair below 0.9.
+        engine.add_object("a", 0.9, 0.9, {"unrelated"})
+        assert engine.results() == []
+        assert engine.score("a", "b") == pytest.approx(2 / 3)
+
+    def test_keywordless_objects_never_match(self):
+        query = STPSJoinQuery(0.1, 0.5, 0.1)
+        engine = IncrementalSTPSJoin(BOUNDS, query)
+        engine.add_object("a", 0.5, 0.5, [])
+        engine.add_object("b", 0.5, 0.5, [])
+        assert engine.results() == []
+
+    def test_counts(self):
+        query = STPSJoinQuery(0.1, 0.5, 0.5)
+        engine = IncrementalSTPSJoin(BOUNDS, query)
+        assert engine.num_objects == 0 and engine.num_users == 0
+        engine.add_object("a", 0.1, 0.1, {"x"})
+        engine.add_object("a", 0.2, 0.2, {"y"})
+        engine.add_object("b", 0.3, 0.3, {"z"})
+        assert engine.num_objects == 3
+        assert engine.num_users == 2
+
+    def test_results_sorted(self):
+        query = STPSJoinQuery(0.05, 0.5, 0.1)
+        engine = IncrementalSTPSJoin(BOUNDS, query)
+        for rec in stream_records(4, n=60):
+            engine.add_object(*rec)
+        scores = [p.score for p in engine.results()]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,57 @@
+"""Stateful property test: the incremental engine as a state machine.
+
+Hypothesis drives arbitrary insertion sequences (users, locations,
+keyword sets chosen adversarially) and checks after every step that the
+maintained result set equals a batch evaluation over everything inserted
+so far — the strongest guarantee the engine claims.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro import STDataset, STPSJoinQuery
+from repro.core.incremental import IncrementalSTPSJoin
+from repro.core.naive import naive_stps_join
+from repro.core.query import pairs_to_dict
+from repro.spatial.geometry import Rect
+
+QUERY = STPSJoinQuery(eps_loc=0.3, eps_doc=0.4, eps_user=0.25)
+BOUNDS = Rect(0.0, 0.0, 1.0, 1.0)
+
+users = st.sampled_from(["u0", "u1", "u2", "u3"])
+coords = st.floats(0.0, 1.0, allow_nan=False)
+keywords = st.sets(st.sampled_from("abcdefgh"), min_size=0, max_size=4)
+
+
+class IncrementalJoinMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = IncrementalSTPSJoin(BOUNDS, QUERY)
+        self.records = []
+
+    @rule(user=users, x=coords, y=coords, kws=keywords)
+    def insert(self, user, x, y, kws):
+        self.engine.add_object(user, x, y, kws)
+        self.records.append((user, x, y, kws))
+
+    @invariant()
+    def online_equals_batch(self):
+        online = pairs_to_dict(self.engine.results())
+        if not self.records:
+            assert online == {}
+            return
+        dataset = STDataset.from_records(self.records)
+        batch = pairs_to_dict(naive_stps_join(dataset, QUERY))
+        assert set(online) == set(batch), (
+            f"missing {set(batch) - set(online)}, extra {set(online) - set(batch)}"
+        )
+        for key, score in online.items():
+            assert score == pytest.approx(batch[key])
+
+
+IncrementalJoinMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestIncrementalJoinMachine = IncrementalJoinMachine.TestCase

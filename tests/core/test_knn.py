@@ -1,0 +1,73 @@
+"""Single-user k-nearest-neighbour similarity search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knn import naive_similar_users, similar_users
+from repro.core.pair_eval import PairEvalStats
+from tests.helpers import build_clustered_dataset, build_random_dataset
+
+
+def score_list(results):
+    return sorted(round(score, 12) for _, score in results)
+
+
+class TestSimilarUsers:
+    @given(st.integers(0, 300), st.sampled_from([1, 3, 8]))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle(self, seed, k):
+        ds = build_random_dataset(seed, n_users=9)
+        probe = ds.users[0]
+        expected = naive_similar_users(ds, probe, 0.15, 0.3, k)
+        got = similar_users(ds, probe, 0.15, 0.3, k)
+        assert score_list(got) == score_list(expected)
+
+    def test_clustered_data_nontrivial(self):
+        ds = build_clustered_dataset(3, n_users=12)
+        probe = ds.users[0]
+        got = similar_users(ds, probe, 0.05, 0.3, 5)
+        expected = naive_similar_users(ds, probe, 0.05, 0.3, 5)
+        assert score_list(got) == score_list(expected)
+        assert got, "clustered data should yield neighbours"
+
+    def test_sorted_descending(self):
+        ds = build_clustered_dataset(4, n_users=12)
+        got = similar_users(ds, ds.users[0], 0.05, 0.3, 8)
+        scores = [s for _, s in got]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_probe_never_in_results(self):
+        ds = build_clustered_dataset(5, n_users=10)
+        probe = ds.users[0]
+        got = similar_users(ds, probe, 0.05, 0.3, 10)
+        assert probe not in [u for u, _ in got]
+
+    def test_unknown_user_raises(self):
+        ds = build_random_dataset(0, n_users=4)
+        with pytest.raises(ValueError):
+            similar_users(ds, "ghost", 0.1, 0.3, 3)
+
+    def test_invalid_k_raises(self):
+        ds = build_random_dataset(0, n_users=4)
+        with pytest.raises(ValueError):
+            similar_users(ds, ds.users[0], 0.1, 0.3, 0)
+
+    def test_no_positive_neighbours(self):
+        from repro import STDataset
+
+        ds = STDataset.from_records(
+            [("a", 0.0, 0.0, {"x"}), ("b", 100.0, 100.0, {"y"})]
+        )
+        assert similar_users(ds, "a", 0.1, 0.5, 3) == []
+
+    def test_stats_counters(self):
+        ds = build_clustered_dataset(6, n_users=12)
+        stats = PairEvalStats()
+        similar_users(ds, ds.users[0], 0.05, 0.3, 3, stats=stats)
+        assert stats.candidates >= stats.refinements
+
+    def test_figure1_probe(self, tiny_dataset):
+        got = similar_users(tiny_dataset, "u1", 0.005, 0.3, 2)
+        assert got[0][0] == "u3"
+        assert got[0][1] == pytest.approx(0.8)

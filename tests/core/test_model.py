@@ -1,0 +1,92 @@
+"""Tests for the STObject / STDataset data model."""
+
+import pytest
+
+from repro.core.model import STDataset
+
+
+@pytest.fixture
+def dataset() -> STDataset:
+    return STDataset.from_records(
+        [
+            ("bob", 1.0, 2.0, {"coffee", "soho"}),
+            ("alice", 0.5, 0.5, {"coffee"}),
+            ("alice", 3.0, 4.0, {"park", "run"}),
+            ("carol", -1.0, 7.0, ["dup", "dup", "other"]),
+        ]
+    )
+
+
+class TestFromRecords:
+    def test_counts(self, dataset):
+        assert dataset.num_objects == 4
+        assert dataset.num_users == 3
+        assert len(dataset) == 4
+
+    def test_user_total_order(self, dataset):
+        assert dataset.users == ["alice", "bob", "carol"]
+
+    def test_oids_dense(self, dataset):
+        assert [o.oid for o in dataset.objects] == [0, 1, 2, 3]
+
+    def test_duplicate_keywords_deduped(self, dataset):
+        carol_obj = dataset.user_objects("carol")[0]
+        assert len(carol_obj.doc) == 2
+
+    def test_doc_sorted_and_set_consistent(self, dataset):
+        for obj in dataset.objects:
+            assert list(obj.doc) == sorted(obj.doc)
+            assert obj.doc_set == frozenset(obj.doc)
+
+    def test_df_ordering_in_docs(self, dataset):
+        """Token ids ascend with document frequency: 'coffee' (df=2) gets a
+        higher id than the df=1 tokens."""
+        vocab = dataset.vocab
+        assert vocab.df("coffee") == 2
+        for token in ("soho", "park", "run"):
+            assert vocab.id_of(token) < vocab.id_of("coffee")
+
+    def test_empty_keywords_allowed(self):
+        ds = STDataset.from_records([("u", 0.0, 0.0, [])])
+        assert ds.objects[0].doc == ()
+
+    def test_empty_dataset(self):
+        ds = STDataset.from_records([])
+        assert ds.num_objects == 0
+        assert ds.users == []
+        assert ds.bounds.area() == 0.0
+
+
+class TestAccessors:
+    def test_user_objects(self, dataset):
+        assert len(dataset.user_objects("alice")) == 2
+        assert dataset.user_objects("nobody") == []
+
+    def test_iter_user_sets_ordered(self, dataset):
+        users = [u for u, _ in dataset.iter_user_sets()]
+        assert users == dataset.users
+
+    def test_bounds(self, dataset):
+        b = dataset.bounds
+        assert b.min_x == -1.0 and b.max_x == 3.0
+        assert b.min_y == 0.5 and b.max_y == 7.0
+
+    def test_location_property(self, dataset):
+        assert dataset.objects[0].location == (1.0, 2.0)
+
+
+class TestSubsetUsers:
+    def test_subset_restricts(self, dataset):
+        sub = dataset.subset_users(["alice"])
+        assert sub.users == ["alice"]
+        assert sub.num_objects == 2
+
+    def test_subset_rebuilds_vocab(self, dataset):
+        sub = dataset.subset_users(["alice"])
+        assert "soho" not in sub.vocab
+        assert "coffee" in sub.vocab
+
+    def test_subset_preserves_keywords(self, dataset):
+        sub = dataset.subset_users(["bob"])
+        obj = sub.user_objects("bob")[0]
+        assert sub.vocab.decode(obj.doc) == frozenset({"coffee", "soho"})

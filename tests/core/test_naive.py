@@ -1,0 +1,51 @@
+"""The exhaustive oracle itself — sanity against hand-computed scenarios."""
+
+import pytest
+
+from repro import STDataset, STPSJoinQuery, TopKQuery
+from repro.core.naive import all_pair_scores, naive_stps_join, naive_topk_stps_join
+
+
+class TestNaiveJoin:
+    def test_figure1(self, tiny_dataset):
+        pairs = naive_stps_join(tiny_dataset, STPSJoinQuery(0.005, 0.3, 0.5))
+        assert [(p.user_a, p.user_b, pytest.approx(p.score)) for p in pairs] == [
+            ("u1", "u3", pytest.approx(0.8))
+        ]
+
+    def test_pair_orientation_follows_user_order(self, tiny_dataset):
+        pairs = naive_stps_join(tiny_dataset, STPSJoinQuery(0.005, 0.3, 0.1))
+        for p in pairs:
+            assert tiny_dataset.users.index(p.user_a) < tiny_dataset.users.index(
+                p.user_b
+            )
+
+    def test_all_pair_scores_counts(self, tiny_dataset):
+        scores = all_pair_scores(tiny_dataset, 0.005, 0.3)
+        assert len(scores) == 3  # C(3, 2)
+
+    def test_empty_dataset(self):
+        ds = STDataset.from_records([])
+        assert naive_stps_join(ds, STPSJoinQuery(0.1, 0.5, 0.5)) == []
+
+
+class TestNaiveTopK:
+    def test_figure1_topk(self, tiny_dataset):
+        pairs = naive_topk_stps_join(tiny_dataset, TopKQuery(0.005, 0.3, 5))
+        assert len(pairs) == 1  # only one positive pair exists
+        assert pairs[0].key == ("u1", "u3")
+
+    def test_k_limits_results(self):
+        records = []
+        # Three co-located identical users -> 3 positive pairs.
+        for user in ("a", "b", "c"):
+            records.append((user, 0.5, 0.5, {"x"}))
+        ds = STDataset.from_records(records)
+        pairs = naive_topk_stps_join(ds, TopKQuery(0.01, 1.0, 2))
+        assert len(pairs) == 2
+        assert all(p.score == pytest.approx(1.0) for p in pairs)
+
+    def test_sorted_descending(self, tiny_dataset):
+        pairs = naive_topk_stps_join(tiny_dataset, TopKQuery(0.005, 0.3, 3))
+        scores = [p.score for p in pairs]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,72 @@
+"""PPJ-D pair evaluation over R-tree leaf partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pair_eval import PairEvalStats
+from repro.core.ppj_d import ppj_d_pair
+from repro.core.similarity import set_similarity
+from repro.stindex.leaf_index import STLeafIndex
+from tests.helpers import build_random_dataset
+
+
+@given(
+    st.integers(0, 300),
+    st.sampled_from([(0.1, 0.3, 0.2), (0.3, 0.5, 0.5), (0.05, 0.2, 0.8)]),
+    st.sampled_from([4, 16, 64]),
+)
+@settings(max_examples=40, deadline=None)
+def test_exact_or_provably_below(seed, thresholds, fanout):
+    eps_loc, eps_doc, eps_user = thresholds
+    ds = build_random_dataset(seed, n_users=2)
+    if len(ds.users) < 2:
+        return
+    ua, ub = ds.users[0], ds.users[1]
+    objs_a, objs_b = ds.user_objects(ua), ds.user_objects(ub)
+    index = STLeafIndex(ds, eps_loc, fanout=fanout)
+    got = ppj_d_pair(
+        index, ua, ub, eps_loc, eps_doc, eps_user, len(objs_a), len(objs_b)
+    )
+    true_sigma = set_similarity(objs_a, objs_b, eps_loc, eps_doc)
+    if true_sigma >= eps_user:
+        assert got == pytest.approx(true_sigma)
+    else:
+        assert got == pytest.approx(true_sigma) or got == 0.0
+
+
+def test_zero_sizes(tiny_dataset):
+    index = STLeafIndex(tiny_dataset, 0.005, fanout=8)
+    assert ppj_d_pair(index, "u1", "u3", 0.005, 0.3, 0.5, 0, 0) == 0.0
+
+
+def test_figure1_pair_score(tiny_dataset):
+    index = STLeafIndex(tiny_dataset, 0.005, fanout=8)
+    got = ppj_d_pair(index, "u1", "u3", 0.005, 0.3, 0.5, 2, 3)
+    assert got == pytest.approx(0.8)
+
+
+def test_user_without_leaves():
+    ds = build_random_dataset(0, n_users=2)
+    index = STLeafIndex(ds, 0.1, fanout=8)
+    assert ppj_d_pair(index, "ghost", ds.users[0], 0.1, 0.3, 0.2, 0, 5) == 0.0
+
+
+def test_early_termination_counted():
+    ds = build_random_dataset(5, n_users=2, extent=10.0)
+    ua, ub = ds.users[0], ds.users[1]
+    index = STLeafIndex(ds, 0.05, fanout=4)
+    stats = PairEvalStats()
+    got = ppj_d_pair(
+        index,
+        ua,
+        ub,
+        0.05,
+        0.5,
+        0.9,
+        len(ds.user_objects(ua)),
+        len(ds.user_objects(ub)),
+        stats,
+    )
+    assert got == 0.0
+    assert stats.early_terminations == 1

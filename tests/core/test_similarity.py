@@ -1,0 +1,109 @@
+"""Tests for the matching predicate and point-set similarity measure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import STDataset
+from repro.core.similarity import (
+    matched_object_count,
+    matched_objects,
+    objects_match,
+    set_similarity,
+    text_similarity,
+)
+
+
+def make_objects(records):
+    return STDataset.from_records(records).objects
+
+
+class TestTextSimilarity:
+    def test_jaccard_value(self):
+        a, b = make_objects(
+            [("u", 0, 0, {"x", "y", "z"}), ("v", 0, 0, {"y", "z", "w"})]
+        )
+        assert text_similarity(a, b) == pytest.approx(0.5)
+
+    def test_empty_doc_zero(self):
+        a, b = make_objects([("u", 0, 0, []), ("v", 0, 0, {"x"})])
+        assert text_similarity(a, b) == 0.0
+        assert text_similarity(b, a) == 0.0
+
+    def test_both_empty_zero(self):
+        a, b = make_objects([("u", 0, 0, []), ("v", 0, 0, [])])
+        assert text_similarity(a, b) == 0.0
+
+    def test_symmetric(self):
+        a, b = make_objects([("u", 0, 0, {"x", "y"}), ("v", 0, 0, {"y"})])
+        assert text_similarity(a, b) == text_similarity(b, a)
+
+
+class TestObjectsMatch:
+    def test_requires_both_predicates(self):
+        a, b = make_objects(
+            [("u", 0.0, 0.0, {"x", "y"}), ("v", 0.0, 0.1, {"x", "y"})]
+        )
+        assert objects_match(a, b, eps_loc=0.2, eps_doc=0.9)
+        assert not objects_match(a, b, eps_loc=0.05, eps_doc=0.9)  # too far
+        assert not objects_match(a, b, eps_loc=0.2, eps_doc=1.01)  # impossible
+
+    def test_boundary_distances_inclusive(self):
+        a, b = make_objects([("u", 0.0, 0.0, {"x"}), ("v", 0.3, 0.0, {"x"})])
+        assert objects_match(a, b, eps_loc=0.3, eps_doc=1.0)
+
+    def test_same_user_objects_can_match(self):
+        # mu is user-agnostic; set semantics filter by user, not mu.
+        a, b = make_objects([("u", 0, 0, {"x"}), ("u", 0, 0, {"x"})])
+        assert objects_match(a, b, 0.1, 1.0)
+
+
+class TestSetSimilarity:
+    def test_figure1_scenario(self, tiny_dataset):
+        du1 = tiny_dataset.user_objects("u1")
+        du3 = tiny_dataset.user_objects("u3")
+        # u1: both objects match; u3: two of three.
+        assert set_similarity(du1, du3, eps_loc=0.005, eps_doc=0.3) == pytest.approx(
+            4 / 5
+        )
+
+    def test_disjoint_users_zero(self, tiny_dataset):
+        du1 = tiny_dataset.user_objects("u1")
+        du2 = tiny_dataset.user_objects("u2")
+        assert set_similarity(du1, du2, eps_loc=0.005, eps_doc=0.3) == 0.0
+
+    def test_empty_sets(self):
+        assert set_similarity([], [], 0.1, 0.5) == 0.0
+
+    def test_matched_objects_subset(self, tiny_dataset):
+        du1 = tiny_dataset.user_objects("u1")
+        du3 = tiny_dataset.user_objects("u3")
+        m = matched_objects(du1, du3, 0.005, 0.3)
+        assert m == {o.oid for o in du1}
+
+    def test_matched_count_consistent(self, tiny_dataset):
+        du1 = tiny_dataset.user_objects("u1")
+        du3 = tiny_dataset.user_objects("u3")
+        count = matched_object_count(du1, du3, 0.005, 0.3)
+        expected = len(matched_objects(du1, du3, 0.005, 0.3)) + len(
+            matched_objects(du3, du1, 0.005, 0.3)
+        )
+        assert count == expected
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_sigma_in_unit_interval_and_symmetric(self, seed):
+        from tests.helpers import build_random_dataset
+
+        ds = build_random_dataset(seed, n_users=4)
+        users = ds.users
+        a = ds.user_objects(users[0])
+        b = ds.user_objects(users[1])
+        s_ab = set_similarity(a, b, 0.2, 0.4)
+        s_ba = set_similarity(b, a, 0.2, 0.4)
+        assert 0.0 <= s_ab <= 1.0
+        assert s_ab == pytest.approx(s_ba)
+
+    def test_self_similarity_is_one(self):
+        objs = make_objects([("u", 0, 0, {"x"}), ("u", 5, 5, {"y"})])
+        assert set_similarity(objs, objs, 0.1, 1.0) == 1.0

@@ -1,0 +1,91 @@
+"""Temporal STPSJoin (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import pairs_to_dict
+from repro.core.temporal import (
+    TemporalDataset,
+    TemporalQuery,
+    naive_temporal_stps_join,
+    temporal_stps_join,
+)
+from repro.core.naive import naive_stps_join
+from repro.core.query import STPSJoinQuery
+
+
+def build_temporal_dataset(seed, n_users=8, max_objects=6, time_span=10.0):
+    rng = np.random.default_rng(seed)
+    records = []
+    for user in range(n_users):
+        for _ in range(int(rng.integers(1, max_objects + 1))):
+            x, y = rng.uniform(0, 1.0, 2)
+            keywords = {f"k{int(t)}" for t in rng.integers(0, 25, int(rng.integers(1, 4)))}
+            t = float(rng.uniform(0, time_span))
+            records.append((user, float(x), float(y), keywords, t))
+    return TemporalDataset.from_records(records)
+
+
+class TestTemporalQuery:
+    def test_validation(self):
+        TemporalQuery(0.1, 0.5, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            TemporalQuery(0.1, 0.5, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            TemporalQuery(0.1, 1.5, 1.0, 0.5)
+
+    def test_spatial_textual_projection(self):
+        q = TemporalQuery(0.1, 0.5, 1.0, 0.5)
+        assert q.spatial_textual == STPSJoinQuery(0.1, 0.5, 0.5)
+
+
+class TestTemporalDataset:
+    def test_timestamp_count_mismatch(self):
+        from repro import STDataset
+
+        ds = STDataset.from_records([("u", 0, 0, {"x"})])
+        with pytest.raises(ValueError):
+            TemporalDataset(ds, [1.0, 2.0])
+
+    def test_timestamp_lookup(self):
+        tds = TemporalDataset.from_records([("u", 0, 0, {"x"}, 42.0)])
+        assert tds.timestamp(tds.dataset.objects[0]) == 42.0
+
+
+class TestTemporalJoin:
+    @pytest.mark.parametrize("eps_time", [0.5, 2.0, 100.0])
+    def test_matches_oracle(self, eps_time):
+        for seed in range(8):
+            tds = build_temporal_dataset(seed)
+            query = TemporalQuery(0.2, 0.3, eps_time, 0.2)
+            expected = pairs_to_dict(naive_temporal_stps_join(tds, query))
+            got = pairs_to_dict(temporal_stps_join(tds, query))
+            assert set(got) == set(expected), f"seed={seed}"
+            for key, score in got.items():
+                assert score == pytest.approx(expected[key])
+
+    def test_infinite_window_reduces_to_plain_join(self):
+        tds = build_temporal_dataset(3)
+        query = TemporalQuery(0.2, 0.3, 1e9, 0.2)
+        temporal = pairs_to_dict(temporal_stps_join(tds, query))
+        plain = pairs_to_dict(
+            naive_stps_join(tds.dataset, query.spatial_textual)
+        )
+        assert temporal == plain
+
+    def test_tight_window_shrinks_results(self):
+        tds = build_temporal_dataset(5, n_users=10)
+        loose = temporal_stps_join(tds, TemporalQuery(0.3, 0.2, 100.0, 0.1))
+        tight = temporal_stps_join(tds, TemporalQuery(0.3, 0.2, 0.01, 0.1))
+        assert {p.key for p in tight} <= {p.key for p in loose}
+
+    def test_same_time_different_users_match(self):
+        records = [
+            ("a", 0.5, 0.5, {"concert"}, 100.0),
+            ("b", 0.5001, 0.5001, {"concert"}, 100.5),
+            ("c", 0.5, 0.5, {"concert"}, 500.0),  # same place, years later
+        ]
+        tds = TemporalDataset.from_records(records)
+        query = TemporalQuery(0.01, 1.0, 1.0, 0.9)
+        pairs = {p.key for p in temporal_stps_join(tds, query)}
+        assert pairs == {("a", "b")}

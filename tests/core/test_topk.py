@@ -1,0 +1,133 @@
+"""Top-k STPSJoin algorithms vs. the exhaustive oracle.
+
+Pair identity at tied scores is implementation-defined (Definition 2
+allows any k best pairs), so comparisons are on score multisets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import STDataset, TopKQuery, naive_topk_stps_join, topk_stps_join
+from repro.core.topk import _TopKHeap
+from repro.core.query import UserPair
+from tests.helpers import build_clustered_dataset, build_random_dataset
+
+ALGORITHMS = ("topk-s-ppj-f", "topk-s-ppj-s", "topk-s-ppj-p", "topk-s-ppj-d")
+
+
+def score_multiset(pairs):
+    return sorted(round(p.score, 12) for p in pairs)
+
+
+class TestTopKCorrectness:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("k", [1, 3, 5, 20])
+    def test_matches_oracle_on_random_data(self, algorithm, k):
+        for seed in range(6):
+            ds = build_random_dataset(seed, n_users=10)
+            expected = naive_topk_stps_join(ds, TopKQuery(0.1, 0.3, k))
+            got = topk_stps_join(ds, 0.1, 0.3, k, algorithm=algorithm)
+            assert score_multiset(got) == score_multiset(expected), (
+                f"{algorithm} seed={seed} k={k}"
+            )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_oracle_on_clustered_data(self, algorithm):
+        for seed in range(4):
+            ds = build_clustered_dataset(seed, n_users=10)
+            expected = naive_topk_stps_join(ds, TopKQuery(0.05, 0.3, 5))
+            got = topk_stps_join(ds, 0.05, 0.3, 5, algorithm=algorithm)
+            assert score_multiset(got) == score_multiset(expected)
+
+    @given(st.integers(0, 500), st.sampled_from([1, 2, 7]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_fuzz(self, seed, k):
+        ds = build_random_dataset(seed, n_users=8, max_objects=6)
+        expected = naive_topk_stps_join(ds, TopKQuery(0.15, 0.3, k))
+        for algorithm in ALGORITHMS:
+            got = topk_stps_join(ds, 0.15, 0.3, k, algorithm=algorithm)
+            assert score_multiset(got) == score_multiset(expected)
+
+
+class TestTopKSemantics:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_results_sorted_descending(self, algorithm):
+        ds = build_clustered_dataset(1, n_users=10)
+        got = topk_stps_join(ds, 0.05, 0.3, 8, algorithm=algorithm)
+        scores = [p.score for p in got]
+        assert scores == sorted(scores, reverse=True)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_fewer_positive_pairs_than_k(self, algorithm, tiny_dataset):
+        got = topk_stps_join(tiny_dataset, 0.005, 0.3, 10, algorithm=algorithm)
+        # Only (u1, u3) has positive similarity.
+        assert len(got) == 1
+        assert got[0].key == ("u1", "u3")
+        assert got[0].score == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_no_zero_score_pairs(self, algorithm):
+        ds = build_random_dataset(9, n_users=8, extent=100.0)
+        got = topk_stps_join(ds, 0.001, 0.9, 5, algorithm=algorithm)
+        assert all(p.score > 0 for p in got)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_k_one(self, algorithm):
+        ds = build_clustered_dataset(2, n_users=8)
+        expected = naive_topk_stps_join(ds, TopKQuery(0.05, 0.3, 1))
+        got = topk_stps_join(ds, 0.05, 0.3, 1, algorithm=algorithm)
+        assert score_multiset(got) == score_multiset(expected)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_pair_order_canonical(self, algorithm):
+        ds = build_clustered_dataset(3, n_users=10)
+        rank = {u: i for i, u in enumerate(ds.users)}
+        for pair in topk_stps_join(ds, 0.05, 0.3, 10, algorithm=algorithm):
+            assert rank[pair.user_a] < rank[pair.user_b]
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty_dataset(self, algorithm):
+        ds = STDataset.from_records([])
+        assert topk_stps_join(ds, 0.1, 0.5, 3, algorithm=algorithm) == []
+
+    def test_larger_k_is_superset_of_scores(self):
+        ds = build_clustered_dataset(4, n_users=12)
+        small = score_multiset(topk_stps_join(ds, 0.05, 0.3, 3))
+        large = score_multiset(topk_stps_join(ds, 0.05, 0.3, 8))
+        # The top-3 scores are the 3 largest of the top-8.
+        assert small == large[-3:]
+
+
+class TestTopKHeap:
+    def test_threshold_zero_until_full(self):
+        heap = _TopKHeap(2)
+        assert heap.threshold == 0.0
+        heap.offer(UserPair("a", "b", 0.9))
+        assert heap.threshold == 0.0
+        heap.offer(UserPair("a", "c", 0.5))
+        assert heap.threshold == 0.5
+
+    def test_rejects_below_threshold(self):
+        heap = _TopKHeap(1)
+        heap.offer(UserPair("a", "b", 0.9))
+        heap.offer(UserPair("a", "c", 0.5))
+        assert [p.key for p in heap.results()] == [("a", "b")]
+
+    def test_replaces_on_better(self):
+        heap = _TopKHeap(1)
+        heap.offer(UserPair("a", "b", 0.5))
+        heap.offer(UserPair("a", "c", 0.9))
+        assert [p.key for p in heap.results()] == [("a", "c")]
+
+    def test_ties_at_threshold_not_inserted(self):
+        heap = _TopKHeap(1)
+        heap.offer(UserPair("a", "b", 0.5))
+        heap.offer(UserPair("a", "c", 0.5))
+        assert [p.key for p in heap.results()] == [("a", "b")]
+
+    def test_results_sorted(self):
+        heap = _TopKHeap(3)
+        for score, user in [(0.2, "x"), (0.9, "y"), (0.5, "z")]:
+            heap.offer(UserPair("a", user, score))
+        assert [p.score for p in heap.results()] == [0.9, 0.5, 0.2]

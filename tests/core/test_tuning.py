@@ -1,0 +1,116 @@
+"""Threshold auto-tuning (Section 5.6)."""
+
+import pytest
+
+from repro import STPSJoinQuery
+from repro.core.naive import naive_stps_join
+from repro.core.tuning import evaluate_pair, tune_thresholds
+from tests.helpers import build_clustered_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_clustered_dataset(7, n_users=14, objects_per_user=8)
+
+
+RELAXED = STPSJoinQuery(eps_loc=0.2, eps_doc=0.05, eps_user=0.05)
+
+
+class TestEvaluatePair:
+    def test_matches_oracle_score(self, dataset):
+        pairs = naive_stps_join(dataset, STPSJoinQuery(0.05, 0.3, 0.05))
+        assert pairs, "fixture should produce candidate pairs"
+        for pair in pairs[:5]:
+            got = evaluate_pair(dataset, pair.user_a, pair.user_b, 0.05, 0.3)
+            assert got == pytest.approx(pair.score)
+
+    def test_unknown_users_zero(self, dataset):
+        assert evaluate_pair(dataset, "nope", "also-nope", 0.1, 0.5) == 0.0
+
+
+class TestTuneThresholds:
+    def test_reaches_target(self, dataset):
+        initial_size = len(
+            naive_stps_join(dataset, RELAXED)
+        )
+        target = max(1, initial_size // 4)
+        result = tune_thresholds(dataset, target, RELAXED, seed=3)
+        assert result.initial_result_size == initial_size
+        assert len(result.pairs) <= target
+        assert result.iterations > 0
+
+    def test_returned_thresholds_reproduce_result(self, dataset):
+        result = tune_thresholds(dataset, 2, RELAXED, seed=1)
+        q = result.query
+        oracle = naive_stps_join(dataset, q)
+        assert {p.key for p in oracle} == {p.key for p in result.pairs}
+
+    def test_noop_when_already_small(self, dataset):
+        tight = STPSJoinQuery(eps_loc=0.001, eps_doc=0.9, eps_user=0.9)
+        result = tune_thresholds(dataset, 50, tight, seed=0)
+        assert result.iterations == 0
+        assert result.query == tight
+
+    def test_deterministic_for_seed(self, dataset):
+        a = tune_thresholds(dataset, 2, RELAXED, seed=42)
+        b = tune_thresholds(dataset, 2, RELAXED, seed=42)
+        assert a.query == b.query
+        assert a.iterations == b.iterations
+
+    def test_least_modified_strategy(self, dataset):
+        result = tune_thresholds(
+            dataset, 2, RELAXED, strategy="least_modified", seed=0
+        )
+        assert len(result.pairs) <= 2 or result.iterations >= 1
+
+    def test_unknown_strategy_raises(self, dataset):
+        with pytest.raises(ValueError):
+            tune_thresholds(dataset, 2, RELAXED, strategy="bogus")
+
+    def test_invalid_target_raises(self, dataset):
+        with pytest.raises(ValueError):
+            tune_thresholds(dataset, 0, RELAXED)
+
+    def test_iteration_cap_respected(self, dataset):
+        result = tune_thresholds(dataset, 1, RELAXED, max_iterations=3, seed=0)
+        assert result.iterations <= 3
+
+
+class TestAutoInitialThresholds:
+    def test_finds_oversized_result(self, dataset):
+        from repro.core.tuning import auto_initial_thresholds
+
+        query, pairs, seconds = auto_initial_thresholds(dataset, 3)
+        assert len(pairs) > 3
+        assert seconds >= 0.0
+        # The returned pairs are exactly the join at the returned query.
+        rerun = naive_stps_join(dataset, query)
+        assert {p.key for p in rerun} == {p.key for p in pairs}
+
+    def test_tune_without_initial(self, dataset):
+        """Auto-discovered initials must oversize the result; the walk then
+        shrinks it toward the target (tied pairs can make an exact target
+        unreachable, in which case the iteration cap ends the search)."""
+        result = tune_thresholds(dataset, 3, seed=5)
+        assert result.initial_result_size > 3
+        assert len(result.pairs) < result.initial_result_size
+        assert len(result.pairs) <= 3 or result.iterations == 200
+
+    def test_invalid_target(self, dataset):
+        from repro.core.tuning import auto_initial_thresholds
+
+        with pytest.raises(ValueError):
+            auto_initial_thresholds(dataset, 0)
+
+    def test_sparse_dataset_hits_relaxation_limit(self):
+        """Two far-apart, dissimilar users can never yield a pair; the
+        relaxation loop must terminate and return whatever it found."""
+        from repro import STDataset
+        from repro.core.tuning import auto_initial_thresholds
+
+        ds = STDataset.from_records(
+            [("a", 0.0, 0.0, {"x"}), ("b", 100.0, 100.0, {"y"})]
+        )
+        query, pairs, _ = auto_initial_thresholds(ds, 1, max_relaxations=3)
+        assert pairs == []
+        assert query.eps_loc > 0

@@ -1,0 +1,58 @@
+"""The cross-algorithm comparison tool."""
+
+import pytest
+
+from repro import STPSJoinQuery
+from repro.core.validate import compare_algorithms
+from tests.helpers import build_clustered_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_clustered_dataset(6, n_users=10)
+
+
+QUERY = STPSJoinQuery(0.05, 0.3, 0.2)
+
+
+class TestCompareAlgorithms:
+    def test_default_competitors_agree(self, dataset):
+        report = compare_algorithms(dataset, QUERY)
+        assert report.agreed
+        assert {r.algorithm for r in report.runs} == {
+            "s-ppj-c",
+            "s-ppj-b",
+            "s-ppj-f",
+            "s-ppj-d",
+        }
+        assert all(r.seconds > 0 for r in report.runs)
+
+    def test_with_naive(self, dataset):
+        report = compare_algorithms(
+            dataset, QUERY, algorithms=("naive", "s-ppj-f")
+        )
+        assert report.agreed
+
+    def test_summary_mentions_agreement(self, dataset):
+        report = compare_algorithms(dataset, QUERY, algorithms=("s-ppj-f",))
+        assert "all algorithms agree" in report.summary()
+        assert "s-ppj-f" in report.summary()
+
+    def test_fastest(self, dataset):
+        report = compare_algorithms(
+            dataset, QUERY, algorithms=("s-ppj-c", "s-ppj-f")
+        )
+        assert report.fastest().seconds == min(r.seconds for r in report.runs)
+
+    def test_unknown_algorithm(self, dataset):
+        with pytest.raises(ValueError, match="unknown algorithms"):
+            compare_algorithms(dataset, QUERY, algorithms=("nope",))
+
+    def test_empty_algorithm_list(self, dataset):
+        with pytest.raises(ValueError):
+            compare_algorithms(dataset, QUERY, algorithms=())
+
+    def test_result_sizes_consistent(self, dataset):
+        report = compare_algorithms(dataset, QUERY)
+        sizes = {r.result_size for r in report.runs}
+        assert len(sizes) == 1

@@ -1,0 +1,136 @@
+"""Real-data ingestion: tokenizer and column-mapped loader."""
+
+import pytest
+
+from repro.datasets.ingest import DEFAULT_STOPWORDS, load_delimited, simple_tokenize
+
+
+class TestSimpleTokenize:
+    def test_basic_extraction(self):
+        tokens = simple_tokenize("Great coffee at the Soho market!")
+        assert tokens == {"great", "coffee", "soho", "market"}
+
+    def test_stopwords_dropped(self):
+        assert simple_tokenize("the and of") == set()
+
+    def test_hashtags_and_mentions_survive(self):
+        tokens = simple_tokenize("watching #arsenal with @friend")
+        assert "#arsenal" in tokens
+        assert "@friend" in tokens
+
+    def test_numbers_dropped(self):
+        assert simple_tokenize("call 555 1234") == {"call"}
+
+    def test_short_tokens_dropped(self):
+        assert simple_tokenize("a b cd") == {"cd"}
+
+    def test_case_folding(self):
+        assert simple_tokenize("COFFEE Coffee coffee") == {"coffee"}
+
+    def test_custom_stopwords(self):
+        tokens = simple_tokenize(
+            "coffee tea", stopwords=frozenset({"coffee"} | set(DEFAULT_STOPWORDS))
+        )
+        assert tokens == {"tea"}
+
+    def test_empty_text(self):
+        assert simple_tokenize("") == set()
+
+
+class TestLoadDelimited:
+    def write(self, tmp_path, content, name="data.txt"):
+        path = tmp_path / name
+        path.write_text(content)
+        return path
+
+    def test_tsv_layout(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "alice\t0.5\t0.6\tgreat coffee here\n"
+            "bob\t0.7\t0.8\tfootball tonight\n",
+        )
+        ds = load_delimited(path, user_col=0, x_col=1, y_col=2, text_col=3)
+        assert ds.num_objects == 2
+        assert set(ds.users) == {"alice", "bob"}
+        obj = ds.user_objects("alice")[0]
+        assert (obj.x, obj.y) == (0.5, 0.6)
+        assert ds.vocab.decode(obj.doc) == frozenset({"great", "coffee", "here"})
+
+    def test_csv_with_header_and_swapped_columns(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "user,lat,lon,text\nalice,51.5,-0.12,mind the gap\n",
+        )
+        ds = load_delimited(
+            path,
+            delimiter=",",
+            user_col=0,
+            x_col=2,  # lon is x
+            y_col=1,
+            text_col=3,
+            skip_header=True,
+        )
+        assert ds.num_objects == 1
+        assert ds.objects[0].x == -0.12
+
+    def test_malformed_lines_skipped_by_default(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "alice\t0.5\t0.6\tcoffee time\n"
+            "broken line\n"
+            "bob\tNaN-ish\t0.8\tfootball match\n"
+            "carol\t0.1\t0.2\tmarket day\n",
+        )
+        ds = load_delimited(path, user_col=0, x_col=1, y_col=2, text_col=3)
+        assert set(ds.users) == {"alice", "carol"}
+
+    def test_malformed_lines_raise_when_asked(self, tmp_path):
+        path = self.write(tmp_path, "broken line\n")
+        with pytest.raises(ValueError, match="expected at least"):
+            load_delimited(
+                path, user_col=0, x_col=1, y_col=2, text_col=3, on_error="raise"
+            )
+
+    def test_bad_coordinates_raise_when_asked(self, tmp_path):
+        path = self.write(tmp_path, "a\tnope\t0.5\tcoffee here\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            load_delimited(
+                path, user_col=0, x_col=1, y_col=2, text_col=3, on_error="raise"
+            )
+
+    def test_keywordless_objects_dropped(self, tmp_path):
+        path = self.write(tmp_path, "a\t0.1\t0.2\tthe of and\n")
+        ds = load_delimited(path, user_col=0, x_col=1, y_col=2, text_col=3)
+        assert ds.num_objects == 0
+
+    def test_custom_tokenizer(self, tmp_path):
+        path = self.write(tmp_path, "a\t0.1\t0.2\tX;Y;Z\n")
+        ds = load_delimited(
+            path,
+            user_col=0,
+            x_col=1,
+            y_col=2,
+            text_col=3,
+            tokenizer=lambda text: text.split(";"),
+        )
+        assert ds.vocab.decode(ds.objects[0].doc) == frozenset({"X", "Y", "Z"})
+
+    def test_invalid_on_error(self, tmp_path):
+        path = self.write(tmp_path, "a\t0.1\t0.2\tcoffee\n")
+        with pytest.raises(ValueError):
+            load_delimited(
+                path, user_col=0, x_col=1, y_col=2, text_col=3, on_error="explode"
+            )
+
+    def test_loaded_dataset_joins(self, tmp_path):
+        """End to end: ingest a tiny 'tweet export' and join it."""
+        from repro import stps_join
+
+        lines = []
+        for i in range(4):
+            lines.append(f"ana\t{0.1 + i * 1e-4}\t0.1\tmorning coffee at soho market\n")
+            lines.append(f"ben\t{0.1 + i * 1e-4}\t0.1001\tbest coffee in soho today\n")
+        path = self.write(tmp_path, "".join(lines))
+        ds = load_delimited(path, user_col=0, x_col=1, y_col=2, text_col=3)
+        pairs = stps_join(ds, eps_loc=0.001, eps_doc=0.3, eps_user=0.5)
+        assert [(p.user_a, p.user_b) for p in pairs] == [("ana", "ben")]

@@ -1,0 +1,94 @@
+"""TSV persistence."""
+
+import pytest
+
+from repro import STDataset
+from repro.datasets.loaders import load_tsv, save_tsv
+from repro.datasets.synthetic import TWITTER_LIKE, generate_dataset
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = generate_dataset(TWITTER_LIKE, seed=3, num_users=12)
+        path = tmp_path / "data.tsv"
+        written = save_tsv(original, path)
+        assert written == original.num_objects
+
+        loaded = load_tsv(path)
+        assert loaded.num_objects == original.num_objects
+        assert loaded.num_users == original.num_users
+        # Object-level content survives (users and keywords as strings).
+        orig = sorted(
+            (str(o.user), o.x, o.y, tuple(sorted(map(str, original.vocab.decode(o.doc)))))
+            for o in original.objects
+        )
+        back = sorted(
+            (str(o.user), o.x, o.y, tuple(sorted(map(str, loaded.vocab.decode(o.doc)))))
+            for o in loaded.objects
+        )
+        assert orig == back
+
+    def test_coordinates_exact(self, tmp_path):
+        ds = STDataset.from_records([("u", 0.1234567890123456, 1e-9, {"k"})])
+        path = tmp_path / "p.tsv"
+        save_tsv(ds, path)
+        loaded = load_tsv(path)
+        assert loaded.objects[0].x == 0.1234567890123456
+        assert loaded.objects[0].y == 1e-9
+
+
+class TestTemporalRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        from repro.core.temporal import TemporalDataset
+        from repro.datasets.loaders import load_temporal_tsv, save_temporal_tsv
+
+        tds = TemporalDataset.from_records(
+            [
+                ("u", 0.1, 0.2, {"a", "b"}, 100.5),
+                ("v", 0.3, 0.4, {"c"}, 200.25),
+            ]
+        )
+        path = tmp_path / "t.tsv"
+        assert save_temporal_tsv(tds, path) == 2
+        back = load_temporal_tsv(path)
+        assert back.dataset.num_objects == 2
+        times = sorted(back.timestamps)
+        assert times == [100.5, 200.25]
+
+    def test_malformed_temporal_line(self, tmp_path):
+        from repro.datasets.loaders import load_temporal_tsv
+
+        path = tmp_path / "bad.tsv"
+        path.write_text("u\t0.0\t0.0\ta\n")  # missing timestamp column
+        with pytest.raises(ValueError, match="expected 5"):
+            load_temporal_tsv(path)
+
+
+class TestValidation:
+    def test_reserved_char_in_keyword(self, tmp_path):
+        ds = STDataset.from_records([("u", 0, 0, {"bad,token"})])
+        with pytest.raises(ValueError):
+            save_tsv(ds, tmp_path / "x.tsv")
+
+    def test_reserved_char_in_user(self, tmp_path):
+        ds = STDataset.from_records([("bad\tuser", 0, 0, {"k"})])
+        with pytest.raises(ValueError):
+            save_tsv(ds, tmp_path / "x.tsv")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only\ttwo\n")
+        with pytest.raises(ValueError, match="expected 4"):
+            load_tsv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("u\t0.0\t0.0\ta,b\n\nv\t1.0\t1.0\tc\n")
+        ds = load_tsv(path)
+        assert ds.num_objects == 2
+
+    def test_empty_keyword_list(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("u\t0.0\t0.0\t\n")
+        ds = load_tsv(path)
+        assert ds.objects[0].doc == ()

@@ -1,0 +1,52 @@
+"""Dataset profiling (Table 1 metrics)."""
+
+import pytest
+
+from repro import STDataset
+from repro.datasets.stats import DatasetStats, dataset_stats, format_table1
+
+
+@pytest.fixture
+def dataset():
+    return STDataset.from_records(
+        [
+            ("a", 0, 0, {"x", "y"}),
+            ("a", 1, 1, {"x"}),
+            ("b", 2, 2, {"x", "y", "z"}),
+        ]
+    )
+
+
+class TestDatasetStats:
+    def test_counts(self, dataset):
+        s = dataset_stats(dataset, name="t")
+        assert s.num_objects == 3
+        assert s.num_users == 2
+
+    def test_tokens_per_object(self, dataset):
+        s = dataset_stats(dataset)
+        assert s.tokens_per_object[0] == pytest.approx(2.0)
+
+    def test_objects_per_token(self, dataset):
+        s = dataset_stats(dataset)
+        # x appears in 3 objects, y in 2, z in 1 -> mean 2.
+        assert s.objects_per_token[0] == pytest.approx(2.0)
+
+    def test_objects_per_user(self, dataset):
+        s = dataset_stats(dataset)
+        assert s.objects_per_user[0] == pytest.approx(1.5)
+        assert s.objects_per_user[1] == pytest.approx(0.5)
+
+    def test_empty_dataset(self):
+        s = dataset_stats(STDataset.from_records([]))
+        assert s.num_objects == 0
+        assert s.tokens_per_object == (0.0, 0.0)
+
+
+class TestFormatTable1:
+    def test_contains_rows_and_header(self, dataset):
+        s = dataset_stats(dataset, name="demo")
+        text = format_table1([s])
+        assert "Dataset" in text
+        assert "demo" in text
+        assert "2.00" in text

@@ -1,0 +1,108 @@
+"""Synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets.stats import dataset_stats
+from repro.datasets.synthetic import (
+    FLICKR_LIKE,
+    GEOTEXT_LIKE,
+    PRESETS,
+    TWITTER_LIKE,
+    DatasetSpec,
+    generate_dataset,
+    preset,
+)
+
+
+class TestPresets:
+    def test_registry(self):
+        assert set(PRESETS) == {"flickr", "twitter", "geotext"}
+        assert preset("flickr") is FLICKR_LIKE
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            preset("instagram")
+
+    def test_scaled_users(self):
+        spec = TWITTER_LIKE.scaled(num_users=10)
+        assert spec.num_users == 10
+        assert TWITTER_LIKE.num_users != 10  # original untouched
+
+    def test_scaled_objects(self):
+        spec = TWITTER_LIKE.scaled(objects_scale=0.5)
+        assert spec.objects_per_user_mean == pytest.approx(
+            TWITTER_LIKE.objects_per_user_mean * 0.5
+        )
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_dataset(GEOTEXT_LIKE, seed=7, num_users=20)
+        b = generate_dataset(GEOTEXT_LIKE, seed=7, num_users=20)
+        assert a.num_objects == b.num_objects
+        assert [(o.user, o.x, o.y, o.doc) for o in a.objects] == [
+            (o.user, o.x, o.y, o.doc) for o in b.objects
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(GEOTEXT_LIKE, seed=1, num_users=20)
+        b = generate_dataset(GEOTEXT_LIKE, seed=2, num_users=20)
+        assert [(o.x, o.y) for o in a.objects] != [(o.x, o.y) for o in b.objects]
+
+    def test_user_count(self):
+        ds = generate_dataset(TWITTER_LIKE, seed=0, num_users=15)
+        assert ds.num_users == 15
+
+    def test_every_object_has_keywords(self):
+        ds = generate_dataset(FLICKR_LIKE, seed=0, num_users=15)
+        assert all(len(o.doc) >= 1 for o in ds.objects)
+
+    def test_locations_within_extent(self):
+        for spec in (FLICKR_LIKE, TWITTER_LIKE, GEOTEXT_LIKE):
+            ds = generate_dataset(spec, seed=0, num_users=10)
+            for o in ds.objects:
+                assert 0.0 <= o.x <= spec.extent
+                assert 0.0 <= o.y <= spec.extent
+
+    def test_objects_scale_shrinks(self):
+        full = generate_dataset(TWITTER_LIKE, seed=0, num_users=30)
+        half = generate_dataset(TWITTER_LIKE, seed=0, num_users=30, objects_scale=0.3)
+        assert half.num_objects < full.num_objects
+
+
+class TestCalibration:
+    """The Table 1 shape: relative ordering of the per-dataset statistics."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {
+            name: dataset_stats(
+                generate_dataset(spec, seed=1, num_users=120), name=name
+            )
+            for name, spec in PRESETS.items()
+        }
+
+    def test_tokens_per_object_ordering(self, stats):
+        # Flickr >> Twitter > GeoText, as in Table 1.
+        assert (
+            stats["flickr"].tokens_per_object[0]
+            > stats["twitter"].tokens_per_object[0]
+            > stats["geotext"].tokens_per_object[0]
+        )
+
+    def test_tokens_per_object_magnitudes(self, stats):
+        assert stats["twitter"].tokens_per_object[0] == pytest.approx(2.08, abs=0.6)
+        assert stats["geotext"].tokens_per_object[0] == pytest.approx(1.64, abs=0.5)
+        assert stats["flickr"].tokens_per_object[0] > 3.5
+
+    def test_objects_per_user_heavy_tailed(self, stats):
+        # Std comparable to or above the mean (lognormal): Twitter/Flickr.
+        for name in ("twitter", "flickr"):
+            mean, std = stats[name].objects_per_user
+            assert std > 0.5 * mean
+
+    def test_lognormal_invalid_mean(self):
+        from repro.datasets.synthetic import _lognormal_params
+
+        with pytest.raises(ValueError):
+            _lognormal_params(0.0, 1.0)

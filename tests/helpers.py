@@ -1,0 +1,63 @@
+"""Dataset builders shared across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import STDataset
+
+
+def build_random_dataset(
+    seed: int,
+    n_users: int = 10,
+    max_objects: int = 8,
+    vocab: int = 30,
+    max_tokens: int = 5,
+    extent: float = 1.0,
+) -> STDataset:
+    """A small random dataset; deterministic for a given argument tuple.
+
+    Object locations are uniform over ``[0, extent]^2`` and keywords are
+    uniform over a small vocabulary, which makes both the spatial and the
+    textual predicates selective-but-not-degenerate for the thresholds the
+    tests use.
+    """
+    rng = np.random.default_rng(seed)
+    records = []
+    for user in range(n_users):
+        n_objects = int(rng.integers(1, max_objects + 1))
+        for _ in range(n_objects):
+            x, y = rng.uniform(0.0, extent, 2)
+            n_tokens = int(rng.integers(1, max_tokens + 1))
+            keywords = {f"k{int(t)}" for t in rng.integers(0, vocab, n_tokens)}
+            records.append((user, float(x), float(y), keywords))
+    return STDataset.from_records(records)
+
+
+def build_clustered_dataset(
+    seed: int,
+    n_users: int = 8,
+    n_clusters: int = 3,
+    objects_per_user: int = 6,
+    spread: float = 0.01,
+) -> STDataset:
+    """A dataset with spatial clusters and cluster-specific vocabularies.
+
+    Users sharing clusters produce genuinely similar point sets, so
+    threshold joins return non-trivial results.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1.0, (n_clusters, 2))
+    records = []
+    for user in range(n_users):
+        home = int(rng.integers(0, n_clusters))
+        for _ in range(objects_per_user):
+            cluster = home if rng.random() < 0.8 else int(rng.integers(0, n_clusters))
+            x = float(centers[cluster, 0] + rng.normal(0.0, spread))
+            y = float(centers[cluster, 1] + rng.normal(0.0, spread))
+            keywords = {
+                f"c{cluster}_{int(t)}"
+                for t in rng.integers(0, 6, int(rng.integers(1, 4)))
+            }
+            records.append((user, x, y, keywords))
+    return STDataset.from_records(records)

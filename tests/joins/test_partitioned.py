@@ -1,0 +1,74 @@
+"""PPJ-C (grid) and PPJ-R (R-tree) point joins against the oracle and
+each other — the three partitionings must return identical pair sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.ppj import naive_st_join, ppj_self_join
+from repro.joins.ppj_c import ppj_c_join
+from repro.joins.ppj_r import ppj_r_join
+from tests.helpers import build_random_dataset
+
+
+def normalize(pairs):
+    return {(i, j) if i < j else (j, i) for i, j in pairs}
+
+
+PARAMS = [(0.1, 0.3), (0.3, 0.5), (0.05, 0.2)]
+
+
+class TestPpjC:
+    @pytest.mark.parametrize("eps_loc,eps_doc", PARAMS)
+    def test_matches_oracle(self, eps_loc, eps_doc):
+        for seed in range(8):
+            objects = build_random_dataset(seed, n_users=5).objects
+            expected = normalize(naive_st_join(objects, eps_loc, eps_doc))
+            assert normalize(ppj_c_join(objects, eps_loc, eps_doc)) == expected
+
+    def test_no_duplicates(self):
+        objects = build_random_dataset(0, n_users=5).objects
+        out = ppj_c_join(objects, 0.3, 0.2)
+        assert len(out) == len(set(out))
+
+    def test_empty(self):
+        assert ppj_c_join([], 0.1, 0.5) == []
+
+    def test_all_in_one_cell(self):
+        from repro import STDataset
+
+        ds = STDataset.from_records(
+            [("u", 0.5, 0.5, {"x"}), ("v", 0.5001, 0.5001, {"x"}), ("w", 0.5, 0.5, {"y"})]
+        )
+        got = normalize(ppj_c_join(ds.objects, 0.01, 1.0))
+        assert got == {(0, 1)}
+
+
+class TestPpjR:
+    @pytest.mark.parametrize("eps_loc,eps_doc", PARAMS)
+    @pytest.mark.parametrize("fanout", [4, 32])
+    def test_matches_oracle(self, eps_loc, eps_doc, fanout):
+        for seed in range(6):
+            objects = build_random_dataset(seed, n_users=5).objects
+            expected = normalize(naive_st_join(objects, eps_loc, eps_doc))
+            got = normalize(ppj_r_join(objects, eps_loc, eps_doc, fanout=fanout))
+            assert got == expected
+
+    def test_no_duplicates(self):
+        objects = build_random_dataset(1, n_users=5).objects
+        out = ppj_r_join(objects, 0.3, 0.2, fanout=4)
+        assert len(out) == len(set(out))
+
+    def test_empty(self):
+        assert ppj_r_join([], 0.1, 0.5) == []
+
+
+class TestCrossPartitioningAgreement:
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_flat_grid_rtree_agree(self, seed):
+        objects = build_random_dataset(seed, n_users=4, max_objects=6).objects
+        flat = normalize(ppj_self_join(objects, 0.2, 0.4))
+        grid = normalize(ppj_c_join(objects, 0.2, 0.4))
+        rtree = normalize(ppj_r_join(objects, 0.2, 0.4, fanout=8))
+        assert flat == grid == rtree

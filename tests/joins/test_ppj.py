@@ -1,0 +1,66 @@
+"""The flat spatio-textual point join (PPJ) against the quadratic oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.ppj import naive_st_join, ppj_rs_join, ppj_self_join
+from tests.helpers import build_random_dataset
+
+
+def normalize(pairs):
+    return {(i, j) if i < j else (j, i) for i, j in pairs}
+
+
+PARAMS = [(0.1, 0.3), (0.3, 0.5), (0.05, 0.2), (0.5, 1.0)]
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("eps_loc,eps_doc", PARAMS)
+    def test_matches_oracle(self, eps_loc, eps_doc):
+        for seed in range(8):
+            objects = build_random_dataset(seed, n_users=5).objects
+            expected = normalize(naive_st_join(objects, eps_loc, eps_doc))
+            got = normalize(ppj_self_join(objects, eps_loc, eps_doc))
+            assert got == expected, f"seed={seed}"
+
+    def test_suffix_variant_matches_oracle(self):
+        for seed in range(8):
+            objects = build_random_dataset(seed, n_users=5).objects
+            expected = normalize(naive_st_join(objects, 0.2, 0.4))
+            got = normalize(ppj_self_join(objects, 0.2, 0.4, suffix=True))
+            assert got == expected
+
+    def test_empty(self):
+        assert ppj_self_join([], 0.1, 0.5) == []
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_fuzz(self, seed):
+        objects = build_random_dataset(seed, n_users=4, max_objects=6).objects
+        expected = normalize(naive_st_join(objects, 0.2, 0.4))
+        assert normalize(ppj_self_join(objects, 0.2, 0.4)) == expected
+
+
+class TestRSJoin:
+    @pytest.mark.parametrize("eps_loc,eps_doc", PARAMS)
+    def test_matches_oracle(self, eps_loc, eps_doc):
+        for seed in range(8):
+            ds = build_random_dataset(seed, n_users=4)
+            if len(ds.users) < 2:
+                continue
+            objs_r = ds.user_objects(ds.users[0])
+            objs_s = ds.user_objects(ds.users[1])
+            expected = {
+                (i, j)
+                for i, a in enumerate(objs_r)
+                for j, b in enumerate(objs_s)
+                if (a.x - b.x) ** 2 + (a.y - b.y) ** 2 <= eps_loc * eps_loc
+                and a.doc_set
+                and b.doc_set
+                and len(a.doc_set & b.doc_set)
+                / len(a.doc_set | b.doc_set)
+                >= eps_doc
+            }
+            got = set(ppj_rs_join(objs_r, objs_s, eps_loc, eps_doc))
+            assert got == expected, f"seed={seed}"

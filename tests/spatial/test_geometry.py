@@ -1,0 +1,173 @@
+"""Tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Point, Rect, bounding_rect, euclidean, euclidean_sq
+
+coords = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def make_rect(a: float, b: float, c: float, d: float) -> Rect:
+    return Rect(min(a, b), min(c, d), max(a, b), max(c, d))
+
+
+rects = st.builds(make_rect, coords, coords, coords, coords)
+
+
+class TestDistances:
+    def test_euclidean_matches_hypot(self):
+        assert euclidean(0, 0, 3, 4) == pytest.approx(5.0)
+
+    def test_euclidean_sq_is_square(self):
+        assert euclidean_sq(1, 1, 4, 5) == pytest.approx(25.0)
+
+    @given(coords, coords, coords, coords)
+    def test_symmetry(self, ax, ay, bx, by):
+        assert euclidean(ax, ay, bx, by) == pytest.approx(euclidean(bx, by, ax, ay))
+
+    @given(coords, coords)
+    def test_identity(self, x, y):
+        assert euclidean(x, y, x, y) == 0.0
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_sq(self):
+        assert Point(0, 0).distance_sq(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+
+class TestRectConstruction:
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point(2.0, 3.0)
+        assert r.area() == 0.0
+        assert r.contains_point(2.0, 3.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([(0, 5), (2, 1), (-1, 3)])
+        assert r == Rect(-1, 1, 2, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_from_points_contains_all(self, pts):
+        r = Rect.from_points(pts)
+        assert all(r.contains_point(x, y) for x, y in pts)
+
+
+class TestRectPredicates:
+    @given(rects, rects)
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects, rects)
+    def test_intersection_consistent_with_intersects(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects, rects)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects)
+    def test_self_containment(self, r):
+        assert r.contains_rect(r)
+        assert r.intersects(r)
+
+    def test_touching_rects_intersect(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+
+class TestRectMeasures:
+    def test_area_perimeter(self):
+        r = Rect(0, 0, 2, 3)
+        assert r.area() == 6.0
+        assert r.perimeter() == 10.0
+        assert r.center() == (1.0, 1.5)
+
+    @given(rects, rects)
+    def test_enlargement_nonnegative(self, a, b):
+        assert a.enlargement(b) >= -1e-9
+
+
+class TestRectExtend:
+    def test_extend_grows_every_side(self):
+        r = Rect(0, 0, 1, 1).extend(0.5)
+        assert r == Rect(-0.5, -0.5, 1.5, 1.5)
+
+    def test_extend_zero_is_identity(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.extend(0.0) == r
+
+    def test_extend_negative_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).extend(-0.1)
+
+    @given(rects, st.floats(0, 10, allow_nan=False))
+    def test_extend_contains_original(self, r, eps):
+        assert r.extend(eps).contains_rect(r)
+
+
+class TestRectDistances:
+    def test_min_distance_to_inside_point_is_zero(self):
+        assert Rect(0, 0, 1, 1).min_distance_to_point(0.5, 0.5) == 0.0
+
+    def test_min_distance_to_corner_point(self):
+        assert Rect(0, 0, 1, 1).min_distance_to_point(4, 5) == pytest.approx(5.0)
+
+    def test_min_distance_between_rects(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(4, 5, 6, 7)
+        assert a.min_distance(b) == pytest.approx(5.0)
+
+    @given(rects, rects)
+    def test_min_distance_zero_iff_intersecting(self, a, b):
+        assert (a.min_distance(b) == 0.0) == a.intersects(b)
+
+    @given(rects, st.floats(0, 5, allow_nan=False), rects)
+    def test_extension_intersection_vs_distance(self, a, eps, b):
+        # Two rects extended by eps/2 each intersect iff distance <= eps
+        # (checked away from the float boundary, where the two formulations
+        # can legitimately round differently).
+        from hypothesis import assume
+
+        distance = a.min_distance(b)
+        assume(abs(distance - eps) > 1e-9 * max(1.0, eps))
+        extended = a.extend(eps / 2).intersects(b.extend(eps / 2))
+        assert extended == (distance < eps)
+
+
+class TestBoundingRect:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_rect([])
+
+    def test_covers_all(self):
+        rs = [Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)]
+        u = bounding_rect(rs)
+        assert all(u.contains_rect(r) for r in rs)

@@ -1,0 +1,76 @@
+"""Tests for the quadtree partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import Rect
+from repro.spatial.quadtree import QuadTree
+
+
+def random_points(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return [
+        (float(x), float(y), i)
+        for i, (x, y) in enumerate(rng.uniform(0, 1, (n, 2)))
+    ]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadTree(Rect(0, 0, 1, 1), capacity=0)
+        with pytest.raises(ValueError):
+            QuadTree(Rect(0, 0, 1, 1), max_depth=0)
+
+    def test_outside_point_rejected(self):
+        qt = QuadTree(Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            qt.insert(2.0, 0.5, "x")
+
+    def test_len_tracks_inserts(self):
+        qt = QuadTree(Rect(0, 0, 1, 1), capacity=4)
+        for x, y, i in random_points(25):
+            qt.insert(x, y, i)
+        assert len(qt) == 25
+
+
+class TestQueries:
+    def test_range_query_matches_scan(self):
+        pts = random_points(300, seed=1)
+        qt = QuadTree(Rect(0, 0, 1, 1), capacity=8)
+        for x, y, i in pts:
+            qt.insert(x, y, i)
+        for q in (Rect(0, 0, 0.3, 0.3), Rect(0.4, 0.1, 0.9, 0.8), Rect(0, 0, 1, 1)):
+            expected = {i for x, y, i in pts if q.contains_point(x, y)}
+            assert {i for _, _, i in qt.range_query(q)} == expected
+
+    def test_empty_tree_query(self):
+        qt = QuadTree(Rect(0, 0, 1, 1))
+        assert qt.range_query(Rect(0, 0, 1, 1)) == []
+
+
+class TestPartitions:
+    def test_splits_beyond_capacity(self):
+        qt = QuadTree(Rect(0, 0, 1, 1), capacity=4)
+        for x, y, i in random_points(100, seed=2):
+            qt.insert(x, y, i)
+        leaves = qt.leaves()
+        assert len(leaves) > 1
+        assert sum(len(l.entries) for l in leaves) == 100
+        assert [l.leaf_id for l in leaves] == list(range(len(leaves)))
+
+    def test_max_depth_absorbs_duplicates(self):
+        qt = QuadTree(Rect(0, 0, 1, 1), capacity=2, max_depth=3)
+        for i in range(40):
+            qt.insert(0.5001, 0.5001, i)
+        assert len(qt) == 40
+        assert sum(len(l.entries) for l in qt.leaves()) == 40
+
+    def test_leaf_mbr_tight(self):
+        qt = QuadTree(Rect(0, 0, 1, 1), capacity=16)
+        pts = random_points(60, seed=3)
+        for x, y, i in pts:
+            qt.insert(x, y, i)
+        for leaf in qt.leaves():
+            for x, y, _ in leaf.entries:
+                assert leaf.mbr.contains_point(x, y)

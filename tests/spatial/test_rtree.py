@@ -1,0 +1,175 @@
+"""Tests for the R-tree: bulk load, dynamic insert, queries, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Rect
+from repro.spatial.rtree import RTree
+
+
+def random_points(n: int, seed: int = 0, extent: float = 1.0):
+    rng = np.random.default_rng(seed)
+    return [
+        (float(x), float(y), i)
+        for i, (x, y) in enumerate(rng.uniform(0, extent, (n, 2)))
+    ]
+
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(0, 1, allow_nan=False),
+        st.floats(0, 1, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestConstruction:
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            RTree(fanout=1)
+        with pytest.raises(ValueError):
+            RTree(fanout=10, min_fill=0.9)
+
+    def test_empty_bulk_load(self):
+        tree = RTree.bulk_load([], fanout=8)
+        assert len(tree) == 0
+        assert tree.range_query(Rect(0, 0, 1, 1)) == []
+        assert tree.leaves() == []
+
+    def test_single_point(self):
+        tree = RTree.bulk_load([(0.5, 0.5, "a")], fanout=8)
+        assert len(tree) == 1
+        assert tree.range_query(Rect(0, 0, 1, 1)) == [(0.5, 0.5, "a")]
+
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 64, 65, 500])
+    def test_bulk_load_sizes_and_invariants(self, n):
+        tree = RTree.bulk_load(random_points(n), fanout=8)
+        assert len(tree) == n
+        tree.validate()
+        assert sum(len(leaf.entries) for leaf in tree.leaves()) == n
+
+    def test_bulk_load_deterministic(self):
+        pts = random_points(200, seed=3)
+        a = RTree.bulk_load(list(pts), fanout=16)
+        b = RTree.bulk_load(list(pts), fanout=16)
+        assert [l.mbr for l in a.leaves()] == [l.mbr for l in b.leaves()]
+
+    def test_height_grows_with_size(self):
+        small = RTree.bulk_load(random_points(8), fanout=8)
+        large = RTree.bulk_load(random_points(1000), fanout=8)
+        assert large.height > small.height
+
+
+class TestDynamicInsert:
+    def test_insert_then_query(self):
+        tree = RTree(fanout=4)
+        pts = random_points(100, seed=1)
+        for x, y, item in pts:
+            tree.insert(x, y, item)
+        tree.validate()
+        assert len(tree) == 100
+        q = Rect(0.25, 0.25, 0.75, 0.75)
+        expected = {i for x, y, i in pts if q.contains_point(x, y)}
+        assert {i for _, _, i in tree.range_query(q)} == expected
+
+    def test_duplicate_locations(self):
+        tree = RTree(fanout=4)
+        for i in range(50):
+            tree.insert(0.5, 0.5, i)
+        tree.validate()
+        assert len(tree.range_query(Rect.from_point(0.5, 0.5))) == 50
+
+    @given(points_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_insert_matches_linear_scan(self, pts):
+        tree = RTree(fanout=4)
+        for i, (x, y) in enumerate(pts):
+            tree.insert(x, y, i)
+        q = Rect(0.2, 0.2, 0.8, 0.8)
+        expected = {i for i, (x, y) in enumerate(pts) if q.contains_point(x, y)}
+        assert {i for _, _, i in tree.range_query(q)} == expected
+
+
+class TestQueries:
+    def test_range_query_matches_scan(self):
+        pts = random_points(400, seed=2)
+        tree = RTree.bulk_load(pts, fanout=16)
+        for q in (Rect(0, 0, 0.1, 0.1), Rect(0.3, 0.4, 0.9, 0.6), Rect(0, 0, 1, 1)):
+            expected = {i for x, y, i in pts if q.contains_point(x, y)}
+            assert {i for _, _, i in tree.range_query(q)} == expected
+
+    def test_within_distance_matches_scan(self):
+        pts = random_points(300, seed=4)
+        tree = RTree.bulk_load(pts, fanout=16)
+        cx, cy, eps = 0.5, 0.5, 0.12
+        expected = {
+            i for x, y, i in pts if (x - cx) ** 2 + (y - cy) ** 2 <= eps * eps
+        }
+        assert {i for _, _, i in tree.within_distance(cx, cy, eps)} == expected
+
+    def test_within_distance_zero_radius(self):
+        tree = RTree.bulk_load([(0.5, 0.5, "hit"), (0.6, 0.6, "miss")], fanout=4)
+        assert [i for _, _, i in tree.within_distance(0.5, 0.5, 0.0)] == ["hit"]
+
+    def test_nearest_matches_scan(self):
+        pts = random_points(300, seed=9)
+        tree = RTree.bulk_load(pts, fanout=16)
+        qx, qy = 0.4, 0.6
+        expected = sorted(
+            ((x - qx) ** 2 + (y - qy) ** 2, i) for x, y, i in pts
+        )[:7]
+        got = tree.nearest(qx, qy, k=7)
+        assert [i for _, _, i in got] == [i for _, i in expected]
+
+    def test_nearest_k_exceeds_size(self):
+        pts = random_points(5, seed=10)
+        tree = RTree.bulk_load(pts, fanout=4)
+        assert len(tree.nearest(0.5, 0.5, k=50)) == 5
+
+    def test_nearest_empty_tree(self):
+        tree = RTree.bulk_load([], fanout=4)
+        assert tree.nearest(0.5, 0.5, k=3) == []
+
+    def test_nearest_invalid_k(self):
+        tree = RTree.bulk_load(random_points(5), fanout=4)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            tree.nearest(0.5, 0.5, k=0)
+
+    def test_iter_entries_complete(self):
+        pts = random_points(77, seed=5)
+        tree = RTree.bulk_load(pts, fanout=8)
+        assert sorted(i for _, _, i in tree.iter_entries()) == list(range(77))
+
+
+class TestLeaves:
+    def test_leaf_ids_stable_and_dense(self):
+        tree = RTree.bulk_load(random_points(200, seed=6), fanout=16)
+        leaves = tree.leaves()
+        assert [l.leaf_id for l in leaves] == list(range(len(leaves)))
+        # Second call returns the same objects.
+        assert tree.leaves() is leaves
+
+    def test_leaves_respect_fanout(self):
+        tree = RTree.bulk_load(random_points(500, seed=7), fanout=25)
+        assert all(len(l.entries) <= 25 for l in tree.leaves())
+
+    def test_fanout_controls_leaf_count(self):
+        pts = random_points(600, seed=8)
+        few = len(RTree.bulk_load(pts, fanout=200).leaves())
+        many = len(RTree.bulk_load(pts, fanout=20).leaves())
+        assert many > few
+
+    def test_leaves_refresh_after_insert(self):
+        tree = RTree(fanout=4)
+        tree.insert(0.1, 0.1, 0)
+        assert len(tree.leaves()) == 1
+        for i in range(1, 30):
+            tree.insert(i / 30, i / 30, i)
+        leaves = tree.leaves()
+        assert sum(len(l.entries) for l in leaves) == 30

@@ -1,0 +1,121 @@
+"""Tests for the plane-sweep and R-tree spatial joins against oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Rect
+from repro.spatial.rtree import RTree
+from repro.spatial.spatial_join import (
+    rtree_leaf_join,
+    rtree_relevant_leaf_pairs,
+    sweep_point_pairs,
+    sweep_rect_pairs,
+)
+
+coords = st.floats(0, 1, allow_nan=False)
+
+
+def make_rect(a, b, c, d):
+    return Rect(min(a, b), min(c, d), max(a, b), max(c, d))
+
+
+rect_lists = st.lists(st.builds(make_rect, coords, coords, coords, coords), max_size=40)
+point_lists = st.lists(st.tuples(coords, coords), max_size=50)
+
+
+class TestSweepRectPairs:
+    @given(rect_lists, rect_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, rects_a, rects_b):
+        expected = {
+            (i, j)
+            for i in range(len(rects_a))
+            for j in range(len(rects_b))
+            if rects_a[i].intersects(rects_b[j])
+        }
+        assert set(sweep_rect_pairs(rects_a, rects_b)) == expected
+
+    def test_empty_inputs(self):
+        assert list(sweep_rect_pairs([], [Rect(0, 0, 1, 1)])) == []
+        assert list(sweep_rect_pairs([Rect(0, 0, 1, 1)], [])) == []
+
+    def test_no_duplicate_pairs(self):
+        rects = [Rect(0, 0, 1, 1)] * 5
+        out = list(sweep_rect_pairs(rects, rects))
+        assert len(out) == len(set(out)) == 25
+
+
+class TestSweepPointPairs:
+    @given(point_lists, point_lists, st.floats(0.01, 0.5, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, pts_a, pts_b, eps):
+        expected = {
+            (i, j)
+            for i, (ax, ay) in enumerate(pts_a)
+            for j, (bx, by) in enumerate(pts_b)
+            if (ax - bx) ** 2 + (ay - by) ** 2 <= eps * eps
+        }
+        assert set(sweep_point_pairs(pts_a, pts_b, eps)) == expected
+
+
+def _build_tree(n: int, seed: int, fanout: int = 8) -> RTree:
+    rng = np.random.default_rng(seed)
+    pts = [
+        (float(x), float(y), i)
+        for i, (x, y) in enumerate(rng.uniform(0, 1, (n, 2)))
+    ]
+    return RTree.bulk_load(pts, fanout=fanout)
+
+
+class TestRTreeLeafJoin:
+    @pytest.mark.parametrize("eps", [0.0, 0.02, 0.1, 0.5])
+    def test_self_join_matches_bruteforce(self, eps):
+        tree = _build_tree(300, seed=1)
+        leaves = tree.leaves()
+        expected = {
+            (a.leaf_id, b.leaf_id)
+            for a in leaves
+            for b in leaves
+            if a.leaf_id <= b.leaf_id
+            and a.mbr.extend(eps).intersects(b.mbr.extend(eps))
+        }
+        assert rtree_relevant_leaf_pairs(tree, eps) == expected
+
+    def test_cross_tree_join_matches_bruteforce(self):
+        tree_a = _build_tree(150, seed=2)
+        tree_b = _build_tree(180, seed=3)
+        eps = 0.03
+        expected = {
+            (a.leaf_id, b.leaf_id)
+            for a in tree_a.leaves()
+            for b in tree_b.leaves()
+            if a.mbr.extend(eps).intersects(b.mbr.extend(eps))
+        }
+        got = {(a.leaf_id, b.leaf_id) for a, b in rtree_leaf_join(tree_a, tree_b, eps)}
+        assert got == expected
+
+    def test_unequal_heights(self):
+        shallow = _build_tree(10, seed=4, fanout=16)
+        deep = _build_tree(800, seed=5, fanout=4)
+        eps = 0.01
+        expected = {
+            (a.leaf_id, b.leaf_id)
+            for a in shallow.leaves()
+            for b in deep.leaves()
+            if a.mbr.extend(eps).intersects(b.mbr.extend(eps))
+        }
+        got = {(a.leaf_id, b.leaf_id) for a, b in rtree_leaf_join(shallow, deep, eps)}
+        assert got == expected
+
+    def test_empty_tree(self):
+        empty = RTree.bulk_load([], fanout=8)
+        full = _build_tree(50, seed=6)
+        assert list(rtree_leaf_join(empty, full, 0.1)) == []
+
+    def test_self_pairs_included(self):
+        tree = _build_tree(100, seed=7)
+        pairs = rtree_relevant_leaf_pairs(tree, 0.0)
+        for leaf in tree.leaves():
+            assert (leaf.leaf_id, leaf.leaf_id) in pairs

@@ -1,0 +1,83 @@
+"""IR-tree: identical answers to the plain index, fewer node expansions."""
+
+import pytest
+
+from repro.stindex.irtree import IRTree
+from repro.stindex.queries import SpatialKeywordIndex
+from tests.helpers import build_random_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_random_dataset(23, n_users=12, max_objects=12, vocab=20)
+
+
+@pytest.fixture(scope="module")
+def irtree(dataset):
+    return IRTree(dataset, fanout=8)
+
+
+@pytest.fixture(scope="module")
+def plain(dataset):
+    return SpatialKeywordIndex(dataset, fanout=8)
+
+
+class TestAnnotations:
+    def test_root_summary_is_full_vocabulary(self, dataset, irtree):
+        all_tokens = set()
+        for obj in dataset.objects:
+            all_tokens.update(obj.doc)
+        assert irtree.node_tokens(irtree.tree.root) == frozenset(all_tokens)
+
+    def test_child_summaries_subset_of_parent(self, irtree):
+        stack = [irtree.tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            parent_tokens = irtree.node_tokens(node)
+            for child in node.children:
+                assert irtree.node_tokens(child) <= parent_tokens
+                stack.append(child)
+
+    def test_leaf_summaries_cover_entries(self, irtree):
+        for leaf in irtree.tree.leaves():
+            tokens = irtree.node_tokens(leaf)
+            for _, _, obj in leaf.entries:
+                assert set(obj.doc) <= tokens
+
+
+class TestQueryEquivalence:
+    @pytest.mark.parametrize("alpha", [0.0, 0.3, 0.7, 1.0])
+    @pytest.mark.parametrize("keywords", [{"k1"}, {"k1", "k5"}, {"k2", "k9", "k13"}])
+    def test_same_costs_as_plain_index(self, irtree, plain, alpha, keywords):
+        got = irtree.topk_relevance(0.4, 0.6, keywords, k=7, alpha=alpha)
+        expected = plain.topk_relevance(0.4, 0.6, keywords, k=7, alpha=alpha)
+        assert [round(c, 12) for _, c in got] == [round(c, 12) for _, c in expected]
+
+    def test_unknown_keywords(self, irtree, plain):
+        got = irtree.topk_relevance(0.5, 0.5, {"nope"}, k=3, alpha=0.5)
+        expected = plain.topk_relevance(0.5, 0.5, {"nope"}, k=3, alpha=0.5)
+        assert [round(c, 12) for _, c in got] == [round(c, 12) for _, c in expected]
+
+    def test_validation(self, irtree):
+        with pytest.raises(ValueError):
+            irtree.topk_relevance(0.5, 0.5, {"k1"}, k=0)
+        with pytest.raises(ValueError):
+            irtree.topk_relevance(0.5, 0.5, {"k1"}, k=3, alpha=-0.1)
+
+
+class TestPruningAdvantage:
+    def test_fewer_expansions_on_selective_query(self, dataset, irtree, plain):
+        """A rare-token, text-heavy query must expand no more IR-tree nodes
+        than the summary-less best-first search, and typically far fewer."""
+        df = {}
+        for obj in dataset.objects:
+            for t in dataset.vocab.decode(obj.doc):
+                df[t] = df.get(t, 0) + 1
+        rare = min(df, key=df.get)
+
+        got = irtree.topk_relevance(0.5, 0.5, {rare}, k=3, alpha=0.1)
+        expected = plain.topk_relevance(0.5, 0.5, {rare}, k=3, alpha=0.1)
+        assert [round(c, 12) for _, c in got] == [round(c, 12) for _, c in expected]
+        assert 1 <= irtree.expansions <= plain.expansions

@@ -1,0 +1,184 @@
+"""Spatial keyword queries against brute-force oracles."""
+
+import math
+
+import pytest
+
+from repro.spatial.geometry import Rect
+from repro.stindex.queries import SpatialKeywordIndex
+from tests.helpers import build_random_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_random_dataset(17, n_users=10, max_objects=10, vocab=15)
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    return SpatialKeywordIndex(dataset, fanout=8)
+
+
+def keyword_set(dataset, obj):
+    return set(dataset.vocab.decode(obj.doc))
+
+
+class TestBooleanRange:
+    def test_and_semantics_match_scan(self, dataset, index):
+        window = Rect(0.2, 0.2, 0.8, 0.8)
+        keywords = {"k1", "k2"}
+        expected = {
+            o.oid
+            for o in dataset.objects
+            if window.contains_point(o.x, o.y)
+            and keywords <= keyword_set(dataset, o)
+        }
+        got = {o.oid for o in index.boolean_range(window, keywords)}
+        assert got == expected
+
+    def test_or_semantics_match_scan(self, dataset, index):
+        window = Rect(0.0, 0.0, 1.0, 1.0)
+        keywords = {"k3", "k7"}
+        expected = {
+            o.oid
+            for o in dataset.objects
+            if keywords & keyword_set(dataset, o)
+        }
+        got = {o.oid for o in index.boolean_range(window, keywords, match_all=False)}
+        assert got == expected
+
+    def test_unknown_keyword_and(self, index):
+        assert index.boolean_range(Rect(0, 0, 1, 1), {"k1", "nope"}) == []
+
+    def test_unknown_keyword_or(self, dataset, index):
+        got = index.boolean_range(Rect(0, 0, 1, 1), {"k1", "nope"}, match_all=False)
+        expected = index.boolean_range(Rect(0, 0, 1, 1), {"k1"}, match_all=False)
+        assert {o.oid for o in got} == {o.oid for o in expected}
+
+    def test_empty_keywords(self, index):
+        assert index.boolean_range(Rect(0, 0, 1, 1), set()) == []
+
+
+class TestKnnKeyword:
+    def test_matches_scan(self, dataset, index):
+        qx, qy = 0.5, 0.5
+        keywords = {"k1"}
+        candidates = [
+            (math.hypot(o.x - qx, o.y - qy), o.oid)
+            for o in dataset.objects
+            if "k1" in keyword_set(dataset, o)
+        ]
+        candidates.sort()
+        got = index.knn_keyword(qx, qy, keywords, k=5)
+        # Distance multiset must match the 5 smallest distances.
+        assert [round(d, 12) for _, d in got] == [
+            round(d, 12) for d, _ in candidates[:5]
+        ]
+
+    def test_results_sorted_by_distance(self, index):
+        got = index.knn_keyword(0.1, 0.9, {"k2"}, k=8)
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+
+    def test_all_results_satisfy_predicate(self, dataset, index):
+        got = index.knn_keyword(0.5, 0.5, {"k1", "k2"}, k=4, match_all=True)
+        for obj, _ in got:
+            assert {"k1", "k2"} <= keyword_set(dataset, obj)
+
+    def test_fewer_matches_than_k(self, dataset, index):
+        total = sum(1 for o in dataset.objects if "k1" in keyword_set(dataset, o))
+        got = index.knn_keyword(0.5, 0.5, {"k1"}, k=total + 50)
+        assert len(got) == total
+
+    def test_unknown_keyword(self, index):
+        assert index.knn_keyword(0.5, 0.5, {"nope"}, k=3) == []
+
+    def test_invalid_k(self, index):
+        with pytest.raises(ValueError):
+            index.knn_keyword(0.5, 0.5, {"k1"}, k=0)
+
+
+class TestTopkRelevance:
+    def brute_force(self, dataset, index, qx, qy, keywords, k, alpha):
+        tokens = frozenset(dataset.vocab.encode_partial(keywords))
+        scored = []
+        for o in dataset.objects:
+            d = math.hypot(o.x - qx, o.y - qy) / index.diameter
+            inter = len(tokens & o.doc_set)
+            union = len(tokens) + len(o.doc_set) - inter
+            tau = inter / union if union else 1.0
+            scored.append((alpha * d + (1 - alpha) * (1 - tau), o.oid))
+        scored.sort()
+        return scored[:k]
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.3, 0.5, 1.0])
+    def test_matches_scan(self, dataset, index, alpha):
+        got = index.topk_relevance(0.4, 0.6, {"k1", "k4"}, k=6, alpha=alpha)
+        expected = self.brute_force(dataset, index, 0.4, 0.6, {"k1", "k4"}, 6, alpha)
+        assert [round(c, 12) for _, c in got] == [
+            round(c, 12) for c, _ in expected
+        ]
+
+    def test_costs_sorted(self, index):
+        got = index.topk_relevance(0.5, 0.5, {"k1"}, k=10)
+        costs = [c for _, c in got]
+        assert costs == sorted(costs)
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError):
+            index.topk_relevance(0.5, 0.5, {"k1"}, k=0)
+        with pytest.raises(ValueError):
+            index.topk_relevance(0.5, 0.5, {"k1"}, k=3, alpha=1.5)
+
+    def test_alpha_one_is_pure_distance(self, dataset, index):
+        got = index.topk_relevance(0.5, 0.5, {"k1"}, k=3, alpha=1.0)
+        dists = sorted(
+            math.hypot(o.x - 0.5, o.y - 0.5) / index.diameter
+            for o in dataset.objects
+        )
+        assert [round(c, 12) for _, c in got] == [round(d, 12) for d in dists[:3]]
+
+
+class TestFuzz:
+    """Random datasets and windows against brute force."""
+
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("seed", range(6))
+    def test_boolean_range_fuzz(self, seed):
+        import numpy as np
+
+        ds = build_random_dataset(seed + 100, n_users=8, vocab=12)
+        idx = SpatialKeywordIndex(ds, fanout=8)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            a, b, c, d = rng.uniform(0, 1, 4)
+            window = Rect(min(a, b), min(c, d), max(a, b), max(c, d))
+            kw = {f"k{int(t)}" for t in rng.integers(0, 12, 2)}
+            expected = {
+                o.oid
+                for o in ds.objects
+                if window.contains_point(o.x, o.y)
+                and kw <= set(map(str, ds.vocab.decode(o.doc)))
+            }
+            got = {o.oid for o in idx.boolean_range(window, kw)}
+            assert got == expected
+
+    @_pytest.mark.parametrize("seed", range(6))
+    def test_knn_fuzz(self, seed):
+        import math
+
+        import numpy as np
+
+        ds = build_random_dataset(seed + 200, n_users=8, vocab=10)
+        idx = SpatialKeywordIndex(ds, fanout=8)
+        rng = np.random.default_rng(seed)
+        qx, qy = rng.uniform(0, 1, 2)
+        kw = f"k{int(rng.integers(0, 10))}"
+        expected = sorted(
+            math.hypot(o.x - qx, o.y - qy)
+            for o in ds.objects
+            if kw in set(map(str, ds.vocab.decode(o.doc)))
+        )[:4]
+        got = [d for _, d in idx.knn_keyword(float(qx), float(qy), {kw}, k=4)]
+        assert [round(v, 12) for v in got] == [round(v, 12) for v in expected]

@@ -1,0 +1,119 @@
+"""The spatio-textual grid index (Figure 3)."""
+
+import pytest
+
+from repro.stindex.stgrid import STGridIndex
+from tests.helpers import build_random_dataset
+
+
+@pytest.fixture
+def dataset():
+    return build_random_dataset(3, n_users=6)
+
+
+@pytest.fixture
+def index(dataset):
+    return STGridIndex.build(dataset, eps_loc=0.2)
+
+
+class TestConstruction:
+    def test_every_object_indexed(self, dataset, index):
+        total = sum(
+            index.cell_user_count(cell, user)
+            for user in dataset.users
+            for cell in index.user_cells(user)
+        )
+        assert total == dataset.num_objects
+
+    def test_user_cells_sorted_by_id(self, dataset, index):
+        for user in dataset.users:
+            cells = index.user_cells(user)
+            ids = [index.grid.cell_id(c) for c in cells]
+            assert ids == sorted(ids)
+
+    def test_unknown_user_empty(self, index):
+        assert index.user_cells("ghost") == []
+        assert index.cell_objects((0, 0), "ghost") == []
+
+    def test_cell_objects_belong_to_cell_and_user(self, dataset, index):
+        for user in dataset.users:
+            for cell in index.user_cells(user):
+                for obj in index.cell_objects(cell, user):
+                    assert obj.user == user
+                    assert index.grid.cell_of(obj.x, obj.y) == cell
+
+    def test_incremental_matches_bulk(self, dataset):
+        bulk = STGridIndex.build(dataset, eps_loc=0.2)
+        incr = STGridIndex(dataset.bounds, 0.2)
+        for user in dataset.users:
+            incr.add_user(user, dataset.user_objects(user))
+        for user in dataset.users:
+            assert incr.user_cells(user) == bulk.user_cells(user)
+
+    def test_user_subset_build(self, dataset):
+        index = STGridIndex.build(dataset, 0.2, users=dataset.users[:2])
+        assert index.user_cells(dataset.users[2]) == []
+
+    def test_add_user_twice_merges_cells(self, dataset):
+        index = STGridIndex(dataset.bounds, 0.2)
+        user = dataset.users[0]
+        objs = dataset.user_objects(user)
+        index.add_user(user, objs[:1])
+        index.add_user(user, objs[1:])
+        counts = sum(
+            index.cell_user_count(c, user) for c in index.user_cells(user)
+        )
+        assert counts == len(objs)
+
+
+class TestTokenLists:
+    def test_token_users_complete(self, dataset, index):
+        """Every (cell, token, user) occurrence must be probe-able."""
+        for obj in dataset.objects:
+            cell = index.grid.cell_of(obj.x, obj.y)
+            for token in obj.doc:
+                assert obj.user in index.token_users(cell, token)
+
+    def test_token_users_no_false_entries(self, dataset, index):
+        for user in dataset.users:
+            for cell in index.user_cells(user):
+                tokens = index.user_cell_tokens(user, cell)
+                for token in tokens:
+                    assert user in index.token_users(cell, token)
+
+    def test_missing_token_empty(self, index):
+        assert index.token_users((0, 0), 999999) == set()
+
+    def test_without_tokens_raises(self, dataset):
+        index = STGridIndex.build(dataset, 0.2, with_tokens=False)
+        with pytest.raises(RuntimeError):
+            index.token_users((0, 0), 1)
+
+    def test_user_cell_tokens_union_of_docs(self, dataset, index):
+        user = dataset.users[0]
+        for cell in index.user_cells(user):
+            expected = set()
+            for obj in index.cell_objects(cell, user):
+                expected.update(obj.doc)
+            assert index.user_cell_tokens(user, cell) == expected
+
+
+class TestNeighbourhoods:
+    def test_relevant_cells_delegates_to_grid(self, index):
+        cell = (1, 1)
+        assert set(index.relevant_cells(cell)) == set(
+            index.grid.relevant_cells(cell)
+        )
+
+    def test_occupied_relevant_cells_subset(self, dataset, index):
+        user = dataset.users[0]
+        for cell in index.user_cells(user):
+            occupied = index.occupied_relevant_cells(cell)
+            assert set(occupied) <= set(index.relevant_cells(cell))
+            assert cell in occupied
+
+    def test_cell_users(self, dataset, index):
+        user = dataset.users[0]
+        cell = index.user_cells(user)[0]
+        assert user in index.cell_users(cell)
+        assert index.cell_users((999, 999)) == []

@@ -1,0 +1,302 @@
+"""End-to-end CLI tests (invoking main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def dataset_path(tmp_path):
+    path = tmp_path / "data.tsv"
+    code = main(
+        [
+            "generate",
+            "--preset",
+            "twitter",
+            "--users",
+            "25",
+            "--seed",
+            "1",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_file(self, dataset_path, capsys):
+        assert dataset_path.exists()
+
+    def test_output_mentions_counts(self, tmp_path, capsys):
+        path = tmp_path / "x.tsv"
+        main(["generate", "--preset", "geotext", "--users", "5", "--out", str(path)])
+        out = capsys.readouterr().out
+        assert "5 users" in out
+
+
+class TestIngest:
+    def test_ingest_roundtrip(self, tmp_path, capsys):
+        raw = tmp_path / "raw.txt"
+        raw.write_text(
+            "ana\t0.1\t0.1\tmorning coffee in soho\n"
+            "ben\t0.2\t0.2\tfootball tonight\n"
+        )
+        out = tmp_path / "data.tsv"
+        code = main(
+            [
+                "ingest",
+                str(raw),
+                "--out",
+                str(out),
+                "--user-col",
+                "0",
+                "--x-col",
+                "1",
+                "--y-col",
+                "2",
+                "--text-col",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "ingested 2 objects" in capsys.readouterr().out
+        assert main(["stats", str(out)]) == 0
+
+
+class TestStats(object):
+    def test_prints_table(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Objects" in out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "absent.tsv")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestJoin:
+    def test_join_runs(self, dataset_path, capsys):
+        code = main(
+            [
+                "join",
+                str(dataset_path),
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "--eps-user",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        assert "pairs" in capsys.readouterr().out
+
+    def test_all_algorithms_accepted(self, dataset_path, capsys):
+        for algo in ("naive", "s-ppj-c", "s-ppj-b", "s-ppj-f", "s-ppj-d"):
+            code = main(
+                [
+                    "join",
+                    str(dataset_path),
+                    "--eps-loc",
+                    "0.01",
+                    "--eps-doc",
+                    "0.3",
+                    "--eps-user",
+                    "0.2",
+                    "--algorithm",
+                    algo,
+                ]
+            )
+            assert code == 0
+
+    def test_invalid_threshold_errors(self, dataset_path, capsys):
+        code = main(
+            [
+                "join",
+                str(dataset_path),
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "2.0",
+                "--eps-user",
+                "0.2",
+            ]
+        )
+        assert code == 2
+
+
+class TestTopK:
+    def test_topk_runs(self, dataset_path, capsys):
+        code = main(
+            [
+                "topk",
+                str(dataset_path),
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "-k",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "top-3" in capsys.readouterr().out
+
+
+class TestKnn:
+    def test_knn_runs(self, dataset_path, capsys):
+        code = main(
+            [
+                "knn",
+                str(dataset_path),
+                "--user",
+                "0",
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "-k",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "similar users" in capsys.readouterr().out
+
+    def test_unknown_user_errors(self, dataset_path, capsys):
+        code = main(
+            [
+                "knn",
+                str(dataset_path),
+                "--user",
+                "no-such-user",
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "-k",
+                "3",
+            ]
+        )
+        assert code == 2
+
+
+class TestParallelJoin:
+    def test_workers_flag(self, dataset_path, capsys):
+        code = main(
+            [
+                "join",
+                str(dataset_path),
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "--eps-user",
+                "0.2",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "parallel ppj-b" in capsys.readouterr().out
+
+
+class TestOutFlag:
+    def test_join_writes_pairs(self, dataset_path, tmp_path, capsys):
+        out = tmp_path / "pairs.tsv"
+        code = main(
+            [
+                "join",
+                str(dataset_path),
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "--eps-user",
+                "0.2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        from repro.core.export import load_pairs
+
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+        loaded = load_pairs(out)
+        assert all(0 < p.score <= 1 for p in loaded)
+
+
+class TestTuneAuto:
+    def test_auto_discovery(self, dataset_path, capsys):
+        code = main(["tune", str(dataset_path), "--target", "2"])
+        assert code == 0
+        assert "tuned thresholds" in capsys.readouterr().out
+
+    def test_partial_thresholds_rejected(self, dataset_path, capsys):
+        code = main(
+            ["tune", str(dataset_path), "--target", "2", "--eps-loc", "0.05"]
+        )
+        assert code == 2
+        assert "all of" in capsys.readouterr().err
+
+
+class TestTune:
+    def test_tune_runs(self, dataset_path, capsys):
+        code = main(
+            [
+                "tune",
+                str(dataset_path),
+                "--target",
+                "2",
+                "--eps-loc",
+                "0.05",
+                "--eps-doc",
+                "0.1",
+                "--eps-user",
+                "0.1",
+            ]
+        )
+        assert code == 0
+        assert "tuned thresholds" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_csv_requires_experiment(self, capsys):
+        code = main(["bench", "--csv", "/tmp/x.csv"])
+        assert code == 2
+        assert "requires --experiment" in capsys.readouterr().err
+
+    def test_csv_with_experiment(self, tmp_path, capsys, monkeypatch):
+        from repro.bench import experiments
+
+        monkeypatch.setattr(experiments, "DEFAULT_BENCH_USERS", 8)
+        out = tmp_path / "rows.csv"
+        code = main(["bench", "--experiment", "table1", "--csv", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "dataset" in out.read_text().splitlines()[0]
+
+    def test_single_experiment(self, capsys, monkeypatch):
+        # Shrink the workload: patch the harness defaults.
+        from repro.bench import experiments
+
+        monkeypatch.setattr(experiments, "DEFAULT_BENCH_USERS", 8)
+        code = main(["bench", "--experiment", "table1"])
+        assert code == 0
+        assert "table1" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected_by_parser(self, dataset_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["join", str(dataset_path), "--eps-loc", "0.1", "--eps-doc", "0.3",
+                 "--eps-user", "0.2", "--algorithm", "bogus"]
+            )

@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts must run to completion.
+
+Only the fast examples run in the test suite; the data-generating ones
+(`twitter_user_similarity`, `flickr_poi_tuning`, `substrate_tour`,
+`streaming_updates`, `spatial_keyword_queries`) are exercised by their own
+assertions when run manually and take tens of seconds, so here they are
+import-checked only.
+"""
+
+import importlib.util
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "pointset_measures.py"]
+ALL = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_example_compiles(name):
+    """Every example must at least parse and import-resolve its modules."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, str(EXAMPLES / name), "exec")
+
+
+def test_every_example_documented_in_readme():
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for name in ALL:
+        assert name in readme, f"examples/{name} missing from README"

@@ -1,0 +1,36 @@
+"""ALL-PAIRS join against the quadratic oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textual.allpairs import (
+    all_pairs_rs_join,
+    all_pairs_self_join,
+    naive_rs_join,
+    naive_self_join,
+)
+
+doc_strategy = st.sets(st.integers(0, 30), min_size=1, max_size=10).map(
+    lambda s: tuple(sorted(s))
+)
+collection = st.lists(doc_strategy, max_size=25)
+thresholds = st.sampled_from([0.2, 0.5, 0.75, 1.0])
+
+
+@given(collection, thresholds)
+@settings(max_examples=100, deadline=None)
+def test_self_join_matches_oracle(docs, t):
+    assert set(all_pairs_self_join(docs, t)) == set(naive_self_join(docs, t))
+
+
+@given(collection, collection, thresholds)
+@settings(max_examples=100, deadline=None)
+def test_rs_join_matches_oracle(docs_r, docs_s, t):
+    assert set(all_pairs_rs_join(docs_r, docs_s, t)) == set(
+        naive_rs_join(docs_r, docs_s, t)
+    )
+
+
+def test_oracle_skips_empty_docs():
+    assert naive_self_join([(), ()], 0.5) == []
+    assert naive_rs_join([()], [(1,)], 0.5) == []

@@ -1,0 +1,162 @@
+"""Similarity measures: exact arithmetic, bound admissibility, and exact
+join semantics for every measure through the PPJOIN engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textual.measures import (
+    COSINE,
+    DICE,
+    JACCARD,
+    MEASURES,
+    OVERLAP,
+    SimilarityMeasure,
+)
+from repro.textual.ppjoin import similarity_rs_join, similarity_self_join
+
+doc_strategy = st.sets(st.integers(0, 30), min_size=1, max_size=10).map(
+    lambda s: tuple(sorted(s))
+)
+collection = st.lists(doc_strategy, max_size=20)
+
+NORMALIZED = [JACCARD, COSINE, DICE]
+NORM_THRESHOLDS = [0.25, 1 / 3, 0.5, 0.6000000000000001, 0.75, 1.0]
+OVERLAP_THRESHOLDS = [1, 2, 3, 5]
+
+
+def brute_force_self(docs, measure, threshold):
+    out = set()
+    for i in range(len(docs)):
+        if not docs[i]:
+            continue
+        for j in range(i + 1, len(docs)):
+            if docs[j] and measure.similarity(docs[i], docs[j]) >= threshold:
+                out.add((i, j))
+    return out
+
+
+def brute_force_rs(docs_r, docs_s, measure, threshold):
+    return {
+        (i, j)
+        for i, r in enumerate(docs_r)
+        for j, s in enumerate(docs_s)
+        if r and s and measure.similarity(r, s) >= threshold
+    }
+
+
+class TestExactValues:
+    def test_known_similarities(self):
+        a, b = (1, 2, 3), (2, 3, 4)
+        assert JACCARD.similarity(a, b) == pytest.approx(0.5)
+        assert COSINE.similarity(a, b) == pytest.approx(2 / 3)
+        assert DICE.similarity(a, b) == pytest.approx(2 / 3)
+        assert OVERLAP.similarity(a, b) == 2.0
+
+    @given(doc_strategy, doc_strategy)
+    def test_normalized_measures_in_unit_interval(self, a, b):
+        for measure in NORMALIZED:
+            assert 0.0 <= measure.similarity(a, b) <= 1.0 + 1e-12
+
+    @given(doc_strategy)
+    def test_self_similarity_maximal(self, a):
+        for measure in NORMALIZED:
+            assert measure.similarity(a, a) == pytest.approx(1.0)
+        assert OVERLAP.similarity(a, a) == len(a)
+
+    def test_registry(self):
+        assert set(MEASURES) == {"jaccard", "cosine", "dice", "overlap"}
+        assert all(isinstance(m, SimilarityMeasure) for m in MEASURES.values())
+
+
+class TestThresholdValidation:
+    def test_normalized_domain(self):
+        for measure in NORMALIZED:
+            measure.validate_threshold(0.5)
+            with pytest.raises(ValueError):
+                measure.validate_threshold(0.0)
+            with pytest.raises(ValueError):
+                measure.validate_threshold(1.5)
+
+    def test_overlap_domain(self):
+        OVERLAP.validate_threshold(1)
+        OVERLAP.validate_threshold(7)
+        with pytest.raises(ValueError):
+            OVERLAP.validate_threshold(0)
+
+
+class TestBoundAdmissibility:
+    @pytest.mark.parametrize("measure", NORMALIZED, ids=lambda m: m.name)
+    @given(a=doc_strategy, b=doc_strategy, t=st.sampled_from(NORM_THRESHOLDS))
+    @settings(max_examples=200)
+    def test_required_overlap_admissible(self, measure, a, b, t):
+        """A matching pair always meets the derived overlap bound."""
+        if measure.similarity(a, b) >= t:
+            alpha = measure.required_overlap(t, len(a), len(b))
+            assert len(set(a) & set(b)) >= alpha
+
+    @pytest.mark.parametrize("measure", NORMALIZED, ids=lambda m: m.name)
+    @given(a=doc_strategy, b=doc_strategy, t=st.sampled_from(NORM_THRESHOLDS))
+    @settings(max_examples=200)
+    def test_size_bounds_admissible(self, measure, a, b, t):
+        if measure.similarity(a, b) >= t:
+            assert len(b) >= measure.min_partner_size(t, len(a)) - 1e-9
+            assert len(b) <= measure.max_partner_size(t, len(a)) + 1e-9
+
+    @pytest.mark.parametrize("measure", NORMALIZED, ids=lambda m: m.name)
+    @given(a=doc_strategy, b=doc_strategy, t=st.sampled_from(NORM_THRESHOLDS))
+    @settings(max_examples=200)
+    def test_prefix_filter_admissible(self, measure, a, b, t):
+        if measure.similarity(a, b) < t:
+            return
+        pa = set(a[: measure.probe_prefix_length(t, len(a))])
+        pb = set(b[: measure.probe_prefix_length(t, len(b))])
+        assert pa & pb, f"{measure.name} probe prefix would prune a true match"
+
+    @pytest.mark.parametrize("measure", NORMALIZED, ids=lambda m: m.name)
+    @given(a=doc_strategy, b=doc_strategy, t=st.sampled_from(NORM_THRESHOLDS))
+    @settings(max_examples=200)
+    def test_index_prefix_admissible(self, measure, a, b, t):
+        """For |b| <= |a|: probe prefix of a meets index prefix of b."""
+        if len(b) > len(a) or measure.similarity(a, b) < t:
+            return
+        pa = set(a[: measure.probe_prefix_length(t, len(a))])
+        ib = set(b[: measure.index_prefix_length(t, len(b))])
+        assert pa & ib, f"{measure.name} index prefix would prune a true match"
+
+
+class TestJoinsAllMeasures:
+    @pytest.mark.parametrize("measure", NORMALIZED, ids=lambda m: m.name)
+    @given(docs=collection, t=st.sampled_from(NORM_THRESHOLDS))
+    @settings(max_examples=60, deadline=None)
+    def test_self_join_exact(self, measure, docs, t):
+        got = set(similarity_self_join(docs, t, measure=measure))
+        assert got == brute_force_self(docs, measure, t)
+
+    @pytest.mark.parametrize("measure", NORMALIZED, ids=lambda m: m.name)
+    @given(docs_r=collection, docs_s=collection, t=st.sampled_from(NORM_THRESHOLDS))
+    @settings(max_examples=60, deadline=None)
+    def test_rs_join_exact(self, measure, docs_r, docs_s, t):
+        got = set(similarity_rs_join(docs_r, docs_s, t, measure=measure))
+        assert got == brute_force_rs(docs_r, docs_s, measure, t)
+
+    @given(docs=collection, t=st.sampled_from(OVERLAP_THRESHOLDS))
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_self_join_exact(self, docs, t):
+        got = set(similarity_self_join(docs, t, measure=OVERLAP))
+        assert got == brute_force_self(docs, OVERLAP, t)
+
+    @given(docs_r=collection, docs_s=collection, t=st.sampled_from(OVERLAP_THRESHOLDS))
+    @settings(max_examples=40, deadline=None)
+    def test_overlap_rs_join_exact(self, docs_r, docs_s, t):
+        got = set(similarity_rs_join(docs_r, docs_s, t, measure=OVERLAP))
+        assert got == brute_force_rs(docs_r, docs_s, OVERLAP, t)
+
+    @given(docs=collection, t=st.sampled_from(NORM_THRESHOLDS))
+    @settings(max_examples=40, deadline=None)
+    def test_suffix_variant_exact_all_measures(self, docs, t):
+        for measure in NORMALIZED:
+            got = set(similarity_self_join(docs, t, measure=measure, suffix=True))
+            assert got == brute_force_self(docs, measure, t), measure.name

@@ -1,0 +1,142 @@
+"""PPJOIN / PPJOIN+ joins against the quadratic oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textual.allpairs import naive_rs_join, naive_self_join
+from repro.textual.ppjoin import (
+    ppjoin_plus_rs_join,
+    ppjoin_plus_self_join,
+    ppjoin_rs_join,
+    ppjoin_self_join,
+    similarity_rs_join,
+    similarity_self_join,
+)
+
+doc_strategy = st.sets(st.integers(0, 30), min_size=1, max_size=10).map(
+    lambda s: tuple(sorted(s))
+)
+collection = st.lists(doc_strategy, max_size=25)
+thresholds = st.sampled_from([0.2, 1 / 3, 0.5, 0.6, 0.75, 0.9, 1.0])
+
+
+class TestSelfJoin:
+    @given(collection, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_ppjoin_matches_oracle(self, docs, t):
+        assert set(ppjoin_self_join(docs, t)) == set(naive_self_join(docs, t))
+
+    @given(collection, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_ppjoin_plus_matches_oracle(self, docs, t):
+        assert set(ppjoin_plus_self_join(docs, t)) == set(naive_self_join(docs, t))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            similarity_self_join([(1,)], 0.0)
+        with pytest.raises(ValueError):
+            similarity_self_join([(1,)], 1.5)
+
+    def test_empty_collection(self):
+        assert ppjoin_self_join([], 0.5) == []
+
+    def test_empty_docs_never_join(self):
+        docs = [(), (), (1, 2)]
+        assert ppjoin_self_join(docs, 0.5) == []
+
+    def test_identical_docs_join_at_one(self):
+        docs = [(1, 2, 3), (1, 2, 3), (1, 2)]
+        assert set(ppjoin_self_join(docs, 1.0)) == {(0, 1)}
+
+    def test_pairs_ordered(self):
+        docs = [(1, 2, 3, 4), (1, 2, 3)]
+        for i, j in ppjoin_self_join(docs, 0.5):
+            assert i < j
+
+    def test_pair_predicate_filters(self):
+        docs = [(1, 2), (1, 2), (1, 2)]
+        out = ppjoin_self_join(docs, 1.0, pair_predicate=lambda i, j: (i + j) % 2 == 1)
+        assert set(out) == {(0, 1), (1, 2)}
+
+    def test_skip_pair_suppresses_verification(self):
+        docs = [(1, 2), (1, 2)]
+        assert ppjoin_self_join(docs, 1.0, skip_pair=lambda i, j: True) == []
+
+
+class TestRSJoin:
+    @given(collection, collection, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_ppjoin_matches_oracle(self, docs_r, docs_s, t):
+        assert set(ppjoin_rs_join(docs_r, docs_s, t)) == set(
+            naive_rs_join(docs_r, docs_s, t)
+        )
+
+    @given(collection, collection, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_ppjoin_plus_matches_oracle(self, docs_r, docs_s, t):
+        assert set(ppjoin_plus_rs_join(docs_r, docs_s, t)) == set(
+            naive_rs_join(docs_r, docs_s, t)
+        )
+
+    def test_empty_side(self):
+        assert ppjoin_rs_join([], [(1,)], 0.5) == []
+        assert ppjoin_rs_join([(1,)], [], 0.5) == []
+
+    def test_result_indices_are_rs_oriented(self):
+        docs_r = [(1, 2, 3)]
+        docs_s = [(9,), (1, 2, 3)]
+        assert ppjoin_rs_join(docs_r, docs_s, 1.0) == [(0, 1)]
+
+    def test_swap_sides_consistent(self):
+        """Indexing side choice must not change the (r, s) orientation."""
+        small = [(1, 2)]
+        large = [(1, 2), (3, 4), (1, 2, 3)]
+        out_a = set(ppjoin_rs_join(small, large, 0.5))
+        out_b = {(j, i) for i, j in ppjoin_rs_join(large, small, 0.5)}
+        assert out_a == out_b
+
+    def test_predicate_receives_rs_indices(self):
+        docs_r = [(1, 2)]
+        docs_s = [(1, 2), (1, 2)]
+        seen = []
+
+        def pred(i, j):
+            seen.append((i, j))
+            return True
+
+        ppjoin_rs_join(docs_r, docs_s, 1.0, pair_predicate=pred)
+        assert all(i == 0 and j in (0, 1) for i, j in seen)
+
+
+class TestUglyThresholds:
+    """Regression: thresholds that are not 'nice' floats (e.g. produced by
+    accumulated arithmetic) must still give exact-Jaccard semantics."""
+
+    UGLY = [0.5000000000000002, 0.49999999999999994, 0.3333333333333337, 0.6000000000000001]
+
+    @given(collection, st.sampled_from(UGLY))
+    @settings(max_examples=80, deadline=None)
+    def test_self_join_exact_semantics(self, docs, t):
+        assert set(ppjoin_self_join(docs, t)) == set(naive_self_join(docs, t))
+
+    @given(collection, collection, st.floats(0.05, 1.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_rs_join_arbitrary_float_thresholds(self, docs_r, docs_s, t):
+        assert set(ppjoin_rs_join(docs_r, docs_s, t)) == set(
+            naive_rs_join(docs_r, docs_s, t)
+        )
+
+
+class TestEngineVariants:
+    @given(collection, thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_positional_off_still_exact(self, docs, t):
+        got = set(similarity_self_join(docs, t, positional=False))
+        assert got == set(naive_self_join(docs, t))
+
+    @given(collection, collection, thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_rs_positional_off_still_exact(self, docs_r, docs_s, t):
+        got = set(similarity_rs_join(docs_r, docs_s, t, positional=False))
+        assert got == set(naive_rs_join(docs_r, docs_s, t))

@@ -1,0 +1,139 @@
+"""Tests for similarity arithmetic and the join filter bounds.
+
+The key properties: every filter bound must be *admissible* — it may admit
+false candidates but can never reject a pair that truly satisfies the
+threshold.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textual.verify import (
+    index_prefix_length,
+    jaccard,
+    overlap,
+    overlap_at_least,
+    position_upper_bound,
+    probe_prefix_length,
+    required_overlap,
+    suffix_filter,
+)
+
+doc_strategy = st.sets(st.integers(0, 40), max_size=15).map(
+    lambda s: tuple(sorted(s))
+)
+thresholds = st.sampled_from([0.1, 0.25, 1 / 3, 0.5, 0.6, 0.75, 0.9, 1.0])
+
+
+class TestJaccardOverlap:
+    def test_known_values(self):
+        assert jaccard((1, 2, 3), (2, 3, 4)) == pytest.approx(0.5)
+        assert overlap((1, 2, 3), (2, 3, 4)) == 2
+
+    def test_disjoint(self):
+        assert jaccard((1,), (2,)) == 0.0
+
+    def test_identical(self):
+        assert jaccard((1, 2), (1, 2)) == 1.0
+
+    def test_both_empty_convention(self):
+        assert jaccard((), ()) == 1.0
+
+    @given(doc_strategy, doc_strategy)
+    def test_overlap_matches_sets(self, a, b):
+        assert overlap(a, b) == len(set(a) & set(b))
+
+    @given(doc_strategy, doc_strategy)
+    def test_jaccard_matches_sets(self, a, b):
+        sa, sb = set(a), set(b)
+        union = len(sa | sb)
+        expected = (len(sa & sb) / union) if union else 1.0
+        assert jaccard(a, b) == pytest.approx(expected)
+
+    @given(doc_strategy, doc_strategy)
+    def test_jaccard_symmetric(self, a, b):
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    @given(doc_strategy, doc_strategy, st.integers(0, 20))
+    def test_overlap_at_least_correct(self, a, b, alpha):
+        assert overlap_at_least(a, b, alpha) == (overlap(a, b) >= alpha)
+
+
+class TestBounds:
+    @given(doc_strategy, doc_strategy, thresholds)
+    def test_required_overlap_is_exact_threshold(self, a, b, t):
+        """jaccard(a,b) >= t  iff  overlap >= alpha (up to float slack)."""
+        if not a or not b:
+            return
+        alpha = required_overlap(t, len(a), len(b))
+        if jaccard(a, b) >= t:
+            assert overlap(a, b) >= alpha
+
+    @given(st.integers(1, 50), thresholds)
+    def test_prefix_lengths_in_range(self, length, t):
+        p = probe_prefix_length(length, t)
+        ip = index_prefix_length(length, t)
+        assert 1 <= p <= length
+        assert 1 <= ip <= p  # index prefix never longer than probe prefix
+
+    def test_prefix_length_threshold_one(self):
+        # t=1 requires identity; a single prefix token suffices.
+        assert probe_prefix_length(10, 1.0) == 1
+
+    def test_prefix_length_zero_doc(self):
+        assert probe_prefix_length(0, 0.5) == 0
+
+    @given(doc_strategy, doc_strategy, thresholds)
+    def test_prefix_filter_admissible(self, a, b, t):
+        """Matching pairs always share a probing-prefix token."""
+        if not a or not b or jaccard(a, b) < t:
+            return
+        pa = set(a[: probe_prefix_length(len(a), t)])
+        pb = set(b[: probe_prefix_length(len(b), t)])
+        assert pa & pb, "prefix filter would prune a true match"
+
+    @given(doc_strategy, doc_strategy, thresholds)
+    def test_index_prefix_admissible_for_shorter_record(self, a, b, t):
+        """With |b| <= |a|: probe prefix of a intersects index prefix of b."""
+        if not a or not b or len(b) > len(a) or jaccard(a, b) < t:
+            return
+        pa = set(a[: probe_prefix_length(len(a), t)])
+        ib = set(b[: index_prefix_length(len(b), t)])
+        assert pa & ib, "index prefix would prune a true match"
+
+    def test_position_upper_bound(self):
+        # 3 tokens left in each record after the current positions.
+        assert position_upper_bound(5, 2, 6, 3, 1) == 4
+
+
+class TestSuffixFilter:
+    @given(doc_strategy, doc_strategy, st.integers(0, 30))
+    @settings(max_examples=300)
+    def test_lower_bounds_true_hamming(self, a, b, hmax):
+        """The filter never overstates: result <= true Hamming distance,
+        OR the result exceeds hmax only when the true distance does."""
+        true_hamming = len(set(a) ^ set(b))
+        bound = suffix_filter(a, b, hmax)
+        if bound > hmax:
+            assert true_hamming > hmax, (
+                f"suffix filter over-pruned: bound {bound} > hmax {hmax} "
+                f"but true H = {true_hamming}"
+            )
+
+    @given(doc_strategy)
+    def test_identical_records_zero(self, a):
+        assert suffix_filter(a, a, len(a) * 2) <= 0 + 0
+
+    def test_disjoint_records(self):
+        a, b = (1, 2, 3), (4, 5, 6)
+        assert suffix_filter(a, b, 100) <= 6  # true Hamming distance
+
+    @given(doc_strategy, doc_strategy)
+    def test_symmetric_conclusion(self, a, b):
+        hmax = len(a) + len(b)
+        # With a permissive budget, both directions stay within it.
+        assert suffix_filter(a, b, hmax) <= hmax
+        assert suffix_filter(b, a, hmax) <= hmax

@@ -1,0 +1,71 @@
+"""Tests for the token dictionary and corpus encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textual.vocabulary import TokenDictionary, encode_corpus
+
+corpus_strategy = st.lists(
+    st.sets(st.sampled_from("abcdefghij"), min_size=0, max_size=6),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestBuild:
+    def test_df_ordering(self):
+        docs = [{"rare", "common"}, {"common"}, {"common", "mid"}, {"mid"}]
+        vocab = TokenDictionary.build(docs)
+        assert vocab.id_of("rare") < vocab.id_of("mid") < vocab.id_of("common")
+        assert vocab.df("common") == 3
+        assert vocab.df("rare") == 1
+
+    def test_duplicates_within_doc_count_once(self):
+        vocab = TokenDictionary.build([["a", "a", "b"]])
+        assert vocab.df("a") == 1
+
+    def test_tie_break_deterministic(self):
+        docs = [{"zeta"}, {"alpha"}]
+        vocab = TokenDictionary.build(docs)
+        assert vocab.id_of("alpha") < vocab.id_of("zeta")
+
+    def test_len_and_contains(self):
+        vocab = TokenDictionary.build([{"x", "y"}])
+        assert len(vocab) == 2
+        assert "x" in vocab
+        assert "nope" not in vocab
+
+    @given(corpus_strategy)
+    def test_ids_are_dense_and_df_sorted(self, docs):
+        vocab = TokenDictionary.build(docs)
+        dfs = [vocab.df(vocab.token_of(i)) for i in range(len(vocab))]
+        assert dfs == sorted(dfs)
+
+
+class TestEncode:
+    def test_encode_sorted_unique(self):
+        vocab = TokenDictionary.build([{"a", "b", "c"}, {"c"}, {"c", "b"}])
+        doc = vocab.encode(["c", "a", "c", "b"])
+        assert list(doc) == sorted(doc)
+        assert len(doc) == 3
+
+    def test_encode_unknown_raises(self):
+        vocab = TokenDictionary.build([{"a"}])
+        with pytest.raises(KeyError):
+            vocab.encode(["a", "unknown"])
+
+    def test_encode_partial_drops_unknown(self):
+        vocab = TokenDictionary.build([{"a"}])
+        assert vocab.encode_partial(["a", "unknown"]) == (vocab.id_of("a"),)
+
+    @given(corpus_strategy)
+    def test_roundtrip(self, docs):
+        vocab = TokenDictionary.build(docs)
+        for doc in docs:
+            assert vocab.decode(vocab.encode(doc)) == frozenset(doc)
+
+    def test_encode_corpus_helper(self):
+        vocab, encoded = encode_corpus([{"a", "b"}, {"b"}])
+        assert len(encoded) == 2
+        assert vocab.decode(encoded[0]) == frozenset({"a", "b"})
