@@ -1,0 +1,109 @@
+"""Parallel speedup of the execution engine (workers 1 / 2 / 4).
+
+Measures S-PPJ-B — the embarrassingly parallel pairwise algorithm with
+the heaviest per-pair work — through :class:`repro.exec.JoinExecutor`
+with the process backend at 1, 2 and 4 workers, plus the sequential
+algorithm as the no-engine baseline.  S-PPJ-F rides along at a single
+worker count to show the user-shard decomposition.
+
+Run under pytest (``pytest benchmarks/bench_parallel_speedup.py
+--benchmark-only``) for the harness timings, or directly (``python
+benchmarks/bench_parallel_speedup.py``) for a wall-clock speedup table.
+The >1.3x speedup expectation at 4 workers only applies on machines with
+at least 4 CPUs; on smaller hosts the script still prints the curve but
+skips the assertion (parallel speedup on a 1-core box is not physics).
+"""
+
+import multiprocessing
+import os
+import sys
+import time
+
+import pytest
+
+from repro import stps_join
+from repro.core.query import STPSJoinQuery
+from repro.exec import JoinExecutor
+
+from _common import dataset_for, thresholds_for
+
+PRESET = "twitter"
+NUM_USERS = 150
+WORKER_COUNTS = (1, 2, 4)
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _query():
+    eps_loc, eps_doc, eps_user = thresholds_for(PRESET)
+    return STPSJoinQuery(eps_loc, eps_doc, eps_user)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+def test_sppj_b_speedup(run_once, workers):
+    dataset = dataset_for(PRESET, NUM_USERS)
+    executor = JoinExecutor(workers=workers, backend="process", start_method="fork")
+    result = run_once(executor.join, dataset, _query(), algorithm="s-ppj-b")
+    assert isinstance(result, list)
+
+
+@pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+def test_sppj_f_parallel(run_once):
+    dataset = dataset_for(PRESET, NUM_USERS)
+    executor = JoinExecutor(workers=2, backend="process", start_method="fork")
+    result = run_once(executor.join, dataset, _query(), algorithm="s-ppj-f")
+    assert isinstance(result, list)
+
+
+def test_sequential_baseline(run_once):
+    dataset = dataset_for(PRESET, NUM_USERS)
+    eps_loc, eps_doc, eps_user = thresholds_for(PRESET)
+    result = run_once(
+        stps_join, dataset, eps_loc, eps_doc, eps_user, algorithm="s-ppj-b"
+    )
+    assert isinstance(result, list)
+
+
+def main() -> int:
+    """Wall-clock speedup table: S-PPJ-B, workers 1 / 2 / 4."""
+    dataset = dataset_for(PRESET, NUM_USERS)
+    query = _query()
+    cpus = os.cpu_count() or 1
+    print(
+        f"S-PPJ-B on {PRESET} ({NUM_USERS} users, "
+        f"{dataset.num_objects} objects), {cpus} CPUs"
+    )
+
+    reference = None
+    times = {}
+    for workers in WORKER_COUNTS:
+        executor = JoinExecutor(workers=workers, backend="process")
+        start = time.perf_counter()
+        result = executor.join(dataset, query, algorithm="s-ppj-b")
+        elapsed = time.perf_counter() - start
+        times[workers] = elapsed
+        if reference is None:
+            reference = result
+        elif result != reference:
+            print("FAIL: parallel result diverged from workers=1")
+            return 1
+        speedup = times[WORKER_COUNTS[0]] / elapsed
+        print(f"  workers={workers}: {elapsed:8.3f}s  speedup {speedup:4.2f}x")
+
+    speedup_at_4 = times[1] / times[4]
+    if cpus >= 4:
+        if speedup_at_4 < 1.3:
+            print(f"FAIL: expected >1.3x speedup at 4 workers, got {speedup_at_4:.2f}x")
+            return 1
+        print(f"OK: {speedup_at_4:.2f}x speedup at 4 workers")
+    else:
+        print(
+            f"note: only {cpus} CPU(s) — speedup assertion skipped "
+            f"(got {speedup_at_4:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from .core import (
     topk_stps_join,
     tune_thresholds,
 )
+from .exec import BackendUnavailableError, JoinExecutor
 from .datasets import (
     FLICKR_LIKE,
     GEOTEXT_LIKE,
@@ -77,6 +78,8 @@ __all__ = [
     "TemporalDataset",
     "temporal_stps_join",
     "parallel_stps_join",
+    "JoinExecutor",
+    "BackendUnavailableError",
     "JOIN_ALGORITHMS",
     "TOPK_ALGORITHMS",
     "DatasetSpec",

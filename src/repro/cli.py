@@ -23,15 +23,57 @@ from .bench.reporting import format_seconds, format_table, write_csv
 from .core.api import JOIN_ALGORITHMS, TOPK_ALGORITHMS, stps_join, topk_stps_join
 from .core.export import save_pairs
 from .core.knn import similar_users
-from .core.parallel import parallel_stps_join
 from .core.query import STPSJoinQuery
 from .core.tuning import tune_thresholds
+from .exec import BACKENDS, BackendUnavailableError
 from .datasets.ingest import load_delimited
 from .datasets.loaders import load_tsv, save_tsv
 from .datasets.stats import dataset_stats, format_table1
 from .datasets.synthetic import PRESETS, generate_dataset, preset
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Parallel execution flags shared by the ``join`` and ``topk`` commands."""
+    group = parser.add_argument_group("parallel execution")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate with N workers through the execution engine "
+        "(results identical to sequential)",
+    )
+    group.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="executor backend (default: process when --workers is given)",
+    )
+    group.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="process start method (default: fork when available)",
+    )
+    group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="work units per task (default: adaptive)",
+    )
+
+
+def _executor_kwargs(args: argparse.Namespace) -> dict:
+    """Executor-related kwargs for the API entry points (empty = sequential)."""
+    if args.workers is None and args.backend is None:
+        return {}
+    return {
+        "workers": args.workers,
+        "backend": args.backend,
+        "start_method": args.start_method,
+        "chunk_size": args.chunk_size,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,12 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_join.add_argument("--fanout", type=int, default=100, help="R-tree fanout (s-ppj-d)")
     p_join.add_argument("--limit", type=int, default=20, help="max pairs to print")
-    p_join.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="evaluate with N worker processes (PPJ-B pair evaluation)",
-    )
+    _add_executor_arguments(p_join)
     p_join.add_argument("--out", default=None, help="write result pairs to a TSV file")
 
     p_topk = sub.add_parser("topk", help="run a top-k STPSJoin query")
@@ -92,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_topk.add_argument(
         "--algorithm", choices=sorted(TOPK_ALGORITHMS), default="topk-s-ppj-p"
     )
+    _add_executor_arguments(p_topk)
     p_topk.add_argument("--out", default=None, help="write result pairs to a TSV file")
 
     p_knn = sub.add_parser("knn", help="find the k most similar users to one user")
@@ -172,21 +210,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_join(args: argparse.Namespace) -> int:
     dataset = load_tsv(args.path)
     start = time.perf_counter()
-    if args.workers is not None and args.workers > 1:
-        query = STPSJoinQuery(args.eps_loc, args.eps_doc, args.eps_user)
-        pairs = parallel_stps_join(dataset, query, workers=args.workers)
-        label = f"parallel ppj-b, {args.workers} workers"
-    else:
-        kwargs = {"fanout": args.fanout} if args.algorithm == "s-ppj-d" else {}
-        pairs = stps_join(
-            dataset,
-            args.eps_loc,
-            args.eps_doc,
-            args.eps_user,
-            algorithm=args.algorithm,
-            **kwargs,
-        )
-        label = f"algorithm {args.algorithm}"
+    kwargs = {"fanout": args.fanout} if args.algorithm == "s-ppj-d" else {}
+    kwargs.update(_executor_kwargs(args))
+    pairs = stps_join(
+        dataset,
+        args.eps_loc,
+        args.eps_doc,
+        args.eps_user,
+        algorithm=args.algorithm,
+        **kwargs,
+    )
+    label = f"algorithm {args.algorithm}"
+    if args.workers is not None:
+        label += f", {args.workers} workers"
     elapsed = time.perf_counter() - start
     print(f"{len(pairs)} pairs ({label}, {format_seconds(elapsed)})")
     for pair in pairs[: args.limit]:
@@ -203,7 +239,12 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     dataset = load_tsv(args.path)
     start = time.perf_counter()
     pairs = topk_stps_join(
-        dataset, args.eps_loc, args.eps_doc, args.k, algorithm=args.algorithm
+        dataset,
+        args.eps_loc,
+        args.eps_doc,
+        args.k,
+        algorithm=args.algorithm,
+        **_executor_kwargs(args),
     )
     elapsed = time.perf_counter() - start
     print(
@@ -321,7 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, OSError) as exc:
+    except (ValueError, OSError, BackendUnavailableError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

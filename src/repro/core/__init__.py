@@ -15,7 +15,7 @@ from .model import RawRecord, STDataset, STObject, UserId
 from .naive import all_pair_scores, naive_stps_join, naive_topk_stps_join
 from .pair_eval import PairEvalStats, join_object_lists, ppj_b_pair, ppj_c_pair
 from .ppj_d import ppj_d_pair
-from .query import STPSJoinQuery, TopKQuery, UserPair, pairs_to_dict
+from .query import STPSJoinQuery, TopKQuery, UserPair, pair_sort_key, pairs_to_dict
 from .similarity import (
     matched_object_count,
     matched_objects,
@@ -47,6 +47,7 @@ __all__ = [
     "TopKQuery",
     "UserPair",
     "pairs_to_dict",
+    "pair_sort_key",
     "text_similarity",
     "spatial_distance_sq",
     "objects_match",

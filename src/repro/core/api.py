@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional
 from .model import STDataset
 from .naive import naive_stps_join, naive_topk_stps_join
 from .pair_eval import PairEvalStats
-from .query import STPSJoinQuery, TopKQuery, UserPair
+from .query import STPSJoinQuery, TopKQuery, UserPair, pair_sort_key
 from .sppj_b import sppj_b
 from .sppj_c import sppj_c
 from .sppj_d import sppj_d
@@ -55,6 +55,27 @@ TOPK_ALGORITHMS: Dict[str, Callable[..., List[UserPair]]] = {
 }
 
 
+def _make_executor(
+    workers: Optional[int],
+    backend: Optional[str],
+    start_method: Optional[str],
+    chunk_size: Optional[int],
+):
+    """Build a :class:`repro.exec.JoinExecutor` for the parallel path.
+
+    Imported lazily: :mod:`repro.exec` depends on the algorithm modules
+    this facade re-exports, so a module-level import would be circular.
+    """
+    from ..exec import JoinExecutor
+
+    return JoinExecutor(
+        workers=workers,
+        backend=backend if backend is not None else "process",
+        start_method=start_method,
+        chunk_size=chunk_size,
+    )
+
+
 def stps_join(
     dataset: STDataset,
     eps_loc: float,
@@ -62,6 +83,10 @@ def stps_join(
     eps_user: float,
     algorithm: str = "s-ppj-f",
     stats: Optional[PairEvalStats] = None,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    start_method: Optional[str] = None,
+    chunk_size: Optional[int] = None,
     **kwargs,
 ) -> List[UserPair]:
     """Evaluate an STPSJoin query (Definition 1).
@@ -79,7 +104,19 @@ def stps_join(
         ``fanout=`` and ``index=``.
     stats:
         Optional :class:`PairEvalStats` to collect work counters.
+    workers / backend / start_method / chunk_size:
+        Passing ``workers`` (or ``backend``) routes evaluation through the
+        parallel execution engine (:class:`repro.exec.JoinExecutor`);
+        results are byte-identical to the sequential path.  ``backend``
+        defaults to ``"process"``; see the executor for the remaining
+        parameters.
     """
+    query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
+    if workers is not None or backend is not None:
+        executor = _make_executor(workers, backend, start_method, chunk_size)
+        return executor.join(
+            dataset, query, algorithm=algorithm, stats=stats, **kwargs
+        )
     try:
         run = JOIN_ALGORITHMS[algorithm]
     except KeyError:
@@ -87,9 +124,8 @@ def stps_join(
             f"unknown algorithm {algorithm!r}; "
             f"choose from {sorted(JOIN_ALGORITHMS)}"
         ) from None
-    query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
     pairs = run(dataset, query, stats=stats, **kwargs)
-    return sorted(pairs, key=lambda p: (-p.score, str(p.user_a), str(p.user_b)))
+    return sorted(pairs, key=pair_sort_key)
 
 
 def topk_stps_join(
@@ -99,8 +135,22 @@ def topk_stps_join(
     k: int,
     algorithm: str = "topk-s-ppj-p",
     stats: Optional[PairEvalStats] = None,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    start_method: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[UserPair]:
-    """Evaluate a top-k STPSJoin query (Definition 2)."""
+    """Evaluate a top-k STPSJoin query (Definition 2).
+
+    ``workers`` / ``backend`` route evaluation through the parallel
+    execution engine, exactly as in :func:`stps_join`; the returned k
+    best pairs are byte-identical to the sequential algorithms (ties are
+    broken canonically everywhere).
+    """
+    query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
+    if workers is not None or backend is not None:
+        executor = _make_executor(workers, backend, start_method, chunk_size)
+        return executor.topk(dataset, query, algorithm=algorithm, stats=stats)
     try:
         run = TOPK_ALGORITHMS[algorithm]
     except KeyError:
@@ -108,5 +158,4 @@ def topk_stps_join(
             f"unknown algorithm {algorithm!r}; "
             f"choose from {sorted(TOPK_ALGORITHMS)}"
         ) from None
-    query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
     return run(dataset, query, stats=stats)

@@ -9,11 +9,10 @@ claims in benchmarks.
 
 from __future__ import annotations
 
-import heapq
 from typing import List
 
 from .model import STDataset
-from .query import STPSJoinQuery, TopKQuery, UserPair
+from .query import STPSJoinQuery, TopKQuery, UserPair, pair_sort_key
 from .similarity import set_similarity
 
 __all__ = ["naive_stps_join", "naive_topk_stps_join", "all_pair_scores"]
@@ -55,10 +54,13 @@ def naive_topk_stps_join(dataset: STDataset, query: TopKQuery) -> List[UserPair]
     Pairs with zero similarity never qualify (they match no object at
     all), mirroring the optimized algorithms which cannot surface pairs
     without a single candidate match.  Ties at the k-th position are
-    broken arbitrarily, as permitted by Definition 2.
+    broken deterministically with the canonical pair order of
+    :func:`repro.core.query.pair_sort_key`, so the oracle, the optimized
+    top-k algorithms and the parallel execution engine all return
+    byte-identical pair lists.
     """
     scored = [
         p for p in all_pair_scores(dataset, query.eps_loc, query.eps_doc) if p.score > 0
     ]
-    top = heapq.nlargest(query.k, scored, key=lambda p: p.score)
-    return sorted(top, key=lambda p: -p.score)
+    scored.sort(key=pair_sort_key)
+    return scored[: query.k]

@@ -80,6 +80,17 @@ class PairEvalStats:
         """Counters as a plain dict (for reports and assertions)."""
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def merge(self, counters: Dict[str, int]) -> None:
+        """Add another stats snapshot (``as_dict`` form) into this one.
+
+        The parallel execution engine gives every worker task its own
+        counter set and merges them back here; because each user pair is
+        evaluated by exactly one task, the merged counters equal those of
+        a sequential run (lossless accounting).
+        """
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + counters.get(name, 0))
+
 
 def join_object_lists(
     objs_a: Sequence[STObject],

@@ -1,69 +1,30 @@
-"""Multi-process STPSJoin evaluation — the future-work scaling direction.
+"""Process-parallel STPSJoin evaluation (compatibility wrapper).
 
-Section 6 of the paper: *"we plan to focus on distributed architectures in
-order to further enhance the efficiency of our methods."*  The pairwise
-algorithms are embarrassingly parallel over user pairs, and this module
-provides a process-parallel S-PPJ-B: the spatio-textual grid is built
-once, the triangular pair space is split into chunks, and worker processes
-evaluate chunks with PPJ-B independently.  Results are identical to the
-sequential algorithm regardless of worker count or chunking.
+Historically this module carried its own fork-only pool for S-PPJ-B; it
+is now a thin front over the unified execution engine of
+:mod:`repro.exec`, which drives *all* join algorithms across sequential,
+thread and process backends.  Two behavioral notes:
 
-The implementation relies on the ``fork`` start method so workers inherit
-the (read-only) grid index without serialization; on platforms without
-``fork`` it transparently falls back to sequential evaluation.
+* ``workers=1`` still evaluates inline (no pool), with identical results;
+* a platform without the ``fork`` start method no longer *silently*
+  falls back to sequential evaluation — the engine switches to the
+  ``spawn`` transport with an explicit :class:`RuntimeWarning`, and an
+  explicitly requested start method that is unavailable raises
+  :class:`repro.exec.BackendUnavailableError`.
+
+New code should use :class:`repro.exec.JoinExecutor` (or the ``workers=``
+parameter of :func:`repro.core.api.stps_join`) directly.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
-from ..stindex.stgrid import STGridIndex
-from .model import STDataset, UserId
-from .pair_eval import ppj_b_pair
+from .model import STDataset
+from .pair_eval import PairEvalStats
 from .query import STPSJoinQuery, UserPair
-from .sppj_b import sppj_b
 
 __all__ = ["parallel_stps_join"]
-
-#: Worker-side state, populated in the parent before forking.
-_WORKER_STATE: dict = {}
-
-
-def _evaluate_chunk(chunk: Sequence[Tuple[int, int]]) -> List[Tuple[int, int, float]]:
-    """Evaluate a chunk of user-index pairs with PPJ-B (runs in a worker)."""
-    index: STGridIndex = _WORKER_STATE["index"]
-    users: List[UserId] = _WORKER_STATE["users"]
-    sizes: List[int] = _WORKER_STATE["sizes"]
-    query: STPSJoinQuery = _WORKER_STATE["query"]
-    out: List[Tuple[int, int, float]] = []
-    for i, j in chunk:
-        score = ppj_b_pair(
-            index,
-            users[i],
-            users[j],
-            query.eps_loc,
-            query.eps_doc,
-            query.eps_user,
-            sizes[i],
-            sizes[j],
-        )
-        if score >= query.eps_user:
-            out.append((i, j, score))
-    return out
-
-
-def _pair_chunks(n_users: int, chunk_size: int):
-    """Split the triangular pair space into contiguous chunks."""
-    chunk: List[Tuple[int, int]] = []
-    for i in range(n_users):
-        for j in range(i + 1, n_users):
-            chunk.append((i, j))
-            if len(chunk) >= chunk_size:
-                yield chunk
-                chunk = []
-    if chunk:
-        yield chunk
 
 
 def parallel_stps_join(
@@ -71,50 +32,32 @@ def parallel_stps_join(
     query: STPSJoinQuery,
     workers: Optional[int] = None,
     chunk_size: int = 2048,
+    start_method: Optional[str] = None,
+    stats: Optional[PairEvalStats] = None,
 ) -> List[UserPair]:
     """Evaluate an STPSJoin with PPJ-B across worker processes.
 
     Parameters
     ----------
     workers:
-        Process count; ``None`` uses ``os.cpu_count()``.  ``workers <= 1``
-        — or a platform without the ``fork`` start method — evaluates
-        sequentially (identical results).
+        Process count; ``None`` uses ``os.cpu_count()``.  ``workers=1``
+        evaluates inline (identical results, no pool).
     chunk_size:
         User pairs per task; large enough to amortize task dispatch,
         small enough to balance load.
+    start_method:
+        Forwarded to :class:`repro.exec.JoinExecutor`; ``None`` prefers
+        ``fork`` and falls back to ``spawn`` with a ``RuntimeWarning``.
+    stats:
+        Optional :class:`PairEvalStats`; per-worker counters are merged
+        in losslessly.
     """
-    if chunk_size < 1:
-        raise ValueError("chunk_size must be positive")
-    if workers is not None and workers < 1:
-        raise ValueError("workers must be positive")
+    from ..exec import JoinExecutor
 
-    fork_available = "fork" in multiprocessing.get_all_start_methods()
-    if (workers is not None and workers == 1) or not fork_available:
-        return sppj_b(dataset, query)
-
-    users = list(dataset.users)
-    if len(users) < 2:
-        return []
-    index = STGridIndex.build(dataset, query.eps_loc, with_tokens=False)
-    sizes = [len(dataset.user_objects(u)) for u in users]
-
-    _WORKER_STATE["index"] = index
-    _WORKER_STATE["users"] = users
-    _WORKER_STATE["sizes"] = sizes
-    _WORKER_STATE["query"] = query
-    try:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
-            chunk_results = pool.map(
-                _evaluate_chunk, _pair_chunks(len(users), chunk_size)
-            )
-    finally:
-        _WORKER_STATE.clear()
-
-    results = [
-        UserPair(users[i], users[j], score)
-        for chunk in chunk_results
-        for i, j, score in chunk
-    ]
-    return sorted(results, key=lambda p: (-p.score, str(p.user_a), str(p.user_b)))
+    executor = JoinExecutor(
+        workers=workers,
+        backend="process",
+        start_method=start_method,
+        chunk_size=chunk_size,
+    )
+    return executor.join(dataset, query, algorithm="s-ppj-b", stats=stats)

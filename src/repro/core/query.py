@@ -15,7 +15,13 @@ from typing import Dict, Iterable, Tuple
 
 from .model import UserId
 
-__all__ = ["STPSJoinQuery", "TopKQuery", "UserPair", "pairs_to_dict"]
+__all__ = [
+    "STPSJoinQuery",
+    "TopKQuery",
+    "UserPair",
+    "pairs_to_dict",
+    "pair_sort_key",
+]
 
 
 def _check_thresholds(eps_loc: float, eps_doc: float) -> None:
@@ -68,6 +74,19 @@ class UserPair:
     def key(self) -> Tuple[UserId, UserId]:
         """The score-free identity of the pair."""
         return (self.user_a, self.user_b)
+
+
+def pair_sort_key(pair: UserPair) -> Tuple[float, str, str]:
+    """The canonical result ordering: descending score, then user ids.
+
+    Every result surface (the :mod:`repro.core.api` facade, the top-k
+    heap, the exhaustive oracles and the parallel execution engine) sorts
+    — and breaks score ties — with this one key, so any two algorithms
+    answering the same query return *identical* pair lists, not merely
+    equal sets.  User ids are compared as strings because a dataset may
+    mix identifier types.
+    """
+    return (-pair.score, str(pair.user_a), str(pair.user_b))
 
 
 def pairs_to_dict(pairs: Iterable[UserPair]) -> Dict[Tuple[UserId, UserId], float]:

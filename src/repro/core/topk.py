@@ -20,6 +20,16 @@ pruning step:
 Zero-score pairs never qualify: a pair with no matching object at all is
 not a meaningful answer, so when fewer than ``k`` positive pairs exist the
 result is shorter than ``k`` (the exhaustive oracle behaves identically).
+
+Score ties at the k-th position are broken *deterministically* with the
+canonical pair order of :func:`repro.core.query.pair_sort_key`: among
+equal scores the lexicographically smallest pair wins.  Definition 2
+permits any tie-break, but a canonical one makes every top-k algorithm —
+including the oracle and the parallel execution engine — return
+byte-identical results, which the differential tests rely on.  The bound
+pruning therefore uses *strict* comparisons (``bound < threshold``
+prunes, equality refines): a candidate whose score exactly ties the
+current k-th best may still displace a canonically larger pair.
 """
 
 from __future__ import annotations
@@ -30,41 +40,60 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..stindex.stgrid import STGridIndex
 from .model import STDataset, UserId
 from .pair_eval import PairEvalStats, ppj_b_pair
-from .query import TopKQuery, UserPair
+from .query import TopKQuery, UserPair, pair_sort_key
 from .sppj_f import candidate_bound, collect_candidates
 
 __all__ = ["topk_sppj_f", "topk_sppj_s", "topk_sppj_p"]
 
 
+class _HeapItem:
+    """Heap adapter: the *least preferred* pair sorts first.
+
+    ``heapq`` keeps a min-heap, so inverting the canonical order puts the
+    pair that should be evicted next at the root.
+    """
+
+    __slots__ = ("pair", "sort_key")
+
+    def __init__(self, pair: UserPair):
+        self.pair = pair
+        self.sort_key = pair_sort_key(pair)
+
+    def __lt__(self, other: "_HeapItem") -> bool:
+        return self.sort_key > other.sort_key
+
+
 class _TopKHeap:
-    """Fixed-capacity min-heap of the best pairs seen so far."""
+    """Fixed-capacity heap of the k canonically best pairs seen so far.
+
+    Preference follows :func:`repro.core.query.pair_sort_key`: higher
+    score first, ties broken by the smaller pair — so the retained set
+    (and therefore the final result) is independent of offer order.
+    """
 
     def __init__(self, k: int):
         self.k = k
-        self._heap: List[Tuple[float, int, UserPair]] = []
-        self._counter = 0  # tiebreak so UserPair never gets compared
+        self._heap: List[_HeapItem] = []
 
     @property
     def threshold(self) -> float:
         """Current user-similarity threshold: the k-th best score, or 0."""
         if len(self._heap) < self.k:
             return 0.0
-        return self._heap[0][0]
+        return self._heap[0].pair.score
 
     def offer(self, pair: UserPair) -> None:
-        """Insert ``pair`` if it beats the current k-th best score."""
-        self._counter += 1
-        item = (pair.score, self._counter, pair)
+        """Insert ``pair`` if it is canonically preferable to the worst kept."""
+        item = _HeapItem(pair)
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, item)
-        elif pair.score > self._heap[0][0]:
+        elif self._heap[0] < item:
             heapq.heapreplace(self._heap, item)
 
     def results(self) -> List[UserPair]:
-        """Pairs sorted by descending score."""
+        """Pairs in canonical order (descending score, ties by pair)."""
         return [
-            item[2]
-            for item in sorted(self._heap, key=lambda it: (-it[0], it[1]))
+            item.pair for item in sorted(self._heap, key=lambda it: it.sort_key)
         ]
 
 
@@ -94,7 +123,9 @@ def _run_topk(
         skip_user = False
         if extra_user_bound and max_prev_size > 0 and threshold > 0.0:
             sigma_bar_u = _user_bound(index, dataset, user, sizes[user], max_prev_size)
-            if sigma_bar_u <= threshold:
+            # Strict: a user whose bound ties the threshold may still own
+            # a canonically smaller tie at the k-th position.
+            if sigma_bar_u < threshold:
                 skip_user = True
 
         if skip_user:
@@ -127,7 +158,7 @@ def _run_topk(
                 sizes[cand],
                 own_counts=own_counts,
             )
-            if bound <= threshold:
+            if bound < threshold:
                 if stats is not None:
                     stats.bound_pruned += 1
                 continue
@@ -144,7 +175,7 @@ def _run_topk(
                 sizes[user],
                 stats,
             )
-            if score > threshold and score > 0.0:
+            if score > 0.0:
                 heap.offer(_ordered_pair(rank, cand, user, score))
     return heap.results()
 

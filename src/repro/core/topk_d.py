@@ -78,7 +78,9 @@ def topk_sppj_d(
                 continue
             own = sum(index.leaf_user_count(l, user) for l in own_leaves)
             other = sum(index.leaf_user_count(l, cand) for l in cand_leaves)
-            if (own + other) / total <= threshold:
+            # Strict comparison: equality refines, so canonical ties at
+            # the k-th position are never lost (see repro.core.topk).
+            if (own + other) / total < threshold:
                 if stats is not None:
                     stats.bound_pruned += 1
                 continue
@@ -95,7 +97,7 @@ def topk_sppj_d(
                 sizes[cand],
                 stats,
             )
-            if score > threshold and score > 0.0:
+            if score > 0.0:
                 first, second = (
                     (cand, user) if rank[cand] < rank[user] else (user, cand)
                 )

@@ -1,0 +1,20 @@
+"""Unified parallel execution engine for (top-k) STPSJoin algorithms.
+
+:class:`JoinExecutor` runs any algorithm of the repository — S-PPJ-C/B/F/D,
+the top-k family and the exhaustive oracles — across sequential, thread or
+process backends with byte-identical results.  See
+:mod:`repro.exec.engine` for the scheduling model and
+:mod:`repro.exec.plans` for the per-algorithm decompositions.
+"""
+
+from .engine import BACKENDS, BackendUnavailableError, JoinExecutor
+from .plans import JOIN_PLANS, TOPK_PLANS, get_plan
+
+__all__ = [
+    "JoinExecutor",
+    "BackendUnavailableError",
+    "BACKENDS",
+    "JOIN_PLANS",
+    "TOPK_PLANS",
+    "get_plan",
+]

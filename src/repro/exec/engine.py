@@ -1,0 +1,314 @@
+"""The unified parallel execution engine: :class:`JoinExecutor`.
+
+One executor drives every join in the repository — the four S-PPJ
+threshold algorithms, the exhaustive oracles and the top-k family — by
+delegating algorithm knowledge to the plans of :mod:`repro.exec.plans`
+and keeping scheduling, worker lifecycle and stats plumbing here.
+
+Backends
+--------
+
+``sequential``
+    Everything inline in the calling thread.  The baseline all other
+    backends are tested against.
+
+``thread``
+    A ``multiprocessing.dummy`` pool: worker state is shared by
+    reference, tasks are Python threads.  The GIL serializes the join
+    work, so this backend is about overhead measurement and about
+    exercising the scheduling machinery cheaply, not about speedup.
+
+``process``
+    A real process pool with dynamic chunk scheduling
+    (``imap_unordered``).  Two transports:
+
+    * ``fork`` — workers inherit the parent's built indexes through
+      copy-on-write memory; nothing is serialized.
+    * ``spawn`` — workers start blank; the parent pickles a compact
+      :class:`~repro.stindex.snapshot.DatasetSnapshot` into each worker's
+      initializer, which restores the dataset and rebuilds the plan state
+      locally.  Index construction is deterministic, so results are
+      byte-identical to fork and sequential runs.
+
+    The start method is resolved against
+    ``multiprocessing.get_all_start_methods()`` at construction time: an
+    explicitly requested method that is unavailable raises
+    :class:`BackendUnavailableError` (never a silent fallback), while
+    automatic resolution prefers ``fork`` and emits a
+    :class:`RuntimeWarning` when it has to settle for ``spawn``.  The
+    ``REPRO_START_METHOD`` environment variable acts as an explicit
+    request, which is how CI forces the spawn transport.
+
+Determinism
+-----------
+
+Every plan partitions the pair space so each unordered user pair is
+evaluated by exactly one task, and results are merged through the
+canonical order of :func:`repro.core.query.pair_sort_key`.  Output is
+therefore byte-identical across backends, worker counts and chunk sizes
+— the property ``tests/exec/test_determinism.py`` pins down.  Per-task
+stats counters are merged losslessly into the caller's
+:class:`~repro.core.pair_eval.PairEvalStats` for the same reason: each
+pair's work is counted exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.dummy
+import os
+import warnings
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.model import STDataset
+from ..core.pair_eval import PairEvalStats
+from ..core.query import STPSJoinQuery, TopKQuery, UserPair, pair_sort_key
+from ..stindex.snapshot import DatasetSnapshot
+from .plans import Plan, get_plan
+
+__all__ = ["JoinExecutor", "BackendUnavailableError", "BACKENDS"]
+
+#: Recognized backend names.
+BACKENDS = ("sequential", "thread", "process")
+
+#: Hard ceiling on adaptive chunk sizes — beyond this, bigger chunks only
+#: hurt load balance without reducing dispatch overhead meaningfully.
+_MAX_AUTO_CHUNK = 4096
+
+#: Tasks handed out per worker (on average) by the adaptive chunking —
+#: enough slack for ``imap_unordered`` to rebalance skewed chunks.
+_TASKS_PER_WORKER = 8
+
+#: Worker-side state for the process/thread pools.  With the ``fork``
+#: start method (and the thread backend) it is populated in the parent
+#: before workers exist; with ``spawn`` each worker's initializer fills
+#: its own copy.
+_WORKER_STATE: dict = {}
+
+
+class BackendUnavailableError(RuntimeError):
+    """An explicitly requested backend/start method cannot run here."""
+
+
+def _run_task(chunk) -> Tuple[List[UserPair], Optional[dict]]:
+    """Evaluate one chunk in a pool worker; returns (pairs, stats-dict)."""
+    plan: Plan = _WORKER_STATE["plan"]
+    state = _WORKER_STATE["state"]
+    stats = PairEvalStats() if _WORKER_STATE["with_stats"] else None
+    pairs = plan.run_chunk(state, chunk, stats)
+    return pairs, (stats.as_dict() if stats is not None else None)
+
+
+def _init_spawn_worker(
+    snapshot: DatasetSnapshot,
+    kind: str,
+    algorithm: str,
+    query,
+    with_stats: bool,
+    kwargs: dict,
+) -> None:
+    """Spawn-worker initializer: restore the dataset, rebuild plan state."""
+    dataset = snapshot.restore()
+    plan = get_plan(kind, algorithm)
+    _WORKER_STATE["plan"] = plan
+    _WORKER_STATE["state"] = plan.build_state(dataset, query, **kwargs)
+    _WORKER_STATE["with_stats"] = with_stats
+
+
+class JoinExecutor:
+    """Runs any (top-k) STPSJoin algorithm across a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None`` uses ``os.cpu_count()``.  ``workers=1``
+        always evaluates inline (no pool), whatever the backend.
+    backend:
+        ``"sequential"``, ``"thread"`` or ``"process"``.
+    start_method:
+        Process start method (``"fork"``, ``"spawn"``, ``"forkserver"``).
+        ``None`` resolves automatically: the ``REPRO_START_METHOD``
+        environment variable if set, else ``fork`` when available, else
+        ``spawn`` with a :class:`RuntimeWarning`.  Requesting (directly or
+        via the environment) a method the platform does not provide
+        raises :class:`BackendUnavailableError`.
+    chunk_size:
+        Work units (user pairs or users, depending on the algorithm) per
+        task; ``None`` adapts to the input size and worker count.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: str = "process",
+        start_method: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.backend = backend
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.start_method: Optional[str] = None
+        if backend == "process":
+            self.start_method = self._resolve_start_method(start_method)
+
+    @staticmethod
+    def _resolve_start_method(requested: Optional[str]) -> str:
+        """Pick a start method, failing *loudly* when it cannot be honored."""
+        available = multiprocessing.get_all_start_methods()
+        origin = "start_method"
+        if requested is None:
+            env = os.environ.get("REPRO_START_METHOD")
+            if env:
+                requested, origin = env, "REPRO_START_METHOD"
+        if requested is not None:
+            if requested not in available:
+                raise BackendUnavailableError(
+                    f"{origin}={requested!r} is not available on this "
+                    f"platform (available: {available})"
+                )
+            return requested
+        if "fork" in available:
+            return "fork"
+        if "spawn" in available:
+            warnings.warn(
+                "the fork start method is unavailable; falling back to "
+                "spawn (worker startup pickles a dataset snapshot and "
+                "rebuilds indexes per worker)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return "spawn"
+        raise BackendUnavailableError(
+            "no multiprocessing start method is available on this platform"
+        )
+
+    # -- public entry points -----------------------------------------------------
+
+    def join(
+        self,
+        dataset: STDataset,
+        query: STPSJoinQuery,
+        algorithm: str = "s-ppj-b",
+        stats: Optional[PairEvalStats] = None,
+        **kwargs,
+    ) -> List[UserPair]:
+        """Evaluate a threshold STPSJoin; canonically sorted result."""
+        plan = get_plan("join", algorithm)
+        pairs = self._run(plan, dataset, query, stats, kwargs)
+        pairs.sort(key=pair_sort_key)
+        return pairs
+
+    def topk(
+        self,
+        dataset: STDataset,
+        query: TopKQuery,
+        algorithm: str = "topk-s-ppj-p",
+        stats: Optional[PairEvalStats] = None,
+        **kwargs,
+    ) -> List[UserPair]:
+        """Evaluate a top-k STPSJoin; canonically sorted k best pairs.
+
+        Each task keeps a local top-k heap; the global top-k is a subset
+        of the union of the local top-ks, so merging the per-task results
+        canonically and truncating to ``k`` reproduces the sequential
+        answer exactly.
+        """
+        plan = get_plan("topk", algorithm)
+        pairs = self._run(plan, dataset, query, stats, kwargs)
+        pairs.sort(key=pair_sort_key)
+        return pairs[: query.k]
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _effective_chunk_size(self, n_units: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        target = -(-n_units // (self.workers * _TASKS_PER_WORKER))
+        return max(1, min(_MAX_AUTO_CHUNK, target))
+
+    def _run(
+        self,
+        plan: Plan,
+        dataset: STDataset,
+        query,
+        stats: Optional[PairEvalStats],
+        kwargs: dict,
+    ) -> List[UserPair]:
+        n_units = plan.num_units(dataset)
+        if n_units == 0:
+            return []
+        chunks = plan.chunks(dataset, self._effective_chunk_size(n_units))
+
+        if self.backend == "sequential" or self.workers == 1:
+            return self._run_inline(plan, dataset, query, stats, kwargs, chunks)
+        if self.backend == "thread":
+            return self._run_pooled(
+                plan, dataset, query, stats, kwargs, chunks, process=False
+            )
+        return self._run_pooled(
+            plan, dataset, query, stats, kwargs, chunks, process=True
+        )
+
+    def _run_inline(
+        self, plan, dataset, query, stats, kwargs, chunks: Iterator
+    ) -> List[UserPair]:
+        state = plan.build_state(dataset, query, **kwargs)
+        results: List[UserPair] = []
+        for chunk in chunks:
+            results.extend(plan.run_chunk(state, chunk, stats))
+        return results
+
+    def _run_pooled(
+        self, plan, dataset, query, stats, kwargs, chunks: Iterator, process: bool
+    ) -> List[UserPair]:
+        with_stats = stats is not None
+        spawnish = process and self.start_method != "fork"
+
+        if process:
+            ctx = multiprocessing.get_context(self.start_method)
+            if spawnish:
+                # State crosses the process boundary as a compact snapshot;
+                # each worker rebuilds its indexes in the initializer.
+                pool_factory = lambda: ctx.Pool(
+                    processes=self.workers,
+                    initializer=_init_spawn_worker,
+                    initargs=(
+                        DatasetSnapshot.capture(dataset),
+                        plan.kind,
+                        plan.name,
+                        query,
+                        with_stats,
+                        kwargs,
+                    ),
+                )
+            else:
+                pool_factory = lambda: ctx.Pool(processes=self.workers)
+        else:
+            pool_factory = lambda: multiprocessing.dummy.Pool(self.workers)
+
+        if not spawnish:
+            # fork and thread backends read the state set up pre-fork (or
+            # shared by reference) through the module global.
+            _WORKER_STATE["plan"] = plan
+            _WORKER_STATE["state"] = plan.build_state(dataset, query, **kwargs)
+            _WORKER_STATE["with_stats"] = with_stats
+
+        results: List[UserPair] = []
+        try:
+            with pool_factory() as pool:
+                for pairs, counters in pool.imap_unordered(_run_task, chunks):
+                    results.extend(pairs)
+                    if with_stats and counters is not None:
+                        stats.merge(counters)
+        finally:
+            if not spawnish:
+                _WORKER_STATE.clear()
+        return results

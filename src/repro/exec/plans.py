@@ -1,0 +1,593 @@
+"""Per-algorithm execution plans: partitioning + worker-side evaluation.
+
+A *plan* tells the :class:`~repro.exec.engine.JoinExecutor` how to
+decompose one algorithm into independent tasks whose union is provably
+equal to the sequential run:
+
+* **Pairwise plans** (NAIVE, S-PPJ-C, S-PPJ-B) — every user pair is
+  evaluated independently against a bulk-built index, so the triangular
+  pair space is simply cut into contiguous chunks (the decomposition of
+  the seed ``core/parallel.py``, generalized to all pairwise evaluators).
+
+* **User-shard plans** (S-PPJ-F, S-PPJ-D, the top-k family) — the
+  sequential algorithms are *incremental*: user ``u`` probes an index
+  holding only earlier users.  The parallel decomposition builds the
+  **full** index once and assigns each worker a shard of users; for a
+  user ``u`` the worker re-runs candidate generation against the full
+  index and keeps only candidates preceding ``u`` in the user total
+  order.  Because candidate membership, the ``sigma_bar`` bound and the
+  pair evaluators each depend only on the *two* users involved — never on
+  who else is in the index — the per-pair work (and therefore the result
+  set and the stats counters) is identical to the sequential run, with
+  each unordered pair handled by exactly one shard.
+
+* **Top-k plans** keep a *local* canonical top-k heap per task: a pair
+  pruned against a task-local threshold scores below that task's k-th
+  best pair, hence below the global k-th best, so merging the per-task
+  heaps and re-selecting canonically yields exactly the sequential top-k
+  (ties broken by :func:`repro.core.query.pair_sort_key` everywhere).
+
+Worker *state* objects are built either in the parent (sequential /
+thread backends, and the ``fork`` start method where children inherit
+memory) or inside each worker from a pickled
+:class:`~repro.stindex.snapshot.DatasetSnapshot` (the ``spawn`` start
+method).  State is never pickled directly, so it can hold arbitrarily
+rich index structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.model import STDataset, UserId
+from ..core.pair_eval import PairEvalStats, ppj_b_pair, ppj_c_pair
+from ..core.ppj_d import ppj_d_pair
+from ..core.query import STPSJoinQuery, TopKQuery, UserPair
+from ..core.similarity import set_similarity
+from ..core.sppj_f import candidate_bound, collect_candidates
+from ..core.topk import _TopKHeap
+from ..stindex.leaf_index import STLeafIndex
+from ..stindex.stgrid import STGridIndex
+
+__all__ = ["JOIN_PLANS", "TOPK_PLANS", "get_plan", "Plan"]
+
+#: Minimum positive early-termination threshold handed to the pair
+#: evaluators when the (local) top-k heap is not yet full — small enough
+#: that Lemma 1 can never fire, so scores stay exact.
+_NO_THRESHOLD = 1e-12
+
+
+class Plan:
+    """Base class: how one algorithm partitions and evaluates.
+
+    Subclasses define :meth:`num_units` / :meth:`chunks` (the task
+    partitioner), :meth:`build_state` (executed once per process holding
+    the state) and :meth:`run_chunk` (the worker body).  ``kind`` is
+    ``"join"`` or ``"topk"`` — plan names are unique per kind.
+    """
+
+    kind: str = "join"
+    name: str = ""
+
+    def num_units(self, dataset: STDataset) -> int:
+        raise NotImplementedError
+
+    def chunks(self, dataset: STDataset, chunk_size: int) -> Iterator[list]:
+        raise NotImplementedError
+
+    def build_state(self, dataset: STDataset, query, **kwargs):
+        raise NotImplementedError
+
+    def run_chunk(
+        self, state, chunk: Sequence, stats: Optional[PairEvalStats]
+    ) -> List[UserPair]:
+        raise NotImplementedError
+
+
+def _triangular_chunks(n_users: int, chunk_size: int) -> Iterator[List[Tuple[int, int]]]:
+    """Split the triangular pair space into contiguous chunks."""
+    chunk: List[Tuple[int, int]] = []
+    for i in range(n_users):
+        for j in range(i + 1, n_users):
+            chunk.append((i, j))
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+    if chunk:
+        yield chunk
+
+
+def _user_shards(users: Sequence[UserId], chunk_size: int) -> Iterator[List[UserId]]:
+    """Split the user list into contiguous shards."""
+    for start in range(0, len(users), chunk_size):
+        yield list(users[start : start + chunk_size])
+
+
+class _PairwisePlan(Plan):
+    """Shared partitioner for plans whose unit is one user pair."""
+
+    def num_units(self, dataset: STDataset) -> int:
+        n = dataset.num_users
+        return n * (n - 1) // 2
+
+    def chunks(self, dataset: STDataset, chunk_size: int):
+        return _triangular_chunks(dataset.num_users, chunk_size)
+
+
+class _UserShardPlan(Plan):
+    """Shared partitioner for plans whose unit is one user."""
+
+    def num_units(self, dataset: STDataset) -> int:
+        return dataset.num_users
+
+    def chunks(self, dataset: STDataset, chunk_size: int):
+        return _user_shards(dataset.users, chunk_size)
+
+
+# -- threshold joins ---------------------------------------------------------------
+
+
+class NaiveJoinPlan(_PairwisePlan):
+    """Exhaustive oracle, pair-partitioned (for differential testing)."""
+
+    name = "naive"
+
+    def build_state(self, dataset: STDataset, query: STPSJoinQuery):
+        users = list(dataset.users)
+        return {
+            "users": users,
+            "objects": [dataset.user_objects(u) for u in users],
+            "query": query,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        users, objects = state["users"], state["objects"]
+        query: STPSJoinQuery = state["query"]
+        out: List[UserPair] = []
+        for i, j in chunk:
+            score = set_similarity(
+                objects[i], objects[j], query.eps_loc, query.eps_doc
+            )
+            if score >= query.eps_user:
+                out.append(UserPair(users[i], users[j], score))
+        return out
+
+
+class SPPJCPlan(_PairwisePlan):
+    """S-PPJ-C: PPJ-C evaluation of every pair over the bulk grid."""
+
+    name = "s-ppj-c"
+
+    def build_state(self, dataset: STDataset, query: STPSJoinQuery):
+        users = list(dataset.users)
+        return {
+            "users": users,
+            "sizes": [len(dataset.user_objects(u)) for u in users],
+            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=False),
+            "query": query,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        users, sizes = state["users"], state["sizes"]
+        index, query = state["index"], state["query"]
+        out: List[UserPair] = []
+        for i, j in chunk:
+            matched = ppj_c_pair(
+                index, users[i], users[j], query.eps_loc, query.eps_doc, stats
+            )
+            total = sizes[i] + sizes[j]
+            if total == 0:
+                continue
+            score = matched / total
+            if score >= query.eps_user:
+                out.append(UserPair(users[i], users[j], score))
+        return out
+
+
+class SPPJBPlan(_PairwisePlan):
+    """S-PPJ-B: PPJ-B (Lemma 1 early termination) per pair."""
+
+    name = "s-ppj-b"
+
+    def build_state(self, dataset: STDataset, query: STPSJoinQuery):
+        users = list(dataset.users)
+        return {
+            "users": users,
+            "sizes": [len(dataset.user_objects(u)) for u in users],
+            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=False),
+            "query": query,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        users, sizes = state["users"], state["sizes"]
+        index, query = state["index"], state["query"]
+        out: List[UserPair] = []
+        for i, j in chunk:
+            score = ppj_b_pair(
+                index,
+                users[i],
+                users[j],
+                query.eps_loc,
+                query.eps_doc,
+                query.eps_user,
+                sizes[i],
+                sizes[j],
+                stats,
+            )
+            if score >= query.eps_user:
+                out.append(UserPair(users[i], users[j], score))
+        return out
+
+
+class SPPJFPlan(_UserShardPlan):
+    """S-PPJ-F: full grid index + per-user candidate generation in workers."""
+
+    name = "s-ppj-f"
+
+    def build_state(
+        self, dataset: STDataset, query: STPSJoinQuery, refine: str = "ppj-b"
+    ):
+        if refine not in ("ppj-b", "ppj-c"):
+            raise ValueError(f"unknown refine strategy: {refine!r}")
+        return {
+            "dataset": dataset,
+            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=True),
+            "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
+            "rank": {u: i for i, u in enumerate(dataset.users)},
+            "query": query,
+            "refine": refine,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        dataset: STDataset = state["dataset"]
+        index: STGridIndex = state["index"]
+        sizes, rank = state["sizes"], state["rank"]
+        query: STPSJoinQuery = state["query"]
+        refine: str = state["refine"]
+        out: List[UserPair] = []
+        for user in chunk:
+            my_rank = rank[user]
+            own_counts: Dict[Tuple[int, int], int] = {}
+            for obj in dataset.user_objects(user):
+                cell = index.grid.cell_of(obj.x, obj.y)
+                own_counts[cell] = own_counts.get(cell, 0) + 1
+
+            # Candidate generation against the *full* index, restricted to
+            # users preceding `user`: exactly the candidate set the
+            # sequential, incrementally built index produces at u's turn.
+            candidates = {
+                cand: cells
+                for cand, cells in collect_candidates(index, dataset, user).items()
+                if rank[cand] < my_rank
+            }
+            if stats is not None:
+                stats.candidates += len(candidates)
+            for cand, (own_cells, cand_cells) in candidates.items():
+                bound = candidate_bound(
+                    index,
+                    user,
+                    cand,
+                    own_cells,
+                    cand_cells,
+                    sizes[user],
+                    sizes[cand],
+                    own_counts=own_counts,
+                )
+                if bound < query.eps_user:
+                    if stats is not None:
+                        stats.bound_pruned += 1
+                    continue
+                if stats is not None:
+                    stats.refinements += 1
+                if refine == "ppj-b":
+                    score = ppj_b_pair(
+                        index,
+                        cand,
+                        user,
+                        query.eps_loc,
+                        query.eps_doc,
+                        query.eps_user,
+                        sizes[cand],
+                        sizes[user],
+                        stats,
+                    )
+                else:
+                    total = sizes[cand] + sizes[user]
+                    matched = ppj_c_pair(
+                        index, cand, user, query.eps_loc, query.eps_doc, stats
+                    )
+                    score = matched / total if total else 0.0
+                if score >= query.eps_user:
+                    out.append(UserPair(cand, user, score))
+        return out
+
+
+class SPPJDPlan(_UserShardPlan):
+    """S-PPJ-D: full leaf index + per-user candidate generation in workers."""
+
+    name = "s-ppj-d"
+
+    def build_state(
+        self,
+        dataset: STDataset,
+        query: STPSJoinQuery,
+        fanout: int = 100,
+        partitioner: str = "rtree",
+        index: Optional[STLeafIndex] = None,
+    ):
+        if index is None:
+            index = STLeafIndex(
+                dataset, query.eps_loc, fanout=fanout, partitioner=partitioner
+            )
+        elif index.eps_loc != query.eps_loc:
+            raise ValueError("prebuilt index eps_loc does not match the query")
+        return {
+            "index": index,
+            "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
+            "rank": {u: i for i, u in enumerate(dataset.users)},
+            "query": query,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        index: STLeafIndex = state["index"]
+        sizes, rank = state["sizes"], state["rank"]
+        query: STPSJoinQuery = state["query"]
+        out: List[UserPair] = []
+        for user in chunk:
+            my_rank = rank[user]
+            candidates = _leaf_candidates(index, user, rank, lambda r: r > my_rank)
+            size_u = sizes[user]
+            if stats is not None:
+                stats.candidates += len(candidates)
+            for cand, (own_leaves, cand_leaves) in candidates.items():
+                total = size_u + sizes[cand]
+                if total == 0:
+                    continue
+                own = sum(index.leaf_user_count(l, user) for l in own_leaves)
+                other = sum(index.leaf_user_count(l, cand) for l in cand_leaves)
+                if (own + other) / total < query.eps_user:
+                    if stats is not None:
+                        stats.bound_pruned += 1
+                    continue
+                if stats is not None:
+                    stats.refinements += 1
+                score = ppj_d_pair(
+                    index,
+                    user,
+                    cand,
+                    query.eps_loc,
+                    query.eps_doc,
+                    query.eps_user,
+                    size_u,
+                    sizes[cand],
+                    stats,
+                )
+                if score >= query.eps_user:
+                    out.append(UserPair(user, cand, score))
+        return out
+
+
+def _leaf_candidates(index: STLeafIndex, user: UserId, rank, keep):
+    """S-PPJ-D candidate generation: leaf-token probing with a rank filter.
+
+    ``keep`` receives the candidate's rank and decides membership —
+    S-PPJ-D pairs each user with *higher*-ranked candidates (mirroring
+    the sequential algorithm), the top-k plan with lower-ranked ones.
+    """
+    candidates: Dict[UserId, Tuple[set, set]] = {}
+    for leaf in index.user_leaves(user):
+        tokens = index.user_leaf_tokens(user, leaf)
+        if not tokens:
+            continue
+        for other_leaf in index.relevant_leaves(leaf):
+            for token in tokens:
+                for cand in index.token_users(other_leaf, token):
+                    if not keep(rank[cand]):
+                        continue
+                    entry = candidates.get(cand)
+                    if entry is None:
+                        entry = (set(), set())
+                        candidates[cand] = entry
+                    entry[0].add(leaf)
+                    entry[1].add(other_leaf)
+    return candidates
+
+
+# -- top-k joins -------------------------------------------------------------------
+
+
+class NaiveTopKPlan(_PairwisePlan):
+    """Exhaustive top-k, pair-partitioned with per-task heaps."""
+
+    kind = "topk"
+    name = "naive"
+
+    def build_state(self, dataset: STDataset, query: TopKQuery):
+        users = list(dataset.users)
+        return {
+            "users": users,
+            "objects": [dataset.user_objects(u) for u in users],
+            "query": query,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        users, objects = state["users"], state["objects"]
+        query: TopKQuery = state["query"]
+        heap = _TopKHeap(query.k)
+        for i, j in chunk:
+            score = set_similarity(
+                objects[i], objects[j], query.eps_loc, query.eps_doc
+            )
+            if score > 0.0:
+                heap.offer(UserPair(users[i], users[j], score))
+        return heap.results()
+
+
+class TopKGridPlan(_UserShardPlan):
+    """Grid-based top-k (TOPK-S-PPJ-F/-S/-P all reduce to this in parallel).
+
+    The sequential variants differ only in user *ordering* and pruning
+    aggressiveness; their canonical result is identical, so one parallel
+    plan serves all three names.  Each task keeps a local canonical heap
+    whose threshold drives the ``sigma_bar`` bound and the PPJ-B early
+    termination — always at most the global threshold, hence safe.
+    """
+
+    kind = "topk"
+    name = "topk-s-ppj-f"
+
+    def build_state(self, dataset: STDataset, query: TopKQuery):
+        return {
+            "dataset": dataset,
+            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=True),
+            "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
+            "rank": {u: i for i, u in enumerate(dataset.users)},
+            "query": query,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        dataset: STDataset = state["dataset"]
+        index: STGridIndex = state["index"]
+        sizes, rank = state["sizes"], state["rank"]
+        query: TopKQuery = state["query"]
+        heap = _TopKHeap(query.k)
+        for user in chunk:
+            my_rank = rank[user]
+            own_counts: Dict[Tuple[int, int], int] = {}
+            for obj in dataset.user_objects(user):
+                cell = index.grid.cell_of(obj.x, obj.y)
+                own_counts[cell] = own_counts.get(cell, 0) + 1
+            candidates = {
+                cand: cells
+                for cand, cells in collect_candidates(index, dataset, user).items()
+                if rank[cand] < my_rank
+            }
+            if stats is not None:
+                stats.candidates += len(candidates)
+            for cand, (own_cells, cand_cells) in candidates.items():
+                threshold = heap.threshold
+                bound = candidate_bound(
+                    index,
+                    user,
+                    cand,
+                    own_cells,
+                    cand_cells,
+                    sizes[user],
+                    sizes[cand],
+                    own_counts=own_counts,
+                )
+                if bound < threshold:
+                    if stats is not None:
+                        stats.bound_pruned += 1
+                    continue
+                if stats is not None:
+                    stats.refinements += 1
+                score = ppj_b_pair(
+                    index,
+                    cand,
+                    user,
+                    query.eps_loc,
+                    query.eps_doc,
+                    threshold if threshold > 0.0 else _NO_THRESHOLD,
+                    sizes[cand],
+                    sizes[user],
+                    stats,
+                )
+                if score > 0.0:
+                    heap.offer(UserPair(cand, user, score))
+        return heap.results()
+
+
+class TopKLeafPlan(_UserShardPlan):
+    """Leaf-based top-k (TOPK-S-PPJ-D) with per-task local heaps."""
+
+    kind = "topk"
+    name = "topk-s-ppj-d"
+
+    def build_state(
+        self,
+        dataset: STDataset,
+        query: TopKQuery,
+        fanout: int = 100,
+        index: Optional[STLeafIndex] = None,
+    ):
+        if index is None:
+            index = STLeafIndex(dataset, query.eps_loc, fanout=fanout)
+        elif index.eps_loc != query.eps_loc:
+            raise ValueError("prebuilt index eps_loc does not match the query")
+        return {
+            "index": index,
+            "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
+            "rank": {u: i for i, u in enumerate(dataset.users)},
+            "query": query,
+        }
+
+    def run_chunk(self, state, chunk, stats):
+        index: STLeafIndex = state["index"]
+        sizes, rank = state["sizes"], state["rank"]
+        query: TopKQuery = state["query"]
+        heap = _TopKHeap(query.k)
+        for user in chunk:
+            my_rank = rank[user]
+            candidates = _leaf_candidates(index, user, rank, lambda r: r < my_rank)
+            size_u = sizes[user]
+            if stats is not None:
+                stats.candidates += len(candidates)
+            for cand, (own_leaves, cand_leaves) in candidates.items():
+                threshold = heap.threshold
+                total = size_u + sizes[cand]
+                if total == 0:
+                    continue
+                own = sum(index.leaf_user_count(l, user) for l in own_leaves)
+                other = sum(index.leaf_user_count(l, cand) for l in cand_leaves)
+                if (own + other) / total < threshold:
+                    if stats is not None:
+                        stats.bound_pruned += 1
+                    continue
+                if stats is not None:
+                    stats.refinements += 1
+                score = ppj_d_pair(
+                    index,
+                    user,
+                    cand,
+                    query.eps_loc,
+                    query.eps_doc,
+                    threshold if threshold > 0.0 else _NO_THRESHOLD,
+                    size_u,
+                    sizes[cand],
+                    stats,
+                )
+                if score > 0.0:
+                    heap.offer(UserPair(cand, user, score))
+        return heap.results()
+
+
+_GRID_TOPK = TopKGridPlan()
+
+#: Threshold-join plans by algorithm name (mirrors ``JOIN_ALGORITHMS``).
+JOIN_PLANS: Dict[str, Plan] = {
+    plan.name: plan
+    for plan in (NaiveJoinPlan(), SPPJCPlan(), SPPJBPlan(), SPPJFPlan(), SPPJDPlan())
+}
+
+#: Top-k plans by algorithm name (mirrors ``TOPK_ALGORITHMS``).  The
+#: three grid variants share one parallel plan — their canonical results
+#: are identical; they differ only in sequential evaluation order.
+TOPK_PLANS: Dict[str, Plan] = {
+    "naive": NaiveTopKPlan(),
+    "topk-s-ppj-f": _GRID_TOPK,
+    "topk-s-ppj-s": _GRID_TOPK,
+    "topk-s-ppj-p": _GRID_TOPK,
+    "topk-s-ppj-d": TopKLeafPlan(),
+}
+
+
+def get_plan(kind: str, algorithm: str) -> Plan:
+    """Look up a plan; raises ``ValueError`` naming the alternatives."""
+    registry = JOIN_PLANS if kind == "join" else TOPK_PLANS
+    try:
+        return registry[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(registry)}"
+        ) from None

@@ -3,6 +3,13 @@
 from .irtree import IRTree
 from .leaf_index import STLeafIndex
 from .queries import SpatialKeywordIndex
+from .snapshot import DatasetSnapshot
 from .stgrid import STGridIndex
 
-__all__ = ["STGridIndex", "STLeafIndex", "SpatialKeywordIndex", "IRTree"]
+__all__ = [
+    "STGridIndex",
+    "STLeafIndex",
+    "SpatialKeywordIndex",
+    "IRTree",
+    "DatasetSnapshot",
+]

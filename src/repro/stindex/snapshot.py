@@ -1,0 +1,100 @@
+"""Compact, read-only dataset snapshots for cross-process shipping.
+
+The parallel execution engine (:mod:`repro.exec`) has two ways of getting
+the join state into worker processes:
+
+* with the ``fork`` start method, workers inherit the parent's built
+  indexes for free (copy-on-write memory) — nothing is serialized;
+* with the ``spawn`` start method (the only option on Windows and the
+  default on macOS), workers start from a blank interpreter, so the state
+  must be pickled explicitly.
+
+Pickling a fully built :class:`~repro.stindex.stgrid.STGridIndex` or
+:class:`~repro.stindex.leaf_index.STLeafIndex` would ship every cell dict
+and inverted list; a :class:`DatasetSnapshot` instead captures only the
+canonical object records plus the token dictionary's internal arrays —
+the minimal information from which :meth:`restore` rebuilds a dataset
+*identical* to the original (same oids, same token ids, same user order),
+without re-deriving the document-frequency ordering.  Workers then
+rebuild their indexes locally; index construction is deterministic, so
+results match the fork and sequential paths exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.model import STDataset, STObject, UserId
+from ..textual.vocabulary import TokenDictionary
+
+__all__ = ["DatasetSnapshot"]
+
+
+class DatasetSnapshot:
+    """An immutable, picklable capture of an :class:`STDataset`.
+
+    The snapshot stores plain tuples only (no dataclass instances, no
+    sets), which keeps the pickle small and version-stable.
+    """
+
+    __slots__ = ("tokens", "dfs", "records")
+
+    def __init__(
+        self,
+        tokens: Tuple[Hashable, ...],
+        dfs: Tuple[int, ...],
+        records: Tuple[Tuple[UserId, float, float, Tuple[int, ...]], ...],
+    ):
+        self.tokens = tokens
+        self.dfs = dfs
+        self.records = records
+
+    @classmethod
+    def capture(cls, dataset: STDataset) -> "DatasetSnapshot":
+        """Snapshot ``dataset``; the dataset is not modified."""
+        return cls(
+            tokens=tuple(dataset.vocab._id_to_token),
+            dfs=tuple(dataset.vocab._df),
+            records=tuple(
+                (o.user, o.x, o.y, o.doc) for o in dataset.objects
+            ),
+        )
+
+    def restore(self) -> STDataset:
+        """Rebuild a dataset equal to the captured one.
+
+        Object ids, encoded documents and the user total order are
+        reproduced exactly; the token dictionary is reassembled from its
+        arrays rather than re-counting document frequencies, so even
+        df-tie orderings are preserved.
+        """
+        vocab = TokenDictionary()
+        vocab._id_to_token = list(self.tokens)
+        vocab._df = list(self.dfs)
+        vocab._token_to_id = {t: i for i, t in enumerate(self.tokens)}
+
+        objects: List[STObject] = []
+        by_user: Dict[UserId, List[STObject]] = {}
+        for user, x, y, doc in self.records:
+            obj = STObject(
+                oid=len(objects),
+                user=user,
+                x=x,
+                y=y,
+                doc=doc,
+                doc_set=frozenset(doc),
+            )
+            objects.append(obj)
+            by_user.setdefault(user, []).append(obj)
+        users = sorted(by_user.keys(), key=lambda u: (str(type(u)), u))
+        return STDataset(objects, vocab, users, by_user)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DatasetSnapshot({len(self.records)} objects, "
+            f"{len(self.tokens)} tokens)"
+        )

@@ -1,13 +1,19 @@
 """Coherence of the PairEvalStats work counters across algorithms."""
 
+import multiprocessing
+
 import pytest
 
 from repro import STPSJoinQuery, TopKQuery
 from repro.core.pair_eval import PairEvalStats
+from repro.core.sppj_b import sppj_b
 from repro.core.sppj_d import sppj_d
 from repro.core.sppj_f import sppj_f
 from repro.core.topk import topk_sppj_p
+from repro.exec import JoinExecutor
 from tests.helpers import build_clustered_dataset, build_random_dataset
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
 
 
 class TestFilterCounters:
@@ -64,3 +70,57 @@ class TestTopKPSkips:
         stats2 = PairEvalStats()
         topk_sppj_p(ds2, TopKQuery(0.02, 0.5, 1), stats=stats2)
         assert stats2.users_skipped + stats2.candidates > 0
+
+
+class TestMerge:
+    def test_merge_adds_counters(self):
+        a, b = PairEvalStats(), PairEvalStats()
+        a.cell_joins, a.candidates = 3, 5
+        b.cell_joins, b.refinements = 4, 2
+        a.merge(b.as_dict())
+        assert a.cell_joins == 7
+        assert a.candidates == 5
+        assert a.refinements == 2
+
+    def test_merge_ignores_unknown_keys(self):
+        stats = PairEvalStats()
+        stats.merge({"cell_joins": 1, "not_a_counter": 99})
+        assert stats.cell_joins == 1
+
+    def _parallel_counters_match(self, algorithm, run_sequential, backend, **kw):
+        """Per-worker counters merged by the executor must equal a
+        sequential run's — every pair's work is counted exactly once."""
+        ds = build_clustered_dataset(4, n_users=12)
+        query = STPSJoinQuery(0.05, 0.3, 0.3)
+        sequential = PairEvalStats()
+        run_sequential(ds, query, stats=sequential)
+        merged = PairEvalStats()
+        executor = JoinExecutor(workers=3, backend=backend, chunk_size=2, **kw)
+        executor.join(ds, query, algorithm=algorithm, stats=merged)
+        assert merged.as_dict() == sequential.as_dict()
+
+    def test_executor_merge_lossless_sppj_f_thread(self):
+        self._parallel_counters_match("s-ppj-f", sppj_f, "thread")
+
+    def test_executor_merge_lossless_sppj_b_thread(self):
+        self._parallel_counters_match("s-ppj-b", sppj_b, "thread")
+
+    @pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+    def test_executor_merge_lossless_sppj_f_process(self):
+        self._parallel_counters_match(
+            "s-ppj-f", sppj_f, "process", start_method="fork"
+        )
+
+    @pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+    def test_executor_merge_lossless_sppj_b_process(self):
+        self._parallel_counters_match(
+            "s-ppj-b", sppj_b, "process", start_method="fork"
+        )
+
+    def test_executor_without_stats_collects_nothing(self):
+        # stats=None must not pay the counting cost nor crash merging.
+        ds = build_clustered_dataset(4, n_users=8)
+        query = STPSJoinQuery(0.05, 0.3, 0.3)
+        executor = JoinExecutor(workers=2, backend="thread", chunk_size=3)
+        pairs = executor.join(ds, query, algorithm="s-ppj-f", stats=None)
+        assert pairs == executor.join(ds, query, algorithm="s-ppj-f")

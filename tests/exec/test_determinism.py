@@ -1,0 +1,199 @@
+"""Parallel determinism: executor output is byte-identical to sequential.
+
+The engine's contract is stronger than "same result set": for every
+algorithm, backend, worker count and chunk size, the returned pair list
+is *identical* — same pairs, same exact float scores, same canonical
+order — to the sequential algorithm's (canonically sorted) output.
+These tests pin that contract down, including the spawn transport where
+worker state crosses the process boundary as a pickled snapshot.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import stps_join, topk_stps_join
+from repro.core.query import STPSJoinQuery, TopKQuery
+from repro.exec import JoinExecutor
+from tests.helpers import DifferentialConfig, build_differential_dataset
+
+JOIN_ALGOS = ["naive", "s-ppj-c", "s-ppj-b", "s-ppj-f", "s-ppj-d"]
+TOPK_ALGOS = ["naive", "topk-s-ppj-f", "topk-s-ppj-s", "topk-s-ppj-p", "topk-s-ppj-d"]
+
+WORKER_COUNTS = [1, 2, 4]
+CHUNK_SIZES = [1, 7, 4096]
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+spawn_available = "spawn" in multiprocessing.get_all_start_methods()
+
+EPS = (0.05, 0.3, 0.2)
+K = 7
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_differential_dataset(
+        DifferentialConfig(
+            seed=42, n_users=12, cluster_fraction=0.6, token_skew=0.5
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def join_query():
+    return STPSJoinQuery(*EPS)
+
+
+@pytest.fixture(scope="module")
+def topk_query():
+    return TopKQuery(EPS[0], EPS[1], K)
+
+
+def _backend_kwargs(backend):
+    # Pin the fork transport for the process backend so this matrix is
+    # independent of the REPRO_START_METHOD environment (the spawn
+    # transport has its own, smaller matrix below).
+    if backend == "process":
+        return {"start_method": "fork"}
+    return {}
+
+
+class TestJoinDeterminism:
+    @pytest.mark.parametrize("algorithm", JOIN_ALGOS)
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "sequential",
+            "thread",
+            pytest.param(
+                "process",
+                marks=pytest.mark.skipif(
+                    not fork_available, reason="fork start method unavailable"
+                ),
+            ),
+        ],
+    )
+    def test_matches_sequential(self, dataset, join_query, algorithm, backend):
+        expected = stps_join(dataset, *EPS, algorithm=algorithm)
+        for workers in WORKER_COUNTS:
+            for chunk_size in CHUNK_SIZES:
+                executor = JoinExecutor(
+                    workers=workers,
+                    backend=backend,
+                    chunk_size=chunk_size,
+                    **_backend_kwargs(backend),
+                )
+                got = executor.join(dataset, join_query, algorithm=algorithm)
+                assert got == expected, (
+                    f"{algorithm}/{backend} diverged at "
+                    f"workers={workers} chunk_size={chunk_size}"
+                )
+
+    @pytest.mark.skipif(not spawn_available, reason="spawn start method unavailable")
+    @pytest.mark.parametrize("algorithm", JOIN_ALGOS)
+    def test_spawn_matches_sequential(self, dataset, join_query, algorithm):
+        expected = stps_join(dataset, *EPS, algorithm=algorithm)
+        executor = JoinExecutor(
+            workers=2, backend="process", start_method="spawn", chunk_size=7
+        )
+        assert executor.join(dataset, join_query, algorithm=algorithm) == expected
+
+    def test_adaptive_chunking_matches_fixed(self, dataset, join_query):
+        fixed = JoinExecutor(workers=2, backend="thread", chunk_size=7)
+        adaptive = JoinExecutor(workers=2, backend="thread")
+        assert adaptive.join(dataset, join_query) == fixed.join(dataset, join_query)
+
+
+class TestTopKDeterminism:
+    @pytest.mark.parametrize("algorithm", TOPK_ALGOS)
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "sequential",
+            "thread",
+            pytest.param(
+                "process",
+                marks=pytest.mark.skipif(
+                    not fork_available, reason="fork start method unavailable"
+                ),
+            ),
+        ],
+    )
+    def test_matches_sequential(self, dataset, topk_query, algorithm, backend):
+        expected = topk_stps_join(dataset, EPS[0], EPS[1], K, algorithm=algorithm)
+        assert len(expected) == K  # the matrix only means something non-empty
+        for workers in WORKER_COUNTS:
+            for chunk_size in CHUNK_SIZES:
+                executor = JoinExecutor(
+                    workers=workers,
+                    backend=backend,
+                    chunk_size=chunk_size,
+                    **_backend_kwargs(backend),
+                )
+                got = executor.topk(dataset, topk_query, algorithm=algorithm)
+                assert got == expected, (
+                    f"{algorithm}/{backend} diverged at "
+                    f"workers={workers} chunk_size={chunk_size}"
+                )
+
+    @pytest.mark.skipif(not spawn_available, reason="spawn start method unavailable")
+    @pytest.mark.parametrize("algorithm", ["topk-s-ppj-f", "topk-s-ppj-d"])
+    def test_spawn_matches_sequential(self, dataset, topk_query, algorithm):
+        expected = topk_stps_join(dataset, EPS[0], EPS[1], K, algorithm=algorithm)
+        executor = JoinExecutor(
+            workers=2, backend="process", start_method="spawn", chunk_size=5
+        )
+        assert executor.topk(dataset, topk_query, algorithm=algorithm) == expected
+
+    def test_ties_broken_deterministically(self, topk_query):
+        # Four identical users: all six pairs score exactly 1.0; which
+        # pairs make the top-k is decided purely by the canonical
+        # tie-break, so every backend must agree with the sequential run.
+        from repro import STDataset
+
+        records = []
+        for user in ("a", "b", "c", "d"):
+            records.append((user, 0.5, 0.5, {"x", "y"}))
+            records.append((user, 0.51, 0.51, {"y", "z"}))
+        ds = STDataset.from_records(records)
+        query = TopKQuery(0.05, 0.5, 3)
+        expected = topk_stps_join(ds, 0.05, 0.5, 3, algorithm="topk-s-ppj-f")
+        assert [p.key for p in expected] == [("a", "b"), ("a", "c"), ("a", "d")]
+        for backend in ("sequential", "thread"):
+            for chunk_size in (1, 2):
+                executor = JoinExecutor(
+                    workers=2, backend=backend, chunk_size=chunk_size
+                )
+                for algorithm in TOPK_ALGOS:
+                    got = executor.topk(ds, query, algorithm=algorithm)
+                    assert got == expected, (backend, chunk_size, algorithm)
+
+
+class TestApiIntegration:
+    def test_stps_join_workers_param(self, dataset):
+        expected = stps_join(dataset, *EPS, algorithm="s-ppj-b")
+        got = stps_join(
+            dataset, *EPS, algorithm="s-ppj-b", workers=2, backend="thread"
+        )
+        assert got == expected
+
+    def test_backend_param_alone_routes_through_executor(self, dataset):
+        expected = stps_join(dataset, *EPS, algorithm="s-ppj-f")
+        assert stps_join(dataset, *EPS, backend="sequential") == expected
+
+    def test_topk_stps_join_workers_param(self, dataset):
+        expected = topk_stps_join(dataset, EPS[0], EPS[1], K)
+        got = topk_stps_join(
+            dataset, EPS[0], EPS[1], K, workers=2, backend="thread"
+        )
+        assert got == expected
+
+    def test_unknown_algorithm_raises(self, dataset, join_query):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            JoinExecutor(workers=1).join(dataset, join_query, algorithm="nope")
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            JoinExecutor(workers=1).topk(
+                dataset, TopKQuery(0.05, 0.3, 3), algorithm="s-ppj-b"
+            )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro import STDataset
@@ -59,5 +61,66 @@ def build_clustered_dataset(
                 f"c{cluster}_{int(t)}"
                 for t in rng.integers(0, 6, int(rng.integers(1, 4)))
             }
+            records.append((user, x, y, keywords))
+    return STDataset.from_records(records)
+
+
+@dataclass(frozen=True)
+class DifferentialConfig:
+    """One seeded dataset shape for the differential test harness.
+
+    The knobs cover the axes along which the join algorithms' pruning
+    differs: user count and set-size spread (Lemma 1/2 bounds), token
+    skew (inverted-list selectivity), spatial clustering (grid/leaf
+    occupancy), and degenerate extremes (empty docs, singleton sets).
+    """
+
+    seed: int
+    n_users: int = 10
+    min_objects: int = 1
+    max_objects: int = 8
+    vocab: int = 30
+    max_tokens: int = 5
+    token_skew: float = 0.0  # 0 = uniform; >0 = Zipf-like head concentration
+    cluster_fraction: float = 0.0  # share of objects snapped near cluster centers
+    n_clusters: int = 3
+    spread: float = 0.02
+    extent: float = 1.0
+    empty_doc_fraction: float = 0.0
+
+
+def build_differential_dataset(config: DifferentialConfig) -> STDataset:
+    """Build the dataset a :class:`DifferentialConfig` describes.
+
+    Deterministic for a given config.  Token ids are drawn from a
+    truncated geometric-like distribution when ``token_skew > 0``, which
+    concentrates mass on a few head tokens (long inverted lists) while
+    keeping a heavy tail of rare tokens — the regime where candidate
+    generation and the sigma_bar bound behave most differently across
+    algorithms.
+    """
+    rng = np.random.default_rng(config.seed)
+    centers = rng.uniform(0.0, config.extent, (max(config.n_clusters, 1), 2))
+    records = []
+    for user in range(config.n_users):
+        n_objects = int(rng.integers(config.min_objects, config.max_objects + 1))
+        home = int(rng.integers(0, max(config.n_clusters, 1)))
+        for _ in range(n_objects):
+            if rng.random() < config.cluster_fraction:
+                x = float(centers[home, 0] + rng.normal(0.0, config.spread))
+                y = float(centers[home, 1] + rng.normal(0.0, config.spread))
+            else:
+                x, y = (float(v) for v in rng.uniform(0.0, config.extent, 2))
+            if rng.random() < config.empty_doc_fraction:
+                keywords = set()
+            else:
+                n_tokens = int(rng.integers(1, config.max_tokens + 1))
+                if config.token_skew > 0.0:
+                    # Skewed draw: exponential decay over the vocabulary.
+                    raw = rng.exponential(1.0 / config.token_skew, n_tokens)
+                    ids = np.minimum(raw.astype(int), config.vocab - 1)
+                else:
+                    ids = rng.integers(0, config.vocab, n_tokens)
+                keywords = {f"k{int(t)}" for t in ids}
             records.append((user, x, y, keywords))
     return STDataset.from_records(records)

@@ -1,0 +1,75 @@
+"""DatasetSnapshot: the spawn transport's capture/restore round-trip."""
+
+import pickle
+
+import pytest
+
+from repro import STDataset, stps_join
+from repro.stindex import DatasetSnapshot
+from tests.helpers import build_clustered_dataset, build_random_dataset
+
+
+class TestRoundTrip:
+    def test_restore_reproduces_dataset_exactly(self):
+        ds = build_clustered_dataset(3, n_users=10)
+        restored = DatasetSnapshot.capture(ds).restore()
+        assert restored.users == ds.users
+        assert restored.num_objects == ds.num_objects
+        for orig, back in zip(ds.objects, restored.objects):
+            assert (back.oid, back.user, back.x, back.y, back.doc) == (
+                orig.oid,
+                orig.user,
+                orig.x,
+                orig.y,
+                orig.doc,
+            )
+            assert back.doc_set == orig.doc_set
+
+    def test_vocabulary_preserved_including_df_order(self):
+        ds = build_random_dataset(5, n_users=8)
+        restored = DatasetSnapshot.capture(ds).restore()
+        assert restored.vocab._id_to_token == ds.vocab._id_to_token
+        assert restored.vocab._df == ds.vocab._df
+        assert restored.vocab._token_to_id == ds.vocab._token_to_id
+
+    def test_join_results_identical_after_restore(self):
+        ds = build_clustered_dataset(1, n_users=10)
+        restored = DatasetSnapshot.capture(ds).restore()
+        for algorithm in ("s-ppj-b", "s-ppj-f", "s-ppj-d"):
+            assert stps_join(
+                restored, 0.05, 0.3, 0.2, algorithm=algorithm
+            ) == stps_join(ds, 0.05, 0.3, 0.2, algorithm=algorithm)
+
+    def test_pickle_round_trip(self):
+        ds = build_clustered_dataset(2, n_users=6)
+        snapshot = DatasetSnapshot.capture(ds)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        restored = clone.restore()
+        assert restored.users == ds.users
+        assert [o.doc for o in restored.objects] == [o.doc for o in ds.objects]
+
+    def test_pickle_smaller_than_dataset_pickle(self):
+        # The point of the snapshot: a compact transport format.
+        ds = build_clustered_dataset(4, n_users=12)
+        snapshot_size = len(pickle.dumps(DatasetSnapshot.capture(ds)))
+        dataset_size = len(pickle.dumps(ds))
+        assert snapshot_size < dataset_size
+
+    def test_empty_dataset(self):
+        ds = STDataset.from_records([])
+        snapshot = DatasetSnapshot.capture(ds)
+        assert snapshot.num_objects == 0
+        restored = snapshot.restore()
+        assert restored.num_users == 0
+        assert restored.num_objects == 0
+
+    def test_mixed_user_id_types(self):
+        ds = STDataset.from_records(
+            [
+                (1, 0.1, 0.1, {"a"}),
+                ("x", 0.2, 0.2, {"a", "b"}),
+                (2, 0.3, 0.3, {"b"}),
+            ]
+        )
+        restored = DatasetSnapshot.capture(ds).restore()
+        assert restored.users == ds.users

@@ -200,7 +200,52 @@ class TestParallelJoin:
             ]
         )
         assert code == 0
-        assert "parallel ppj-b" in capsys.readouterr().out
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_workers_flag_with_algorithm_and_backend(self, dataset_path, capsys):
+        code = main(
+            [
+                "join",
+                str(dataset_path),
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "--eps-user",
+                "0.2",
+                "--algorithm",
+                "s-ppj-f",
+                "--workers",
+                "2",
+                "--backend",
+                "thread",
+                "--chunk-size",
+                "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm s-ppj-f, 2 workers" in out
+
+    def test_topk_workers_flag(self, dataset_path, capsys):
+        code = main(
+            [
+                "topk",
+                str(dataset_path),
+                "--eps-loc",
+                "0.01",
+                "--eps-doc",
+                "0.3",
+                "-k",
+                "5",
+                "--workers",
+                "2",
+                "--backend",
+                "thread",
+            ]
+        )
+        assert code == 0
+        assert "top-5" in capsys.readouterr().out
 
 
 class TestOutFlag:
