@@ -1,0 +1,123 @@
+"""Overhead of the resilience layer when it is switched off.
+
+The engine's contract: without an :class:`repro.exec.ExecutionPolicy`,
+scheduling stays on the exact fail-fast fast paths (the inline loop and
+the pooled ``imap_unordered`` loop) — the only additions are a per-chunk
+fault-plan lookup and two report counter increments.  This benchmark pins
+that contract with numbers:
+
+* ``python benchmarks/bench_resilience_overhead.py`` compares the
+  median wall-clock of the engine's no-policy sequential run against the
+  plain sequential algorithm call, and **fails** if the engine (plan
+  machinery + resilience hooks combined) costs more than 3%;
+* it also prints the cost of an *active* (but never-triggering) policy on
+  the pooled path, which is allowed to be higher (the AsyncResult
+  dispatcher polls) but should stay modest.
+
+Run under pytest (``pytest benchmarks/bench_resilience_overhead.py
+--benchmark-only``) for harness timings of the same three configurations.
+"""
+
+import statistics
+import sys
+import time
+
+from repro import ExecutionPolicy, stps_join
+from repro.core.query import STPSJoinQuery
+from repro.exec import JoinExecutor
+
+from _common import dataset_for, thresholds_for
+
+PRESET = "twitter"
+NUM_USERS = 120
+ROUNDS = 5
+MAX_OVERHEAD = 0.03
+
+
+def _query():
+    eps_loc, eps_doc, eps_user = thresholds_for(PRESET)
+    return STPSJoinQuery(eps_loc, eps_doc, eps_user)
+
+
+def test_direct_sequential(run_once):
+    dataset = dataset_for(PRESET, NUM_USERS)
+    eps_loc, eps_doc, eps_user = thresholds_for(PRESET)
+    result = run_once(
+        stps_join, dataset, eps_loc, eps_doc, eps_user, algorithm="s-ppj-b"
+    )
+    assert isinstance(result, list)
+
+
+def test_engine_no_policy(run_once):
+    dataset = dataset_for(PRESET, NUM_USERS)
+    executor = JoinExecutor(workers=1, backend="sequential")
+    result = run_once(executor.join, dataset, _query(), algorithm="s-ppj-b")
+    assert isinstance(result, list)
+
+
+def test_engine_with_idle_policy(run_once):
+    dataset = dataset_for(PRESET, NUM_USERS)
+    executor = JoinExecutor(
+        workers=1,
+        backend="sequential",
+        policy=ExecutionPolicy(deadline=3600.0, max_retries=2),
+    )
+    result = run_once(executor.join, dataset, _query(), algorithm="s-ppj-b")
+    assert isinstance(result, list)
+
+
+def _median_time(fn, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def main() -> int:
+    dataset = dataset_for(PRESET, NUM_USERS)
+    eps_loc, eps_doc, eps_user = thresholds_for(PRESET)
+    query = _query()
+    print(
+        f"resilience overhead on {PRESET} ({NUM_USERS} users, "
+        f"{dataset.num_objects} objects), median of {ROUNDS}"
+    )
+
+    direct = _median_time(
+        lambda: stps_join(dataset, eps_loc, eps_doc, eps_user, algorithm="s-ppj-b")
+    )
+    print(f"  direct sequential        : {direct:8.3f}s")
+
+    no_policy = JoinExecutor(workers=1, backend="sequential")
+    engine = _median_time(
+        lambda: no_policy.join(dataset, query, algorithm="s-ppj-b")
+    )
+    overhead = engine / direct - 1.0
+    print(f"  engine, no policy        : {engine:8.3f}s  ({overhead:+.1%})")
+
+    idle = JoinExecutor(
+        workers=1,
+        backend="sequential",
+        policy=ExecutionPolicy(deadline=3600.0, max_retries=2),
+    )
+    with_policy = _median_time(
+        lambda: idle.join(dataset, query, algorithm="s-ppj-b")
+    )
+    print(
+        f"  engine, idle policy      : {with_policy:8.3f}s  "
+        f"({with_policy / direct - 1.0:+.1%})"
+    )
+
+    if overhead > MAX_OVERHEAD:
+        print(
+            f"FAIL: no-policy engine overhead {overhead:.1%} exceeds "
+            f"{MAX_OVERHEAD:.0%}"
+        )
+        return 1
+    print(f"OK: no-policy overhead {overhead:+.1%} within {MAX_OVERHEAD:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,17 @@ from .core import (
     topk_stps_join,
     tune_thresholds,
 )
-from .exec import BackendUnavailableError, JoinExecutor
+from .errors import DatasetValidationError, ReproError
+from .exec import (
+    BackendUnavailableError,
+    ChunkFailure,
+    DeadlineExceeded,
+    ExecutionError,
+    ExecutionFailed,
+    ExecutionPolicy,
+    ExecutionReport,
+    JoinExecutor,
+)
 from .datasets import (
     FLICKR_LIKE,
     GEOTEXT_LIKE,
@@ -79,7 +89,15 @@ __all__ = [
     "temporal_stps_join",
     "parallel_stps_join",
     "JoinExecutor",
+    "ExecutionPolicy",
+    "ExecutionReport",
+    "ChunkFailure",
+    "ReproError",
+    "DatasetValidationError",
+    "ExecutionError",
     "BackendUnavailableError",
+    "DeadlineExceeded",
+    "ExecutionFailed",
     "JOIN_ALGORITHMS",
     "TOPK_ALGORITHMS",
     "DatasetSpec",

@@ -25,7 +25,14 @@ from .core.export import save_pairs
 from .core.knn import similar_users
 from .core.query import STPSJoinQuery
 from .core.tuning import tune_thresholds
-from .exec import BACKENDS, BackendUnavailableError
+from .errors import DatasetValidationError
+from .exec import (
+    BACKENDS,
+    BackendUnavailableError,
+    DeadlineExceeded,
+    ExecutionFailed,
+    ExecutionPolicy,
+)
 from .datasets.ingest import load_delimited
 from .datasets.loaders import load_tsv, save_tsv
 from .datasets.stats import dataset_stats, format_table1
@@ -62,18 +69,78 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="work units per task (default: adaptive)",
     )
+    res = parser.add_argument_group(
+        "resilience (see docs/robustness.md)"
+    )
+    res.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for the whole join",
+    )
+    res.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="per-chunk wall-clock limit in seconds (pooled backends)",
+    )
+    res.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="re-dispatches per failed chunk before --on-failure applies "
+        "(default: 1 when a policy is active)",
+    )
+    res.add_argument(
+        "--on-failure",
+        choices=("raise", "degrade", "partial"),
+        default=None,
+        help="terminal chunk failures: abort (raise), re-run on a simpler "
+        "backend (degrade), or skip and report (partial)",
+    )
+
+
+def _policy_from_args(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
+    """An :class:`ExecutionPolicy` when any resilience flag was given."""
+    if (
+        args.deadline is None
+        and args.chunk_timeout is None
+        and args.max_retries is None
+        and args.on_failure is None
+    ):
+        return None
+    kwargs = {}
+    if args.deadline is not None:
+        kwargs["deadline"] = args.deadline
+    if args.chunk_timeout is not None:
+        kwargs["chunk_timeout"] = args.chunk_timeout
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.on_failure is not None:
+        kwargs["on_failure"] = args.on_failure
+    return ExecutionPolicy(**kwargs)
 
 
 def _executor_kwargs(args: argparse.Namespace) -> dict:
-    """Executor-related kwargs for the API entry points (empty = sequential)."""
-    if args.workers is None and args.backend is None:
+    """Executor-related kwargs for the API entry points (empty = sequential).
+
+    Resilience flags alone are enough to route through the engine — the
+    API then defaults to the sequential backend, so ``--deadline`` works
+    without ``--workers``.
+    """
+    policy = _policy_from_args(args)
+    if args.workers is None and args.backend is None and policy is None:
         return {}
-    return {
+    kwargs = {
         "workers": args.workers,
         "backend": args.backend,
         "start_method": args.start_method,
         "chunk_size": args.chunk_size,
     }
+    if policy is not None:
+        kwargs["policy"] = policy
+        kwargs["with_report"] = True
+    return kwargs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,7 +279,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     kwargs = {"fanout": args.fanout} if args.algorithm == "s-ppj-d" else {}
     kwargs.update(_executor_kwargs(args))
-    pairs = stps_join(
+    result = stps_join(
         dataset,
         args.eps_loc,
         args.eps_doc,
@@ -220,6 +287,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         **kwargs,
     )
+    pairs = result
+    if kwargs.get("with_report"):
+        pairs, report = result
+        print(report.summary(), file=sys.stderr)
     label = f"algorithm {args.algorithm}"
     if args.workers is not None:
         label += f", {args.workers} workers"
@@ -238,14 +309,19 @@ def _cmd_join(args: argparse.Namespace) -> int:
 def _cmd_topk(args: argparse.Namespace) -> int:
     dataset = load_tsv(args.path)
     start = time.perf_counter()
-    pairs = topk_stps_join(
+    kwargs = _executor_kwargs(args)
+    result = topk_stps_join(
         dataset,
         args.eps_loc,
         args.eps_doc,
         args.k,
         algorithm=args.algorithm,
-        **_executor_kwargs(args),
+        **kwargs,
     )
+    pairs = result
+    if kwargs.get("with_report"):
+        pairs, report = result
+        print(report.summary(), file=sys.stderr)
     elapsed = time.perf_counter() - start
     print(
         f"top-{args.k}: {len(pairs)} pairs (algorithm {args.algorithm}, "
@@ -356,12 +432,40 @@ _COMMANDS = {
 }
 
 
+#: Exit codes beyond the usual 0/2: failure *kinds* are distinguishable
+#: by scripts wrapping the CLI (timeouts are often retryable, validation
+#: errors never are).
+EXIT_VALIDATION = 3
+EXIT_DEADLINE = 4
+EXIT_EXECUTION_FAILED = 5
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    ``2`` — usage / generic error, ``3`` — input data failed validation,
+    ``4`` — the execution deadline elapsed, ``5`` — chunks failed
+    terminally (retries and degraded re-execution exhausted).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except DatasetValidationError as exc:
+        print(f"error: invalid dataset: {exc}", file=sys.stderr)
+        for problem in exc.problems[1:5]:
+            print(f"  also: {problem}", file=sys.stderr)
+        return EXIT_VALIDATION
+    except DeadlineExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.report is not None:
+            print(exc.report.summary(), file=sys.stderr)
+        return EXIT_DEADLINE
+    except ExecutionFailed as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.report is not None:
+            print(exc.report.summary(), file=sys.stderr)
+        return EXIT_EXECUTION_FAILED
     except (ValueError, OSError, BackendUnavailableError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

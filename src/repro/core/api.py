@@ -60,19 +60,25 @@ def _make_executor(
     backend: Optional[str],
     start_method: Optional[str],
     chunk_size: Optional[int],
+    policy=None,
 ):
     """Build a :class:`repro.exec.JoinExecutor` for the parallel path.
 
     Imported lazily: :mod:`repro.exec` depends on the algorithm modules
     this facade re-exports, so a module-level import would be circular.
+    A policy without ``workers``/``backend`` runs on the sequential
+    backend — resilience does not imply parallelism.
     """
     from ..exec import JoinExecutor
 
+    if backend is None:
+        backend = "process" if workers is not None else "sequential"
     return JoinExecutor(
         workers=workers,
-        backend=backend if backend is not None else "process",
+        backend=backend,
         start_method=start_method,
         chunk_size=chunk_size,
+        policy=policy,
     )
 
 
@@ -87,8 +93,10 @@ def stps_join(
     backend: Optional[str] = None,
     start_method: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    policy=None,
+    with_report: bool = False,
     **kwargs,
-) -> List[UserPair]:
+):
     """Evaluate an STPSJoin query (Definition 1).
 
     Parameters
@@ -110,12 +118,32 @@ def stps_join(
         results are byte-identical to the sequential path.  ``backend``
         defaults to ``"process"``; see the executor for the remaining
         parameters.
+    policy:
+        Optional :class:`repro.exec.ExecutionPolicy` (deadline, retries,
+        graceful degradation — see ``docs/robustness.md``).  A policy
+        alone routes through the engine on the sequential backend.
+    with_report:
+        Return ``(pairs, report)`` with the run's
+        :class:`repro.exec.ExecutionReport` instead of just the pairs.
+        Also routes through the engine.
     """
     query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
-    if workers is not None or backend is not None:
-        executor = _make_executor(workers, backend, start_method, chunk_size)
+    if (
+        workers is not None
+        or backend is not None
+        or policy is not None
+        or with_report
+    ):
+        executor = _make_executor(
+            workers, backend, start_method, chunk_size, policy
+        )
         return executor.join(
-            dataset, query, algorithm=algorithm, stats=stats, **kwargs
+            dataset,
+            query,
+            algorithm=algorithm,
+            stats=stats,
+            with_report=with_report,
+            **kwargs,
         )
     try:
         run = JOIN_ALGORITHMS[algorithm]
@@ -139,18 +167,31 @@ def topk_stps_join(
     backend: Optional[str] = None,
     start_method: Optional[str] = None,
     chunk_size: Optional[int] = None,
-) -> List[UserPair]:
+    policy=None,
+    with_report: bool = False,
+):
     """Evaluate a top-k STPSJoin query (Definition 2).
 
     ``workers`` / ``backend`` route evaluation through the parallel
     execution engine, exactly as in :func:`stps_join`; the returned k
     best pairs are byte-identical to the sequential algorithms (ties are
-    broken canonically everywhere).
+    broken canonically everywhere).  ``policy`` and ``with_report`` also
+    behave as in :func:`stps_join`.
     """
     query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
-    if workers is not None or backend is not None:
-        executor = _make_executor(workers, backend, start_method, chunk_size)
-        return executor.topk(dataset, query, algorithm=algorithm, stats=stats)
+    if (
+        workers is not None
+        or backend is not None
+        or policy is not None
+        or with_report
+    ):
+        executor = _make_executor(
+            workers, backend, start_method, chunk_size, policy
+        )
+        return executor.topk(
+            dataset, query, algorithm=algorithm, stats=stats,
+            with_report=with_report,
+        )
     try:
         run = TOPK_ALGORITHMS[algorithm]
     except KeyError:

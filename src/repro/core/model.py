@@ -14,6 +14,7 @@ PPJOIN-family joins need — and as a frozen set for O(1) membership tests.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -27,6 +28,7 @@ from typing import (
     Tuple,
 )
 
+from ..errors import DatasetValidationError
 from ..spatial.geometry import Rect
 from ..textual.vocabulary import TokenDictionary
 
@@ -96,11 +98,27 @@ class STDataset:
         Keywords are deduplicated per object; objects without keywords are
         kept but can never match anything (their textual similarity to any
         object is zero by definition in :mod:`repro.core.similarity`).
+
+        Non-finite coordinates (NaN, ±inf) are rejected with a
+        :class:`~repro.errors.DatasetValidationError` listing every
+        offending record — they would silently poison the spatial
+        indexes (NaN compares false with everything, so grid and R-tree
+        placement becomes undefined).  Structural checks that depend on
+        the application (empty keyword sets, duplicate objects) are
+        opt-in via :meth:`validate`.
         """
         staged: List[Tuple[UserId, float, float, FrozenSet[Hashable]]] = [
             (user, float(x), float(y), frozenset(keywords))
             for user, x, y, keywords in records
         ]
+        problems = [
+            f"record {i} (user {user!r}): non-finite coordinates "
+            f"({x!r}, {y!r})"
+            for i, (user, x, y, _) in enumerate(staged)
+            if not (math.isfinite(x) and math.isfinite(y))
+        ]
+        if problems:
+            raise DatasetValidationError(problems)
         vocab = TokenDictionary.build(kw for _, _, _, kw in staged)
         objects: List[STObject] = []
         by_user: Dict[UserId, List[STObject]] = {}
@@ -118,6 +136,47 @@ class STDataset:
             by_user.setdefault(user, []).append(obj)
         users = sorted(by_user.keys(), key=lambda u: (str(type(u)), u))
         return cls(objects, vocab, users, by_user)
+
+    def validate(
+        self,
+        require_keywords: bool = True,
+        reject_duplicates: bool = True,
+    ) -> "STDataset":
+        """Opt-in structural validation; returns ``self`` for chaining.
+
+        Raises :class:`~repro.errors.DatasetValidationError` listing every
+        violation found:
+
+        * ``require_keywords`` — objects with an empty keyword set.  They
+          are *legal* (their similarity to anything is zero) but usually
+          indicate a broken tokenizer upstream.
+        * ``reject_duplicates`` — objects identical in user, location and
+          document.  Duplicates skew point-set similarity scores, so
+          ingestion pipelines typically want to know.
+
+        Coordinates are already guaranteed finite by :meth:`from_records`.
+        """
+        problems: List[str] = []
+        if require_keywords:
+            for obj in self.objects:
+                if not obj.doc:
+                    problems.append(
+                        f"object {obj.oid} (user {obj.user!r}): empty "
+                        "keyword set"
+                    )
+        if reject_duplicates:
+            seen: Dict[Tuple, int] = {}
+            for obj in self.objects:
+                key = (obj.user, obj.x, obj.y, obj.doc)
+                first = seen.setdefault(key, obj.oid)
+                if first != obj.oid:
+                    problems.append(
+                        f"object {obj.oid} (user {obj.user!r}): duplicate "
+                        f"of object {first}"
+                    )
+        if problems:
+            raise DatasetValidationError(problems)
+        return self
 
     def subset_users(self, users: Sequence[UserId]) -> "STDataset":
         """A new dataset restricted to ``users`` (for scalability sweeps).

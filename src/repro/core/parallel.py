@@ -34,6 +34,7 @@ def parallel_stps_join(
     chunk_size: int = 2048,
     start_method: Optional[str] = None,
     stats: Optional[PairEvalStats] = None,
+    policy=None,
 ) -> List[UserPair]:
     """Evaluate an STPSJoin with PPJ-B across worker processes.
 
@@ -51,6 +52,9 @@ def parallel_stps_join(
     stats:
         Optional :class:`PairEvalStats`; per-worker counters are merged
         in losslessly.
+    policy:
+        Optional :class:`repro.exec.ExecutionPolicy` — deadlines, retries
+        and crash recovery for the run (``docs/robustness.md``).
     """
     from ..exec import JoinExecutor
 
@@ -59,5 +63,6 @@ def parallel_stps_join(
         backend="process",
         start_method=start_method,
         chunk_size=chunk_size,
+        policy=policy,
     )
     return executor.join(dataset, query, algorithm="s-ppj-b", stats=stats)

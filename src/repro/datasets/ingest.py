@@ -22,11 +22,13 @@ Example (a tweets export with header ``user,lat,lon,text``)::
 
 from __future__ import annotations
 
+import math
 import os
 import re
 from typing import Callable, FrozenSet, Iterable, List, Optional, Set, Union
 
 from ..core.model import RawRecord, STDataset
+from ..errors import DatasetValidationError
 
 __all__ = ["simple_tokenize", "load_delimited", "DEFAULT_STOPWORDS"]
 
@@ -96,8 +98,9 @@ def load_delimited(
         match anything; the paper likewise filters keyword-less objects).
     on_error:
         ``"skip"`` silently drops malformed lines (missing columns,
-        unparseable coordinates); ``"raise"`` turns them into
-        ``ValueError`` with the line number.
+        unparseable or non-finite coordinates); ``"raise"`` turns them
+        into :class:`~repro.errors.DatasetValidationError` (a
+        ``ValueError`` subclass) with the line number.
     """
     if on_error not in ("skip", "raise"):
         raise ValueError("on_error must be 'skip' or 'raise'")
@@ -115,9 +118,12 @@ def load_delimited(
             parts = line.split(delimiter)
             if len(parts) < needed:
                 if on_error == "raise":
-                    raise ValueError(
-                        f"{path}:{line_no}: expected at least {needed} "
-                        f"fields, got {len(parts)}"
+                    raise DatasetValidationError(
+                        [
+                            f"line {line_no}: expected at least {needed} "
+                            f"fields, got {len(parts)}"
+                        ],
+                        source=str(path),
                     )
                 continue
             try:
@@ -125,10 +131,25 @@ def load_delimited(
                 y = float(parts[y_col])
             except ValueError:
                 if on_error == "raise":
-                    raise ValueError(
-                        f"{path}:{line_no}: unparseable coordinates "
-                        f"{parts[x_col]!r}, {parts[y_col]!r}"
+                    raise DatasetValidationError(
+                        [
+                            f"line {line_no}: unparseable coordinates "
+                            f"{parts[x_col]!r}, {parts[y_col]!r}"
+                        ],
+                        source=str(path),
                     ) from None
+                continue
+            if not (math.isfinite(x) and math.isfinite(y)):
+                # NaN/±inf parse as valid floats but poison the spatial
+                # indexes; treat them as malformed coordinates.
+                if on_error == "raise":
+                    raise DatasetValidationError(
+                        [
+                            f"line {line_no}: non-finite coordinates "
+                            f"{parts[x_col]!r}, {parts[y_col]!r}"
+                        ],
+                        source=str(path),
+                    )
                 continue
             keywords = set(extract(parts[text_col]))
             if len(keywords) < min_keywords:

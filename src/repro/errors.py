@@ -1,0 +1,53 @@
+"""Root error taxonomy of the library.
+
+Every structured error the library raises derives from :class:`ReproError`,
+so callers embedding the library can catch one base class at their service
+boundary.  Domain-specific families live next to the code that raises them
+(:mod:`repro.exec.errors` for the execution engine) and multiply inherit
+from the closest builtin (``ValueError``, ``RuntimeError``, ``TimeoutError``)
+so pre-taxonomy ``except`` clauses keep working.
+
+The taxonomy, as a tree::
+
+    ReproError
+    ├── DatasetValidationError (ValueError)      — malformed input data
+    └── ExecutionError (RuntimeError)            — repro.exec.errors
+        ├── BackendUnavailableError              — backend cannot run here
+        ├── ExecutionFailed                      — chunks failed terminally
+        └── DeadlineExceeded (TimeoutError)      — query deadline hit
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["ReproError", "DatasetValidationError"]
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by this library."""
+
+
+class DatasetValidationError(ReproError, ValueError):
+    """Input data failed validation (non-finite coordinates, empty
+    keyword sets where they are required, duplicate object ids).
+
+    Subclasses ``ValueError`` so callers written against the previous,
+    unstructured behavior keep working.
+
+    Attributes
+    ----------
+    problems:
+        Human-readable descriptions of every offending record found
+        (capped by the validator that raised), never empty.
+    """
+
+    def __init__(self, problems: Sequence[str], source: Optional[str] = None):
+        self.problems: List[str] = list(problems)
+        self.source = source
+        head = self.problems[0] if self.problems else "invalid dataset"
+        extra = len(self.problems) - 1
+        message = head if extra <= 0 else f"{head} (and {extra} more)"
+        if source:
+            message = f"{source}: {message}"
+        super().__init__(message)

@@ -3,17 +3,38 @@
 :class:`JoinExecutor` runs any algorithm of the repository — S-PPJ-C/B/F/D,
 the top-k family and the exhaustive oracles — across sequential, thread or
 process backends with byte-identical results.  See
-:mod:`repro.exec.engine` for the scheduling model and
-:mod:`repro.exec.plans` for the per-algorithm decompositions.
+:mod:`repro.exec.engine` for the scheduling model,
+:mod:`repro.exec.plans` for the per-algorithm decompositions, and
+:mod:`repro.exec.resilience` for deadlines, retries and worker-crash
+recovery (``docs/robustness.md`` has the narrative version).
 """
 
-from .engine import BACKENDS, BackendUnavailableError, JoinExecutor
+from .engine import BACKENDS, JoinExecutor
+from .errors import (
+    BackendUnavailableError,
+    DeadlineExceeded,
+    ExecutionError,
+    ExecutionFailed,
+)
 from .plans import JOIN_PLANS, TOPK_PLANS, get_plan
+from .resilience import (
+    ON_FAILURE_MODES,
+    ChunkFailure,
+    ExecutionPolicy,
+    ExecutionReport,
+)
 
 __all__ = [
     "JoinExecutor",
-    "BackendUnavailableError",
     "BACKENDS",
+    "ExecutionError",
+    "BackendUnavailableError",
+    "DeadlineExceeded",
+    "ExecutionFailed",
+    "ExecutionPolicy",
+    "ExecutionReport",
+    "ChunkFailure",
+    "ON_FAILURE_MODES",
     "JOIN_PLANS",
     "TOPK_PLANS",
     "get_plan",

@@ -3,7 +3,8 @@
 One executor drives every join in the repository — the four S-PPJ
 threshold algorithms, the exhaustive oracles and the top-k family — by
 delegating algorithm knowledge to the plans of :mod:`repro.exec.plans`
-and keeping scheduling, worker lifecycle and stats plumbing here.
+and keeping scheduling, worker lifecycle, fault handling and stats
+plumbing here.
 
 Backends
 --------
@@ -19,8 +20,7 @@ Backends
     exercising the scheduling machinery cheaply, not about speedup.
 
 ``process``
-    A real process pool with dynamic chunk scheduling
-    (``imap_unordered``).  Two transports:
+    A real process pool with dynamic chunk scheduling.  Two transports:
 
     * ``fork`` — workers inherit the parent's built indexes through
       copy-on-write memory; nothing is serialized.
@@ -39,32 +39,65 @@ Backends
     ``REPRO_START_METHOD`` environment variable acts as an explicit
     request, which is how CI forces the spawn transport.
 
+Resilience
+----------
+
+Without an :class:`~repro.exec.resilience.ExecutionPolicy` the engine is
+exact and brittle on purpose: a chunk exception propagates, results are
+all-or-nothing, and the scheduling path is byte-for-byte the cheap
+``imap_unordered`` loop.  With a policy, pooled chunks run through an
+``AsyncResult``-based dispatcher that adds, per
+``docs/robustness.md``:
+
+* per-chunk retries with deterministic exponential backoff;
+* per-chunk timeouts (task abandoned and re-dispatched) and a whole-run
+  deadline;
+* worker-crash detection — the dispatcher watches the pool's worker pids,
+  rebuilds the pool when one dies (``respawn_limit`` times) and requeues
+  the chunks that were in flight;
+* graceful degradation: a chunk that exhausts its pool attempts is
+  re-executed on a degraded rung (thread, then inline in the caller)
+  under ``on_failure="degrade"``, or recorded and skipped under
+  ``"partial"``;
+* an :class:`~repro.exec.resilience.ExecutionReport` describing exactly
+  what happened.
+
 Determinism
 -----------
 
 Every plan partitions the pair space so each unordered user pair is
-evaluated by exactly one task, and results are merged through the
-canonical order of :func:`repro.core.query.pair_sort_key`.  Output is
-therefore byte-identical across backends, worker counts and chunk sizes
-— the property ``tests/exec/test_determinism.py`` pins down.  Per-task
-stats counters are merged losslessly into the caller's
-:class:`~repro.core.pair_eval.PairEvalStats` for the same reason: each
-pair's work is counted exactly once.
+evaluated by exactly one task, results are accepted at most once per
+chunk, and merged through the canonical order of
+:func:`repro.core.query.pair_sort_key`.  Output is therefore
+byte-identical across backends, worker counts, chunk sizes, retries and
+degraded re-executions — whenever the report's completeness is 1.0 — the
+property ``tests/exec/test_determinism.py`` and
+``tests/exec/test_resilience.py`` pin down.  Per-task stats counters are
+collected per chunk and merged into the caller's
+:class:`~repro.core.pair_eval.PairEvalStats` only when that chunk's
+result is accepted, so each pair's work is counted exactly once even
+when attempts fail midway and are retried.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import multiprocessing.dummy
 import os
+import threading
+import time
 import warnings
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.model import STDataset
 from ..core.pair_eval import PairEvalStats
 from ..core.query import STPSJoinQuery, TopKQuery, UserPair, pair_sort_key
 from ..stindex.snapshot import DatasetSnapshot
+from . import faults as _faults
+from .errors import BackendUnavailableError, DeadlineExceeded, ExecutionFailed
 from .plans import Plan, get_plan
+from .resilience import ChunkFailure, ExecutionPolicy, ExecutionReport, backoff_delay
 
 __all__ = ["JoinExecutor", "BackendUnavailableError", "BACKENDS"]
 
@@ -76,43 +109,145 @@ BACKENDS = ("sequential", "thread", "process")
 _MAX_AUTO_CHUNK = 4096
 
 #: Tasks handed out per worker (on average) by the adaptive chunking —
-#: enough slack for ``imap_unordered`` to rebalance skewed chunks.
+#: enough slack for dynamic scheduling to rebalance skewed chunks.
 _TASKS_PER_WORKER = 8
 
-#: Worker-side state for the process/thread pools.  With the ``fork``
-#: start method (and the thread backend) it is populated in the parent
+#: Worker-side state, keyed by run token so that concurrent or nested
+#: executors in one process (and a ``build_state`` that raises midway)
+#: can never clobber each other's entries.  With the ``fork`` start
+#: method (and the thread backend) the parent populates its run's entry
 #: before workers exist; with ``spawn`` each worker's initializer fills
-#: its own copy.
-_WORKER_STATE: dict = {}
+#: its own copy under the same token.
+_WORKER_STATE: Dict[int, dict] = {}
+
+#: Run-token allocator (process-wide; fork children inherit a snapshot
+#: of the counter but never allocate, so collisions cannot happen).
+_RUN_TOKENS = itertools.count(1)
 
 
-class BackendUnavailableError(RuntimeError):
-    """An explicitly requested backend/start method cannot run here."""
+def _execute_chunk(
+    plan: Plan, state, chunk, chunk_index: int, attempt: int, with_stats: bool
+) -> Tuple[List[UserPair], Optional[dict]]:
+    """Evaluate one chunk, honoring the active fault plan.
 
-
-def _run_task(chunk) -> Tuple[List[UserPair], Optional[dict]]:
-    """Evaluate one chunk in a pool worker; returns (pairs, stats-dict)."""
-    plan: Plan = _WORKER_STATE["plan"]
-    state = _WORKER_STATE["state"]
-    stats = PairEvalStats() if _WORKER_STATE["with_stats"] else None
+    Stats are collected into a chunk-local object and returned as a dict:
+    a failed attempt therefore contributes *nothing* to the caller's
+    counters — they are merged only when the chunk's result is accepted.
+    """
+    fault_plan = _faults.active_fault_plan()
+    if fault_plan is not None:
+        fault_plan.maybe_fire(chunk_index, attempt)
+    stats = PairEvalStats() if with_stats else None
     pairs = plan.run_chunk(state, chunk, stats)
     return pairs, (stats.as_dict() if stats is not None else None)
 
 
+def _run_task(task) -> Tuple[int, List[UserPair], Optional[dict]]:
+    """Pool-worker entry point; ``task = (token, index, attempt, chunk)``."""
+    token, chunk_index, attempt, chunk = task
+    entry = _WORKER_STATE[token]
+    pairs, counters = _execute_chunk(
+        entry["plan"], entry["state"], chunk, chunk_index, attempt,
+        entry["with_stats"],
+    )
+    return chunk_index, pairs, counters
+
+
 def _init_spawn_worker(
+    token: int,
     snapshot: DatasetSnapshot,
     kind: str,
     algorithm: str,
     query,
     with_stats: bool,
     kwargs: dict,
+    fault_plan_text: Optional[str],
 ) -> None:
     """Spawn-worker initializer: restore the dataset, rebuild plan state."""
+    if fault_plan_text:
+        _faults.install_fault_plan(_faults.FaultPlan.parse(fault_plan_text))
     dataset = snapshot.restore()
     plan = get_plan(kind, algorithm)
-    _WORKER_STATE["plan"] = plan
-    _WORKER_STATE["state"] = plan.build_state(dataset, query, **kwargs)
-    _WORKER_STATE["with_stats"] = with_stats
+    _WORKER_STATE[token] = {
+        "plan": plan,
+        "state": plan.build_state(dataset, query, **kwargs),
+        "with_stats": with_stats,
+    }
+
+
+def _run_chunk_in_thread(
+    plan: Plan,
+    state,
+    chunk,
+    chunk_index: int,
+    attempt: int,
+    with_stats: bool,
+    timeout: Optional[float],
+) -> Tuple[List[UserPair], Optional[dict]]:
+    """Degraded thread rung: one chunk on a fresh daemon thread.
+
+    Unlike plain inline execution this rung can enforce a timeout — the
+    hung thread is abandoned (daemon, so it cannot block interpreter
+    exit) and a ``TimeoutError`` is raised to the dispatcher.
+    """
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["ok"] = _execute_chunk(
+                plan, state, chunk, chunk_index, attempt, with_stats
+            )
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            box["err"] = exc
+
+    worker = threading.Thread(
+        target=target, name=f"repro-degraded-{chunk_index}", daemon=True
+    )
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise TimeoutError(
+            f"degraded thread rung for chunk {chunk_index} exceeded "
+            f"{timeout}s"
+        )
+    if "err" in box:
+        raise box["err"]
+    return box["ok"]
+
+
+class _Deadline:
+    """Monotonic wall-clock budget; ``None`` seconds means unbounded."""
+
+    __slots__ = ("_at",)
+
+    def __init__(self, seconds: Optional[float]):
+        self._at = None if seconds is None else time.monotonic() + seconds
+
+    def expired(self) -> bool:
+        return self._at is not None and time.monotonic() >= self._at
+
+    def remaining(self) -> float:
+        if self._at is None:
+            return float("inf")
+        return max(0.0, self._at - time.monotonic())
+
+
+def _worker_pids(pool) -> Set[int]:
+    """Pids of a process pool's current workers (crash watchdog input)."""
+    return {w.pid for w in getattr(pool, "_pool", []) if w.pid is not None}
+
+
+def _terminate_pool(pool) -> None:
+    """Terminate a pool, swallowing teardown races.
+
+    ``Pool.terminate`` SIGTERMs process workers (safe for hung chunks);
+    for ``multiprocessing.dummy`` pools it only signals the handler
+    threads — hung worker threads are daemons and are left to drain.
+    """
+    try:
+        pool.terminate()
+    except Exception:  # pragma: no cover - teardown best-effort
+        pass
 
 
 class JoinExecutor:
@@ -135,6 +270,13 @@ class JoinExecutor:
     chunk_size:
         Work units (user pairs or users, depending on the algorithm) per
         task; ``None`` adapts to the input size and worker count.
+    policy:
+        Default :class:`~repro.exec.resilience.ExecutionPolicy` for every
+        run of this executor; ``None`` keeps the exact, fail-fast
+        behavior.  :meth:`join` / :meth:`topk` accept a per-call override.
+
+    After every run that had a policy (or requested a report),
+    ``last_report`` holds the :class:`~repro.exec.resilience.ExecutionReport`.
     """
 
     def __init__(
@@ -143,6 +285,7 @@ class JoinExecutor:
         backend: str = "process",
         start_method: Optional[str] = None,
         chunk_size: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -155,6 +298,8 @@ class JoinExecutor:
         self.backend = backend
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.chunk_size = chunk_size
+        self.policy = policy
+        self.last_report: Optional[ExecutionReport] = None
         self.start_method: Optional[str] = None
         if backend == "process":
             self.start_method = self._resolve_start_method(start_method)
@@ -198,13 +343,23 @@ class JoinExecutor:
         query: STPSJoinQuery,
         algorithm: str = "s-ppj-b",
         stats: Optional[PairEvalStats] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        with_report: bool = False,
         **kwargs,
-    ) -> List[UserPair]:
-        """Evaluate a threshold STPSJoin; canonically sorted result."""
+    ):
+        """Evaluate a threshold STPSJoin; canonically sorted result.
+
+        ``policy`` overrides the executor default for this call;
+        ``with_report=True`` returns ``(pairs, report)`` instead of just
+        the pair list.  The report is also stored on ``last_report``.
+        """
         plan = get_plan("join", algorithm)
-        pairs = self._run(plan, dataset, query, stats, kwargs)
+        pairs, report = self._run(
+            plan, dataset, query, stats, kwargs, policy or self.policy
+        )
         pairs.sort(key=pair_sort_key)
-        return pairs
+        self.last_report = report
+        return (pairs, report) if with_report else pairs
 
     def topk(
         self,
@@ -212,19 +367,25 @@ class JoinExecutor:
         query: TopKQuery,
         algorithm: str = "topk-s-ppj-p",
         stats: Optional[PairEvalStats] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        with_report: bool = False,
         **kwargs,
-    ) -> List[UserPair]:
+    ):
         """Evaluate a top-k STPSJoin; canonically sorted k best pairs.
 
         Each task keeps a local top-k heap; the global top-k is a subset
         of the union of the local top-ks, so merging the per-task results
         canonically and truncating to ``k`` reproduces the sequential
-        answer exactly.
+        answer exactly.  ``policy`` / ``with_report`` as in :meth:`join`.
         """
         plan = get_plan("topk", algorithm)
-        pairs = self._run(plan, dataset, query, stats, kwargs)
+        pairs, report = self._run(
+            plan, dataset, query, stats, kwargs, policy or self.policy
+        )
         pairs.sort(key=pair_sort_key)
-        return pairs[: query.k]
+        self.last_report = report
+        pairs = pairs[: query.k]
+        return (pairs, report) if with_report else pairs
 
     # -- scheduling ---------------------------------------------------------------
 
@@ -241,74 +402,512 @@ class JoinExecutor:
         query,
         stats: Optional[PairEvalStats],
         kwargs: dict,
-    ) -> List[UserPair]:
-        n_units = plan.num_units(dataset)
-        if n_units == 0:
-            return []
-        chunks = plan.chunks(dataset, self._effective_chunk_size(n_units))
-
-        if self.backend == "sequential" or self.workers == 1:
-            return self._run_inline(plan, dataset, query, stats, kwargs, chunks)
-        if self.backend == "thread":
-            return self._run_pooled(
-                plan, dataset, query, stats, kwargs, chunks, process=False
-            )
-        return self._run_pooled(
-            plan, dataset, query, stats, kwargs, chunks, process=True
+        policy: Optional[ExecutionPolicy],
+    ) -> Tuple[List[UserPair], ExecutionReport]:
+        report = ExecutionReport(
+            backend=self.backend,
+            start_method=self.start_method,
+            algorithm=f"{plan.kind}:{plan.name}",
         )
+        start = time.perf_counter()
+        try:
+            n_units = plan.num_units(dataset)
+            if n_units == 0:
+                return [], report
+            chunks = plan.chunks(dataset, self._effective_chunk_size(n_units))
+            if self.backend == "sequential" or self.workers == 1:
+                results = self._run_inline(
+                    plan, dataset, query, stats, kwargs, chunks, policy, report
+                )
+            else:
+                results = self._run_pooled(
+                    plan,
+                    dataset,
+                    query,
+                    stats,
+                    kwargs,
+                    chunks,
+                    process=(self.backend == "process"),
+                    policy=policy,
+                    report=report,
+                )
+            return results, report
+        finally:
+            report.elapsed = time.perf_counter() - start
+
+    # -- inline execution ---------------------------------------------------------
 
     def _run_inline(
-        self, plan, dataset, query, stats, kwargs, chunks: Iterator
+        self,
+        plan,
+        dataset,
+        query,
+        stats,
+        kwargs,
+        chunks: Iterator,
+        policy: Optional[ExecutionPolicy],
+        report: ExecutionReport,
     ) -> List[UserPair]:
         state = plan.build_state(dataset, query, **kwargs)
+        if policy is None:
+            # The exact fail-fast fast path: no per-chunk stats detour, no
+            # deadline checks, identical to the pre-resilience engine.
+            results: List[UserPair] = []
+            for chunk in chunks:
+                results.extend(plan.run_chunk(state, chunk, stats))
+                report.chunks_total += 1
+                report.chunks_completed += 1
+            return results
+        return self._run_inline_resilient(
+            plan, state, list(chunks), stats, policy, report
+        )
+
+    def _run_inline_resilient(
+        self,
+        plan,
+        state,
+        chunk_list: List,
+        stats: Optional[PairEvalStats],
+        policy: ExecutionPolicy,
+        report: ExecutionReport,
+    ) -> List[UserPair]:
+        """Sequential execution under a policy.
+
+        The deadline is checked between chunks (a running chunk is never
+        interrupted; ``chunk_timeout`` is unenforceable inline and
+        ignored).  ``degrade`` has no lower rung here, so it grants one
+        final extra attempt before failing.
+        """
+        report.chunks_total = len(chunk_list)
+        with_stats = stats is not None
+        deadline = _Deadline(policy.deadline)
         results: List[UserPair] = []
-        for chunk in chunks:
-            results.extend(plan.run_chunk(state, chunk, stats))
+
+        def accept(pairs, counters) -> None:
+            results.extend(pairs)
+            if with_stats and counters is not None:
+                stats.merge(counters)
+            report.chunks_completed += 1
+
+        for idx, chunk in enumerate(chunk_list):
+            if deadline.expired():
+                self._conclude_deadline(
+                    policy, report, range(idx, len(chunk_list))
+                )
+                return results
+            attempt = 0
+            while True:
+                try:
+                    accept(
+                        *_execute_chunk(
+                            plan, state, chunk, idx, attempt, with_stats
+                        )
+                    )
+                    break
+                except Exception as exc:
+                    if attempt < policy.max_retries and not deadline.expired():
+                        attempt += 1
+                        report.chunks_retried += 1
+                        time.sleep(
+                            min(
+                                backoff_delay(policy, idx, attempt),
+                                deadline.remaining(),
+                            )
+                        )
+                        continue
+                    if policy.on_failure == "degrade":
+                        try:
+                            accept(
+                                *_execute_chunk(
+                                    plan, state, chunk, idx, attempt + 1,
+                                    with_stats,
+                                )
+                            )
+                            report.chunks_degraded += 1
+                            break
+                        except Exception as exc2:
+                            exc = exc2
+                            attempt += 1
+                    if policy.on_failure == "partial":
+                        report.chunks_skipped.append(idx)
+                        report.failures.append(
+                            ChunkFailure(idx, attempt + 1, repr(exc), "inline")
+                        )
+                        break
+                    failure = ChunkFailure(idx, attempt + 1, repr(exc), "inline")
+                    report.failures.append(failure)
+                    raise ExecutionFailed(
+                        f"chunk {idx} failed after {attempt + 1} attempt(s): "
+                        f"{exc!r}",
+                        report=report,
+                        failures=[failure],
+                    ) from exc
         return results
 
+    # -- pooled execution ---------------------------------------------------------
+
     def _run_pooled(
-        self, plan, dataset, query, stats, kwargs, chunks: Iterator, process: bool
+        self,
+        plan,
+        dataset,
+        query,
+        stats,
+        kwargs,
+        chunks: Iterator,
+        process: bool,
+        policy: Optional[ExecutionPolicy],
+        report: ExecutionReport,
     ) -> List[UserPair]:
         with_stats = stats is not None
         spawnish = process and self.start_method != "fork"
+        token = next(_RUN_TOKENS)
 
         if process:
             ctx = multiprocessing.get_context(self.start_method)
             if spawnish:
                 # State crosses the process boundary as a compact snapshot;
-                # each worker rebuilds its indexes in the initializer.
+                # each worker rebuilds its indexes in the initializer.  The
+                # active fault plan rides along so injection is hermetic
+                # across transports.
+                active_plan = _faults.active_fault_plan()
+                initargs = (
+                    token,
+                    DatasetSnapshot.capture(dataset),
+                    plan.kind,
+                    plan.name,
+                    query,
+                    with_stats,
+                    kwargs,
+                    active_plan.serialize() if active_plan else None,
+                )
                 pool_factory = lambda: ctx.Pool(
                     processes=self.workers,
                     initializer=_init_spawn_worker,
-                    initargs=(
-                        DatasetSnapshot.capture(dataset),
-                        plan.kind,
-                        plan.name,
-                        query,
-                        with_stats,
-                        kwargs,
-                    ),
+                    initargs=initargs,
                 )
             else:
                 pool_factory = lambda: ctx.Pool(processes=self.workers)
         else:
             pool_factory = lambda: multiprocessing.dummy.Pool(self.workers)
 
-        if not spawnish:
-            # fork and thread backends read the state set up pre-fork (or
-            # shared by reference) through the module global.
-            _WORKER_STATE["plan"] = plan
-            _WORKER_STATE["state"] = plan.build_state(dataset, query, **kwargs)
-            _WORKER_STATE["with_stats"] = with_stats
-
-        results: List[UserPair] = []
         try:
-            with pool_factory() as pool:
-                for pairs, counters in pool.imap_unordered(_run_task, chunks):
-                    results.extend(pairs)
-                    if with_stats and counters is not None:
-                        stats.merge(counters)
-        finally:
             if not spawnish:
-                _WORKER_STATE.clear()
-        return results
+                # fork and thread backends read the state set up pre-fork
+                # (or shared by reference) through the token-keyed global.
+                _WORKER_STATE[token] = {
+                    "plan": plan,
+                    "state": plan.build_state(dataset, query, **kwargs),
+                    "with_stats": with_stats,
+                }
+            if policy is None:
+                results: List[UserPair] = []
+                with pool_factory() as pool:
+                    tasks = (
+                        (token, idx, 0, chunk)
+                        for idx, chunk in enumerate(chunks)
+                    )
+                    for _, pairs, counters in pool.imap_unordered(
+                        _run_task, tasks
+                    ):
+                        results.extend(pairs)
+                        report.chunks_completed += 1
+                        if with_stats and counters is not None:
+                            stats.merge(counters)
+                report.chunks_total = report.chunks_completed
+                return results
+            return self._dispatch_resilient(
+                pool_factory,
+                token,
+                plan,
+                dataset,
+                query,
+                kwargs,
+                list(chunks),
+                stats,
+                policy,
+                report,
+                process,
+                spawnish,
+            )
+        finally:
+            # Pop only this run's entry: a concurrent executor in the same
+            # process (or a nested run) keeps its own state untouched, and
+            # a build_state that raised leaves nothing behind.
+            _WORKER_STATE.pop(token, None)
+
+    def _dispatch_resilient(
+        self,
+        pool_factory,
+        token: int,
+        plan,
+        dataset,
+        query,
+        kwargs: dict,
+        chunk_list: List,
+        stats: Optional[PairEvalStats],
+        policy: ExecutionPolicy,
+        report: ExecutionReport,
+        process: bool,
+        spawnish: bool,
+    ) -> List[UserPair]:
+        """The resilient ``AsyncResult`` dispatcher (pooled backends).
+
+        Replaces the bare ``imap_unordered`` loop with explicit per-chunk
+        bookkeeping: bounded in-flight dispatch, per-chunk timeouts,
+        retry scheduling with deterministic backoff, worker-pid watching
+        with pool respawn, and terminal routing through the policy's
+        ``on_failure`` mode.
+        """
+        report.chunks_total = len(chunk_list)
+        with_stats = stats is not None
+        deadline = _Deadline(policy.deadline)
+        results: List[UserPair] = []
+        completed: Set[int] = set()
+        #: (ready_at, chunk_index, attempt) — chunks awaiting (re)dispatch.
+        pending: List[Tuple[float, int, int]] = [
+            (0.0, idx, 0) for idx in range(len(chunk_list))
+        ]
+        #: chunk_index -> (AsyncResult, attempt, dispatched_at)
+        in_flight: Dict[int, Tuple] = {}
+        #: (chunk_index, attempts, last error) awaiting degraded re-execution.
+        degrade_queue: List[Tuple[int, int, Exception]] = []
+        respawns = 0
+
+        def accept(idx: int, pairs, counters) -> None:
+            if idx in completed:
+                return  # a retry raced an abandoned original; first wins
+            completed.add(idx)
+            results.extend(pairs)
+            if with_stats and counters is not None:
+                stats.merge(counters)
+            report.chunks_completed += 1
+
+        def terminal(idx: int, attempts: int, exc: Exception, stage: str) -> None:
+            if policy.on_failure == "degrade":
+                degrade_queue.append((idx, attempts, exc))
+                return
+            failure = ChunkFailure(idx, attempts, repr(exc), stage)
+            report.failures.append(failure)
+            if policy.on_failure == "partial":
+                report.chunks_skipped.append(idx)
+                return
+            raise ExecutionFailed(
+                f"chunk {idx} failed after {attempts} attempt(s): {exc!r}",
+                report=report,
+                failures=[failure],
+            ) from exc
+
+        def fail(idx: int, attempt: int, exc: Exception, now: float) -> None:
+            if attempt < policy.max_retries:
+                report.chunks_retried += 1
+                pending.append(
+                    (now + backoff_delay(policy, idx, attempt + 1), idx,
+                     attempt + 1)
+                )
+            else:
+                terminal(idx, attempt + 1, exc, "pool")
+
+        pool = pool_factory()
+        known_pids = _worker_pids(pool) if process else set()
+        try:
+            while pending or in_flight:
+                now = time.monotonic()
+                if deadline.expired():
+                    report.deadline_hit = True
+                    break
+                progressed = False
+
+                # 1) Harvest finished / timed-out chunks.
+                for idx in list(in_flight):
+                    handle, attempt, dispatched_at = in_flight[idx]
+                    if handle.ready():
+                        del in_flight[idx]
+                        progressed = True
+                        try:
+                            _, pairs, counters = handle.get()
+                        except Exception as exc:
+                            fail(idx, attempt, exc, now)
+                        else:
+                            accept(idx, pairs, counters)
+                    elif (
+                        policy.chunk_timeout is not None
+                        and now - dispatched_at >= policy.chunk_timeout
+                    ):
+                        # Abandon the task (its worker may still be busy on
+                        # it; the result, if it ever lands, is discarded).
+                        del in_flight[idx]
+                        progressed = True
+                        fail(
+                            idx,
+                            attempt,
+                            TimeoutError(
+                                f"chunk {idx} exceeded chunk_timeout="
+                                f"{policy.chunk_timeout}s"
+                            ),
+                            now,
+                        )
+
+                # 2) Worker-crash watchdog (process backends only).
+                if process:
+                    pids = _worker_pids(pool)
+                    if known_pids - pids:
+                        progressed = True
+                        if respawns < policy.respawn_limit:
+                            respawns += 1
+                            report.pool_respawns += 1
+                            _terminate_pool(pool)
+                            pool = pool_factory()
+                            pids = _worker_pids(pool)
+                            # Requeue everything that was in flight.  The
+                            # attempt number advances (so a crash fault
+                            # keyed to attempt 0 does not re-fire) but the
+                            # retry budget is not charged — this is crash
+                            # recovery, not chunk failure.
+                            for idx, (_, attempt, _) in in_flight.items():
+                                pending.append((now, idx, attempt + 1))
+                            in_flight.clear()
+                        else:
+                            lost = RuntimeError(
+                                "worker pool died and the respawn budget "
+                                f"({policy.respawn_limit}) is exhausted"
+                            )
+                            doomed = list(in_flight.items())
+                            in_flight.clear()
+                            for idx, (_, attempt, _) in doomed:
+                                terminal(idx, attempt + 1, lost, "pool-death")
+                    known_pids = pids
+
+                # 3) Dispatch pending chunks whose backoff has elapsed.
+                capacity = max(1, self.workers) - len(in_flight)
+                if capacity > 0 and pending:
+                    still: List[Tuple[float, int, int]] = []
+                    for ready_at, idx, attempt in pending:
+                        if capacity > 0 and ready_at <= now:
+                            handle = pool.apply_async(
+                                _run_task,
+                                ((token, idx, attempt, chunk_list[idx]),),
+                            )
+                            in_flight[idx] = (handle, attempt, now)
+                            capacity -= 1
+                            progressed = True
+                        else:
+                            still.append((ready_at, idx, attempt))
+                    pending = still
+
+                if not progressed:
+                    time.sleep(
+                        min(policy.poll_interval, deadline.remaining())
+                    )
+
+            if report.deadline_hit:
+                leftover = sorted(
+                    set(in_flight)
+                    | {idx for _, idx, _ in pending}
+                    | {idx for idx, _, _ in degrade_queue}
+                )
+                self._conclude_deadline(policy, report, leftover)
+                return results
+
+            # 4) Degraded re-execution of terminally failed chunks:
+            #    thread rung (timeout-capable), then inline in the caller.
+            if degrade_queue:
+                state = self._degraded_state(
+                    token, plan, dataset, query, kwargs, spawnish
+                )
+                rungs = ("thread", "inline") if process else ("inline",)
+                for idx, attempts, exc in degrade_queue:
+                    if deadline.expired():
+                        report.deadline_hit = True
+                        remaining = [
+                            i for i, _, _ in degrade_queue
+                            if i not in completed
+                        ]
+                        self._conclude_deadline(policy, report, remaining)
+                        return results
+                    self._run_degraded(
+                        plan, state, chunk_list[idx], idx, attempts, exc,
+                        rungs, policy, report, accept,
+                    )
+            return results
+        finally:
+            _terminate_pool(pool)
+
+    def _degraded_state(
+        self, token: int, plan, dataset, query, kwargs: dict, spawnish: bool
+    ):
+        """Plan state for in-caller degraded execution.
+
+        fork/thread runs reuse the state already built in the parent;
+        spawn runs never built one locally, so it is built here (index
+        construction is deterministic — results stay byte-identical).
+        """
+        entry = _WORKER_STATE.get(token)
+        if not spawnish and entry is not None:
+            return entry["state"]
+        return plan.build_state(dataset, query, **kwargs)
+
+    def _run_degraded(
+        self,
+        plan,
+        state,
+        chunk,
+        idx: int,
+        attempts: int,
+        exc: Exception,
+        rungs: Tuple[str, ...],
+        policy: ExecutionPolicy,
+        report: ExecutionReport,
+        accept,
+    ) -> None:
+        """Walk a failed chunk down the degraded rungs."""
+        with_stats = True  # counters ride in the returned dict either way
+        stage = "pool"
+        for rung in rungs:
+            attempts += 1
+            try:
+                if rung == "thread":
+                    pairs, counters = _run_chunk_in_thread(
+                        plan, state, chunk, idx, attempts - 1, with_stats,
+                        policy.chunk_timeout,
+                    )
+                else:
+                    pairs, counters = _execute_chunk(
+                        plan, state, chunk, idx, attempts - 1, with_stats
+                    )
+            except Exception as rung_exc:
+                exc, stage = rung_exc, rung
+                continue
+            accept(idx, pairs, counters)
+            report.chunks_degraded += 1
+            return
+        failure = ChunkFailure(idx, attempts, repr(exc), stage)
+        report.failures.append(failure)
+        if policy.on_failure == "partial":  # pragma: no cover - degrade only
+            report.chunks_skipped.append(idx)
+            return
+        raise ExecutionFailed(
+            f"chunk {idx} failed on every rung after {attempts} attempt(s): "
+            f"{exc!r}",
+            report=report,
+            failures=[failure],
+        ) from exc
+
+    @staticmethod
+    def _conclude_deadline(
+        policy: ExecutionPolicy, report: ExecutionReport, leftover
+    ) -> None:
+        """Deadline hit: record the incomplete chunks, then raise or return."""
+        report.deadline_hit = True
+        leftover = [i for i in leftover if i not in report.chunks_skipped]
+        if policy.on_failure == "partial":
+            for idx in leftover:
+                report.chunks_skipped.append(idx)
+                report.failures.append(
+                    ChunkFailure(idx, 0, "deadline exceeded", "deadline")
+                )
+            return
+        raise DeadlineExceeded(
+            f"deadline of {policy.deadline}s exceeded with "
+            f"{report.chunks_completed}/{report.chunks_total} chunks done",
+            report=report,
+        )

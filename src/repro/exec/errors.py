@@ -1,0 +1,84 @@
+"""Execution-engine error taxonomy.
+
+The engine distinguishes *where* a join died so callers (and the CLI's
+exit codes) can react differently:
+
+* :class:`BackendUnavailableError` — the requested backend/start method
+  cannot run on this platform.  Raised at executor construction, before
+  any work starts.
+* :class:`DeadlineExceeded` — the :class:`~repro.exec.resilience.ExecutionPolicy`
+  deadline elapsed mid-run and the policy's ``on_failure`` mode does not
+  permit returning partial results.
+* :class:`ExecutionFailed` — one or more chunks failed terminally (all
+  retries and degraded re-executions exhausted, or the worker pool died
+  more often than the policy's respawn budget) under ``on_failure="raise"``
+  or ``"degrade"``.
+
+Both run-time errors carry the :class:`~repro.exec.resilience.ExecutionReport`
+of the partial run in ``.report``, so even a failed query tells the caller
+exactly which chunks completed, retried, or were lost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .resilience import ChunkFailure, ExecutionReport
+
+__all__ = [
+    "ExecutionError",
+    "BackendUnavailableError",
+    "DeadlineExceeded",
+    "ExecutionFailed",
+]
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Base class of all execution-engine errors."""
+
+
+class BackendUnavailableError(ExecutionError):
+    """An explicitly requested backend/start method cannot run here."""
+
+
+class DeadlineExceeded(ExecutionError, TimeoutError):
+    """The policy deadline elapsed before the join completed.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.exec.resilience.ExecutionReport` at the moment
+        the deadline fired (``deadline_hit`` is ``True``, completeness is
+        below 1.0).
+    """
+
+    def __init__(self, message: str, report: Optional["ExecutionReport"] = None):
+        super().__init__(message)
+        self.report = report
+
+
+class ExecutionFailed(ExecutionError):
+    """One or more chunks failed after retries/degradation were exhausted.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.exec.resilience.ExecutionReport` of the aborted
+        run.
+    failures:
+        The terminal :class:`~repro.exec.resilience.ChunkFailure` records
+        (also available as ``report.failures``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        report: Optional["ExecutionReport"] = None,
+        failures: Optional[Sequence["ChunkFailure"]] = None,
+    ):
+        super().__init__(message)
+        self.report = report
+        self.failures = list(failures) if failures is not None else []

@@ -1,0 +1,232 @@
+"""Deterministic fault injection for the execution engine.
+
+Testing worker-crash recovery, retries and timeouts requires failures
+that strike at *exactly* the same place every run, across the sequential,
+thread and process (fork and spawn) backends.  This module provides that:
+a :class:`FaultPlan` maps chunk indices to faults, and the engine's chunk
+runner consults the active plan right before evaluating a chunk.
+
+Fault state is never mutated at fire time — a fault keyed by chunk ``i``
+with ``times=n`` fires on attempts ``0..n-1`` of that chunk and never
+afterwards.  Because the decision is a pure function of
+``(chunk_index, attempt)``, every worker process reaches the same verdict
+with no shared counters, which is what makes the injection deterministic
+under fork *and* spawn.
+
+Fault kinds
+-----------
+
+``error``
+    Raise :class:`InjectedFaultError` inside the chunk runner.
+``hang``
+    Sleep ``seconds`` before evaluating the chunk (the chunk then runs
+    normally) — models a stuck worker for timeout/deadline tests.
+``crash``
+    Kill the worker *process* with ``os._exit`` — models an OOM-killed or
+    segfaulted worker.  In a context that is not a child process (the
+    thread and sequential backends, and degraded inline re-execution)
+    exiting would kill the caller, so the fault degenerates to raising
+    :class:`SimulatedCrashError` instead.
+
+Activation
+----------
+
+Programmatic::
+
+    from repro.exec.faults import FaultPlan, install_fault_plan
+    install_fault_plan(FaultPlan.parse("error@2,crash@5,hang@7:0.3*2"))
+    try: ...
+    finally: clear_fault_plan()
+
+or hermetically via the ``REPRO_FAULT_PLAN`` environment variable using
+the same syntax — comma-separated ``kind@chunk[:seconds][*times]`` terms,
+e.g. ``error@2`` (chunk 2 raises once), ``crash@5`` (chunk 5's worker
+dies on its first attempt), ``hang@7:0.3*2`` (chunk 7 sleeps 0.3 s on its
+first two attempts).  A programmatically installed plan takes precedence
+over the environment.  The engine forwards the active plan to spawn
+workers through their initializer, and fork/thread workers inherit the
+module global, so one installation covers every backend.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFaultError",
+    "SimulatedCrashError",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "active_fault_plan",
+]
+
+#: Environment variable holding a serialized plan.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("error", "hang", "crash")
+
+#: Exit code of a crash-faulted worker (distinctive in pool diagnostics).
+CRASH_EXIT_CODE = 87
+
+#: Default sleep of a ``hang`` fault — long enough that any reasonable
+#: ``chunk_timeout`` fires first, short enough that an abandoned worker
+#: thread drains on its own well before CI times out.
+DEFAULT_HANG_SECONDS = 30.0
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """The error an ``error`` fault raises inside the chunk runner."""
+
+
+class SimulatedCrashError(ReproError, RuntimeError):
+    """A ``crash`` fault fired where killing the process would take the
+    caller down with it (thread/sequential backends, inline degraded
+    re-execution)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what happens, and on how many leading attempts."""
+
+    kind: str
+    times: int = 1
+    seconds: float = DEFAULT_HANG_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use {FAULT_KINDS}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+
+
+class FaultPlan:
+    """An immutable mapping of chunk index → :class:`FaultSpec`."""
+
+    def __init__(self, faults: Dict[int, FaultSpec]):
+        for index in faults:
+            if index < 0:
+                raise ValueError("chunk indices must be >= 0")
+        self._faults = dict(faults)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``kind@chunk[:seconds][*times]`` comma syntax."""
+        faults: Dict[int, FaultSpec] = {}
+        for term in text.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            try:
+                kind, _, rest = term.partition("@")
+                times = 1
+                if "*" in rest:
+                    rest, _, times_text = rest.rpartition("*")
+                    times = int(times_text)
+                seconds = DEFAULT_HANG_SECONDS
+                if ":" in rest:
+                    rest, _, seconds_text = rest.partition(":")
+                    seconds = float(seconds_text)
+                index = int(rest)
+            except ValueError:
+                raise ValueError(
+                    f"malformed fault term {term!r}; expected "
+                    "kind@chunk[:seconds][*times]"
+                ) from None
+            if index in faults:
+                raise ValueError(f"duplicate fault for chunk {index}")
+            faults[index] = FaultSpec(kind=kind, times=times, seconds=seconds)
+        return cls(faults)
+
+    def serialize(self) -> str:
+        """The inverse of :meth:`parse` (round-trips exactly)."""
+        terms = []
+        for index in sorted(self._faults):
+            spec = self._faults[index]
+            term = f"{spec.kind}@{index}"
+            if spec.kind == "hang" and spec.seconds != DEFAULT_HANG_SECONDS:
+                term += f":{spec.seconds:g}"
+            if spec.times != 1:
+                term += f"*{spec.times}"
+            terms.append(term)
+        return ",".join(terms)
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self._faults == other._faults
+
+    def spec_for(self, chunk_index: int) -> Optional[FaultSpec]:
+        return self._faults.get(chunk_index)
+
+    def should_fire(self, chunk_index: int, attempt: int) -> bool:
+        """Pure decision: does the fault for this chunk strike this attempt?"""
+        spec = self._faults.get(chunk_index)
+        return spec is not None and attempt < spec.times
+
+    def maybe_fire(self, chunk_index: int, attempt: int) -> None:
+        """Execute the fault for ``(chunk_index, attempt)``, if any."""
+        if not self.should_fire(chunk_index, attempt):
+            return
+        spec = self._faults[chunk_index]
+        if spec.kind == "error":
+            raise InjectedFaultError(
+                f"injected fault: chunk {chunk_index} attempt {attempt}"
+            )
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+            return  # a hang delays the chunk; it still runs
+        # crash: only kill an actual child process.
+        if multiprocessing.parent_process() is not None:
+            os._exit(CRASH_EXIT_CODE)
+        raise SimulatedCrashError(
+            f"injected crash: chunk {chunk_index} attempt {attempt} "
+            "(not a child process; raising instead of exiting)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.serialize()!r})"
+
+
+#: The programmatically installed plan (fork/thread workers share or
+#: inherit this module global; spawn workers receive it via initializer).
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def install_fault_plan(plan: FaultPlan) -> None:
+    """Activate ``plan`` for subsequent executor runs in this process."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+def clear_fault_plan() -> None:
+    """Deactivate any programmatically installed plan."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = None
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The plan in effect: programmatic first, else ``REPRO_FAULT_PLAN``."""
+    if _ACTIVE_PLAN is not None:
+        return _ACTIVE_PLAN
+    text = os.environ.get(FAULT_PLAN_ENV)
+    if text:
+        return FaultPlan.parse(text)
+    return None

@@ -90,3 +90,77 @@ class TestSubsetUsers:
         sub = dataset.subset_users(["bob"])
         obj = sub.user_objects("bob")[0]
         assert sub.vocab.decode(obj.doc) == frozenset({"coffee", "soho"})
+
+
+class TestCoordinateValidation:
+    """from_records rejects NaN/±inf outright — they would silently
+    poison the spatial indexes (NaN compares false with everything)."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_rejected(self, bad):
+        from repro.errors import DatasetValidationError
+
+        with pytest.raises(DatasetValidationError, match="non-finite"):
+            STDataset.from_records([("u", bad, 0.0, {"a"})])
+        with pytest.raises(DatasetValidationError, match="non-finite"):
+            STDataset.from_records([("u", 0.0, bad, {"a"})])
+
+    def test_error_lists_every_offender(self):
+        from repro.errors import DatasetValidationError
+
+        with pytest.raises(DatasetValidationError) as err:
+            STDataset.from_records(
+                [
+                    ("u", float("nan"), 0.0, {"a"}),
+                    ("v", 0.0, 0.0, {"b"}),
+                    ("w", 0.0, float("inf"), {"c"}),
+                ]
+            )
+        assert len(err.value.problems) == 2
+        assert "record 0" in err.value.problems[0]
+        assert "record 2" in err.value.problems[1]
+
+    def test_is_a_value_error(self):
+        # Back-compat: pre-taxonomy callers catch ValueError.
+        with pytest.raises(ValueError):
+            STDataset.from_records([("u", float("nan"), 0.0, {"a"})])
+
+    def test_finite_records_accepted(self):
+        ds = STDataset.from_records([("u", -1e308, 1e308, {"a"})])
+        assert ds.num_objects == 1
+
+
+class TestValidateMethod:
+    def test_clean_dataset_chains(self, dataset):
+        assert dataset.validate() is dataset
+
+    def test_empty_keyword_set_flagged(self):
+        from repro.errors import DatasetValidationError
+
+        ds = STDataset.from_records([("u", 0.0, 0.0, set())])
+        with pytest.raises(DatasetValidationError, match="empty keyword set"):
+            ds.validate()
+        # ...but only when asked: empty docs are legal in the model.
+        assert ds.validate(require_keywords=False) is ds
+
+    def test_duplicate_objects_flagged(self):
+        from repro.errors import DatasetValidationError
+
+        ds = STDataset.from_records(
+            [
+                ("u", 0.5, 0.5, {"a", "b"}),
+                ("u", 0.5, 0.5, {"b", "a"}),
+            ]
+        )
+        with pytest.raises(DatasetValidationError, match="duplicate"):
+            ds.validate()
+        assert ds.validate(reject_duplicates=False) is ds
+
+    def test_same_location_different_doc_is_not_duplicate(self):
+        ds = STDataset.from_records(
+            [
+                ("u", 0.5, 0.5, {"a"}),
+                ("u", 0.5, 0.5, {"b"}),
+            ]
+        )
+        assert ds.validate() is ds

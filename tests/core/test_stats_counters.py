@@ -124,3 +124,71 @@ class TestMerge:
         executor = JoinExecutor(workers=2, backend="thread", chunk_size=3)
         pairs = executor.join(ds, query, algorithm="s-ppj-f", stats=None)
         assert pairs == executor.join(ds, query, algorithm="s-ppj-f")
+
+
+class TestMergeUnderRetries:
+    """Chunk retries must not double-count: a failed attempt's counters
+    are discarded; only the accepted attempt's counters are merged."""
+
+    def _retried_counters_match(self, backend, plan_text, policy_kwargs, **kw):
+        from repro import ExecutionPolicy
+        from repro.exec.faults import (
+            FaultPlan,
+            clear_fault_plan,
+            install_fault_plan,
+        )
+
+        ds = build_clustered_dataset(4, n_users=12)
+        query = STPSJoinQuery(0.05, 0.3, 0.3)
+        sequential = PairEvalStats()
+        sppj_b(ds, query, stats=sequential)
+
+        policy = ExecutionPolicy(
+            backoff_base=0.001, backoff_jitter=0.0, **policy_kwargs
+        )
+        merged = PairEvalStats()
+        install_fault_plan(FaultPlan.parse(plan_text))
+        try:
+            executor = JoinExecutor(
+                workers=3, backend=backend, chunk_size=2, policy=policy, **kw
+            )
+            _, report = executor.join(
+                ds, query, algorithm="s-ppj-b", stats=merged, with_report=True
+            )
+        finally:
+            clear_fault_plan()
+        assert report.completeness == 1.0
+        assert merged.as_dict() == sequential.as_dict()
+        return report
+
+    def test_retried_chunks_counted_once_thread(self):
+        report = self._retried_counters_match(
+            "thread", "error@0*2,error@3", {"max_retries": 2}
+        )
+        assert report.chunks_retried == 3
+
+    def test_degraded_chunks_counted_once_thread(self):
+        # times=2 exhausts the pool attempts (initial + 1 retry); the
+        # degraded thread rung runs at attempt 2 and succeeds.
+        report = self._retried_counters_match(
+            "thread", "error@1*2", {"max_retries": 1, "on_failure": "degrade"}
+        )
+        assert report.chunks_degraded == 1
+
+    @pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+    def test_retried_chunks_counted_once_process(self):
+        report = self._retried_counters_match(
+            "process", "error@0,crash@2", {"max_retries": 1},
+            start_method="fork",
+        )
+        # The crash always kills a worker, so the pool respawns.  Chunk 0's
+        # injected error is recovered either by a charged retry or — when
+        # the crash tore the pool down while chunk 0 was still in flight —
+        # by the uncharged respawn requeue, so chunks_retried may be 0.
+        assert report.pool_respawns >= 1
+
+    def test_sequential_retry_counts_once(self):
+        report = self._retried_counters_match(
+            "sequential", "error@0*2", {"max_retries": 2}
+        )
+        assert report.chunks_retried == 2

@@ -134,3 +134,40 @@ class TestLoadDelimited:
         ds = load_delimited(path, user_col=0, x_col=1, y_col=2, text_col=3)
         pairs = stps_join(ds, eps_loc=0.001, eps_doc=0.3, eps_user=0.5)
         assert [(p.user_a, p.user_b) for p in pairs] == [("ana", "ben")]
+
+
+class TestNonFiniteCoordinates:
+    def write(self, tmp_path, content):
+        path = tmp_path / "raw.txt"
+        path.write_text(content)
+        return path
+
+    @pytest.mark.parametrize("coord", ["nan", "inf", "-inf", "NaN", "Infinity"])
+    def test_skip_mode_drops_line(self, tmp_path, coord):
+        path = self.write(
+            tmp_path,
+            f"a\t{coord}\t0.2\tcoffee soho\n" "b\t0.1\t0.2\tcoffee soho\n",
+        )
+        ds = load_delimited(path, user_col=0, x_col=1, y_col=2, text_col=3)
+        assert ds.num_objects == 1
+        assert ds.users == ["b"]
+
+    def test_raise_mode_is_structured(self, tmp_path):
+        from repro.errors import DatasetValidationError
+
+        path = self.write(tmp_path, "a\t0.1\tinf\tcoffee soho\n")
+        with pytest.raises(DatasetValidationError, match="non-finite") as err:
+            load_delimited(
+                path, user_col=0, x_col=1, y_col=2, text_col=3, on_error="raise"
+            )
+        assert err.value.source == str(path)
+        assert "line 1" in err.value.problems[0]
+
+    def test_malformed_line_raise_mode_is_structured(self, tmp_path):
+        from repro.errors import DatasetValidationError
+
+        path = self.write(tmp_path, "a\t0.1\n")
+        with pytest.raises(DatasetValidationError):
+            load_delimited(
+                path, user_col=0, x_col=1, y_col=2, text_col=3, on_error="raise"
+            )

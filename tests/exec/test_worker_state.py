@@ -1,0 +1,138 @@
+"""Regression tests for the worker-state lifecycle.
+
+The engine used to keep ONE module-global worker-state slot, cleared with
+``dict.clear()`` after each pooled run.  Two executors running in the same
+process (threaded callers, nested runs) would clobber each other's state,
+and a ``build_state`` that raised could leave a stale entry behind for the
+next run to pick up silently.  The state is now keyed by a per-run token;
+these tests pin the new lifecycle:
+
+* an entry exists only while its run is executing — success, failure and
+  build-time exceptions all leave the registry empty;
+* concurrent executors in one process produce correct, independent
+  results.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import stps_join
+from repro.core.query import STPSJoinQuery
+from repro.exec import JoinExecutor, get_plan
+from repro.exec import engine as engine_module
+from tests.helpers import build_clustered_dataset
+
+EPS = (0.05, 0.3, 0.2)
+
+
+@pytest.fixture()
+def dataset():
+    return build_clustered_dataset(2, n_users=8)
+
+
+@pytest.fixture()
+def query():
+    return STPSJoinQuery(*EPS)
+
+
+def test_registry_empty_after_successful_run(dataset, query):
+    executor = JoinExecutor(workers=2, backend="thread", chunk_size=5)
+    executor.join(dataset, query, algorithm="s-ppj-b")
+    assert engine_module._WORKER_STATE == {}
+
+
+def test_registry_empty_after_chunk_failure(dataset, query):
+    plan = get_plan("join", "s-ppj-b")
+    original = plan.run_chunk
+
+    def exploding_run_chunk(state, chunk, stats):
+        raise RuntimeError("chunk boom")
+
+    plan.run_chunk = exploding_run_chunk
+    try:
+        executor = JoinExecutor(workers=2, backend="thread", chunk_size=5)
+        with pytest.raises(RuntimeError, match="chunk boom"):
+            executor.join(dataset, query, algorithm="s-ppj-b")
+    finally:
+        plan.run_chunk = original
+    assert engine_module._WORKER_STATE == {}
+
+
+def test_registry_empty_after_build_state_failure(dataset, query):
+    """The historical bug: a build_state exception must not leave residue
+    that a later run (with a recycled slot) could silently pick up."""
+    plan = get_plan("join", "s-ppj-b")
+    original = plan.build_state
+
+    def exploding_build_state(ds, q, **kwargs):
+        raise RuntimeError("state boom")
+
+    plan.build_state = exploding_build_state
+    try:
+        executor = JoinExecutor(workers=2, backend="thread", chunk_size=5)
+        with pytest.raises(RuntimeError, match="state boom"):
+            executor.join(dataset, query, algorithm="s-ppj-b")
+    finally:
+        plan.build_state = original
+    assert engine_module._WORKER_STATE == {}
+
+    # ...and the engine still works afterwards.
+    expected = stps_join(dataset, *EPS, algorithm="s-ppj-b")
+    assert executor.join(dataset, query, algorithm="s-ppj-b") == expected
+
+
+def test_run_tokens_are_unique_across_runs(dataset, query):
+    seen = []
+    original_setitem = dict.__setitem__  # noqa: F841 - documentation only
+
+    class Recorder(dict):
+        def __setitem__(self, key, value):
+            seen.append(key)
+            super().__setitem__(key, value)
+
+    recorder = Recorder()
+    old = engine_module._WORKER_STATE
+    engine_module._WORKER_STATE = recorder
+    try:
+        executor = JoinExecutor(workers=2, backend="thread", chunk_size=5)
+        executor.join(dataset, query, algorithm="s-ppj-b")
+        executor.join(dataset, query, algorithm="s-ppj-b")
+    finally:
+        engine_module._WORKER_STATE = old
+    assert len(seen) == 2 and seen[0] != seen[1]
+    assert recorder == {}
+
+
+def test_concurrent_executors_do_not_clobber_each_other(dataset, query):
+    """Two thread-backend executors running simultaneously in one process
+    share the module registry; per-run tokens keep them independent."""
+    expected_b = stps_join(dataset, *EPS, algorithm="s-ppj-b")
+    expected_f = stps_join(dataset, *EPS, algorithm="s-ppj-f")
+    results = {}
+    errors = []
+    barrier = threading.Barrier(2)
+
+    def work(name, algorithm):
+        try:
+            executor = JoinExecutor(workers=2, backend="thread", chunk_size=3)
+            barrier.wait(timeout=10)
+            for _ in range(5):
+                results[name] = executor.join(dataset, query, algorithm=algorithm)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=work, args=("b", "s-ppj-b")),
+        threading.Thread(target=work, args=("f", "s-ppj-f")),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert results["b"] == expected_b
+    assert results["f"] == expected_f
+    assert engine_module._WORKER_STATE == {}

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_DEADLINE,
+    EXIT_EXECUTION_FAILED,
+    EXIT_VALIDATION,
+    build_parser,
+    main,
+)
+from repro.exec.faults import clear_fault_plan
 
 
 @pytest.fixture
@@ -246,6 +253,142 @@ class TestParallelJoin:
         )
         assert code == 0
         assert "top-5" in capsys.readouterr().out
+
+
+class TestResilienceFlags:
+    """The resilience surface: --deadline/--chunk-timeout/--max-retries/
+    --on-failure, the stderr report, and the distinct exit codes."""
+
+    JOIN = ["--eps-loc", "0.01", "--eps-doc", "0.3", "--eps-user", "0.2"]
+
+    @pytest.fixture(autouse=True)
+    def _clean_fault_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        clear_fault_plan()
+        yield
+        clear_fault_plan()
+
+    def test_policy_flags_alone_stay_sequential(self, dataset_path, capsys):
+        code = main(
+            ["join", str(dataset_path), *self.JOIN, "--deadline", "60"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "pairs" in captured.out
+        # the report goes to stderr, results stay clean on stdout
+        assert "execution report" in captured.err
+        assert "sequential" in captured.err
+        assert "completeness 1.000" in captured.err
+
+    def test_policy_with_workers(self, dataset_path, capsys):
+        code = main(
+            [
+                "join", str(dataset_path), *self.JOIN,
+                "--workers", "2", "--backend", "thread",
+                "--max-retries", "2", "--on-failure", "degrade",
+            ]
+        )
+        assert code == 0
+        assert "execution report" in capsys.readouterr().err
+
+    def test_deadline_exceeded_exit_code(self, dataset_path, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", ",".join(f"hang@{i}:5*9" for i in range(40))
+        )
+        code = main(
+            [
+                "join", str(dataset_path), *self.JOIN,
+                "--workers", "2", "--backend", "thread",
+                "--deadline", "0.3",
+            ]
+        )
+        assert code == EXIT_DEADLINE
+        err = capsys.readouterr().err
+        assert "deadline" in err
+        assert "execution report" in err  # the partial report is printed
+
+    def test_deadline_partial_returns_zero(self, dataset_path, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", ",".join(f"hang@{i}:5*9" for i in range(40))
+        )
+        code = main(
+            [
+                "join", str(dataset_path), *self.JOIN,
+                "--workers", "2", "--backend", "thread",
+                "--deadline", "0.3", "--on-failure", "partial",
+            ]
+        )
+        assert code == 0  # partial mode delivers what it has
+        captured = capsys.readouterr()
+        assert "DEADLINE HIT" in captured.err
+        assert "pairs" in captured.out
+
+    def test_execution_failed_exit_code(self, dataset_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "error@0*9")
+        code = main(
+            [
+                "join", str(dataset_path), *self.JOIN,
+                "--workers", "2", "--backend", "thread",
+                "--max-retries", "1",
+            ]
+        )
+        assert code == EXIT_EXECUTION_FAILED
+        err = capsys.readouterr().err
+        assert "chunk 0 failed" in err
+        assert "execution report" in err
+
+    def test_retry_recovers_with_zero_exit(self, dataset_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "error@0")
+        code = main(
+            [
+                "join", str(dataset_path), *self.JOIN,
+                "--workers", "2", "--backend", "thread",
+                "--max-retries", "1",
+            ]
+        )
+        assert code == 0
+        assert "1 retried" in capsys.readouterr().err
+
+    def test_validation_error_exit_code(self, tmp_path, capsys):
+        raw = tmp_path / "raw.txt"
+        raw.write_text("ana\tnan\t0.1\tmorning coffee in soho\n")
+        code = main(
+            [
+                "ingest", str(raw), "--out", str(tmp_path / "out.tsv"),
+                "--user-col", "0", "--x-col", "1", "--y-col", "2",
+                "--text-col", "3",
+            ]
+        )
+        # skip mode drops the bad line -> empty dataset, exit 0
+        assert code == 0
+
+    def test_topk_policy_flags(self, dataset_path, capsys):
+        code = main(
+            [
+                "topk", str(dataset_path),
+                "--eps-loc", "0.01", "--eps-doc", "0.3", "-k", "3",
+                "--workers", "2", "--backend", "thread",
+                "--on-failure", "degrade",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "top-3" in captured.out
+        assert "execution report" in captured.err
+
+    def test_exit_codes_are_distinct(self):
+        assert len({2, EXIT_VALIDATION, EXIT_DEADLINE, EXIT_EXECUTION_FAILED}) == 4
+
+
+class TestValidationExitCode:
+    def test_nan_coordinates_in_tsv(self, tmp_path, capsys):
+        # A dataset TSV with a NaN coordinate: loading raises
+        # DatasetValidationError, mapped to the validation exit code.
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("u1\tnan\t0.2\tcoffee soho\n")
+        code = main(["stats", str(bad)])
+        assert code == EXIT_VALIDATION
+        assert "invalid dataset" in capsys.readouterr().err
 
 
 class TestOutFlag:
