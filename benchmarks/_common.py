@@ -10,9 +10,14 @@ slow to repeat).
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.bench.experiments import DEFAULT_THRESHOLDS, benchmark_dataset
+
+#: Repository root — where ``BENCH_<name>.json`` artifacts are written.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Users per preset for single-size benchmarks.
 BENCH_USERS = 100

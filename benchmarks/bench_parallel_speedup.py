@@ -12,20 +12,28 @@ benchmarks/bench_parallel_speedup.py``) for a wall-clock speedup table.
 The >1.3x speedup expectation at 4 workers only applies on machines with
 at least 4 CPUs; on smaller hosts the script still prints the curve but
 skips the assertion (parallel speedup on a 1-core box is not physics).
+
+The direct run also pins the telemetry overhead budget (see
+``docs/observability.md``): an enabled :class:`repro.Telemetry` may cost
+at most 5% over the uninstrumented engine run, a disabled one at most 1%,
+and writes the measurements to ``BENCH_parallel_speedup.json`` at the
+repository root.
 """
 
 import multiprocessing
 import os
+import statistics
 import sys
 import time
 
 import pytest
 
-from repro import stps_join
+from repro import Telemetry, stps_join
+from repro.bench.reporting import write_bench_json
 from repro.core.query import STPSJoinQuery
 from repro.exec import JoinExecutor
 
-from _common import dataset_for, thresholds_for
+from _common import REPO_ROOT, dataset_for, thresholds_for
 
 PRESET = "twitter"
 NUM_USERS = 150
@@ -65,6 +73,45 @@ def test_sequential_baseline(run_once):
     assert isinstance(result, list)
 
 
+#: Telemetry overhead budgets the observability docs promise.
+MAX_TELEMETRY_OVERHEAD = 0.05
+MAX_DISABLED_OVERHEAD = 0.01
+TELEMETRY_ROUNDS = 5
+
+
+def _telemetry_overhead(dataset, query):
+    """Median engine wall-clock without telemetry, disabled, and enabled.
+
+    All three run the sequential backend so the numbers isolate the
+    instrumentation cost from scheduling noise.  Rounds are interleaved
+    (none, disabled, enabled, none, ...) so slow clock drift on a busy
+    host hits every configuration equally instead of whichever block ran
+    last; a disabled Telemetry must be indistinguishable from none at all
+    (the engine short-circuits it).
+    """
+    executor = JoinExecutor(workers=1, backend="sequential")
+    configs = {
+        "none": lambda: executor.join(dataset, query, algorithm="s-ppj-b"),
+        "disabled": lambda: executor.join(
+            dataset, query, algorithm="s-ppj-b",
+            telemetry=Telemetry(enabled=False),
+        ),
+        "enabled": lambda: executor.join(
+            dataset, query, algorithm="s-ppj-b", telemetry=Telemetry()
+        ),
+    }
+    for fn in configs.values():  # warm-up, untimed
+        fn()
+    times = {name: [] for name in configs}
+    for _ in range(TELEMETRY_ROUNDS):
+        for name, fn in configs.items():
+            start = time.perf_counter()
+            fn()
+            times[name].append(time.perf_counter() - start)
+    medians = {name: statistics.median(vals) for name, vals in times.items()}
+    return medians["none"], medians["disabled"], medians["enabled"]
+
+
 def main() -> int:
     """Wall-clock speedup table: S-PPJ-B, workers 1 / 2 / 4."""
     dataset = dataset_for(PRESET, NUM_USERS)
@@ -91,7 +138,57 @@ def main() -> int:
         speedup = times[WORKER_COUNTS[0]] / elapsed
         print(f"  workers={workers}: {elapsed:8.3f}s  speedup {speedup:4.2f}x")
 
+    base, disabled, enabled = _telemetry_overhead(dataset, query)
+    overhead_on = enabled / base - 1.0
+    overhead_off = disabled / base - 1.0
+    print(f"telemetry (sequential backend, median of {TELEMETRY_ROUNDS}):")
+    print(f"  none                     : {base:8.3f}s")
+    print(f"  disabled                 : {disabled:8.3f}s  ({overhead_off:+.1%})")
+    print(f"  enabled                  : {enabled:8.3f}s  ({overhead_on:+.1%})")
+
     speedup_at_4 = times[1] / times[4]
+    path = write_bench_json(
+        "parallel_speedup",
+        config={
+            "preset": PRESET,
+            "num_users": NUM_USERS,
+            "algorithm": "s-ppj-b",
+            "worker_counts": list(WORKER_COUNTS),
+            "cpus": cpus,
+            "telemetry_rounds": TELEMETRY_ROUNDS,
+        },
+        phases={
+            **{f"join_workers_{w}": t for w, t in times.items()},
+            "telemetry_none": base,
+            "telemetry_disabled": disabled,
+            "telemetry_enabled": enabled,
+        },
+        results={
+            "speedup_at_4": speedup_at_4,
+            "telemetry_overhead_enabled": overhead_on,
+            "telemetry_overhead_disabled": overhead_off,
+        },
+        directory=REPO_ROOT,
+    )
+    print(f"wrote {path}")
+
+    if overhead_on > MAX_TELEMETRY_OVERHEAD:
+        print(
+            f"FAIL: enabled-telemetry overhead {overhead_on:.1%} exceeds "
+            f"{MAX_TELEMETRY_OVERHEAD:.0%}"
+        )
+        return 1
+    if overhead_off > MAX_DISABLED_OVERHEAD:
+        print(
+            f"FAIL: disabled-telemetry overhead {overhead_off:.1%} exceeds "
+            f"{MAX_DISABLED_OVERHEAD:.0%}"
+        )
+        return 1
+    print(
+        f"OK: telemetry overhead {overhead_on:+.1%} enabled / "
+        f"{overhead_off:+.1%} disabled"
+    )
+
     if cpus >= 4:
         if speedup_at_4 < 1.3:
             print(f"FAIL: expected >1.3x speedup at 4 workers, got {speedup_at_4:.2f}x")

@@ -23,10 +23,11 @@ import sys
 import time
 
 from repro import ExecutionPolicy, stps_join
+from repro.bench.reporting import write_bench_json
 from repro.core.query import STPSJoinQuery
 from repro.exec import JoinExecutor
 
-from _common import dataset_for, thresholds_for
+from _common import REPO_ROOT, dataset_for, thresholds_for
 
 PRESET = "twitter"
 NUM_USERS = 120
@@ -66,13 +67,22 @@ def test_engine_with_idle_policy(run_once):
     assert isinstance(result, list)
 
 
-def _median_time(fn, rounds=ROUNDS):
-    times = []
-    for _ in range(rounds):
-        start = time.perf_counter()
+def _interleaved_medians(configs, rounds=ROUNDS):
+    """Median wall-clock per configuration, rounds interleaved.
+
+    Interleaving (a, b, c, a, b, c, ...) instead of timing each
+    configuration as a block keeps slow clock drift on a busy host from
+    being attributed to whichever block happened to run last.
+    """
+    for fn in configs.values():  # warm-up, untimed
         fn()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times)
+    times = {name: [] for name in configs}
+    for _ in range(rounds):
+        for name, fn in configs.items():
+            start = time.perf_counter()
+            fn()
+            times[name].append(time.perf_counter() - start)
+    return {name: statistics.median(vals) for name, vals in times.items()}
 
 
 def main() -> int:
@@ -84,30 +94,51 @@ def main() -> int:
         f"{dataset.num_objects} objects), median of {ROUNDS}"
     )
 
-    direct = _median_time(
-        lambda: stps_join(dataset, eps_loc, eps_doc, eps_user, algorithm="s-ppj-b")
-    )
-    print(f"  direct sequential        : {direct:8.3f}s")
-
     no_policy = JoinExecutor(workers=1, backend="sequential")
-    engine = _median_time(
-        lambda: no_policy.join(dataset, query, algorithm="s-ppj-b")
-    )
-    overhead = engine / direct - 1.0
-    print(f"  engine, no policy        : {engine:8.3f}s  ({overhead:+.1%})")
-
     idle = JoinExecutor(
         workers=1,
         backend="sequential",
         policy=ExecutionPolicy(deadline=3600.0, max_retries=2),
     )
-    with_policy = _median_time(
-        lambda: idle.join(dataset, query, algorithm="s-ppj-b")
-    )
+    medians = _interleaved_medians({
+        "direct": lambda: stps_join(
+            dataset, eps_loc, eps_doc, eps_user, algorithm="s-ppj-b"
+        ),
+        "engine": lambda: no_policy.join(dataset, query, algorithm="s-ppj-b"),
+        "idle": lambda: idle.join(dataset, query, algorithm="s-ppj-b"),
+    })
+    direct = medians["direct"]
+    engine = medians["engine"]
+    with_policy = medians["idle"]
+    overhead = engine / direct - 1.0
+    print(f"  direct sequential        : {direct:8.3f}s")
+    print(f"  engine, no policy        : {engine:8.3f}s  ({overhead:+.1%})")
     print(
         f"  engine, idle policy      : {with_policy:8.3f}s  "
         f"({with_policy / direct - 1.0:+.1%})"
     )
+
+    path = write_bench_json(
+        "resilience_overhead",
+        config={
+            "preset": PRESET,
+            "num_users": NUM_USERS,
+            "algorithm": "s-ppj-b",
+            "rounds": ROUNDS,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        phases={
+            "direct_sequential": direct,
+            "engine_no_policy": engine,
+            "engine_idle_policy": with_policy,
+        },
+        results={
+            "no_policy_overhead": overhead,
+            "idle_policy_overhead": with_policy / direct - 1.0,
+        },
+        directory=REPO_ROOT,
+    )
+    print(f"wrote {path}")
 
     if overhead > MAX_OVERHEAD:
         print(

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Validate telemetry artifacts produced by ``stpsjoin --trace/--metrics``.
+
+Checks the JSONL trace and metrics files against the schema documented in
+``docs/observability.md``:
+
+* every trace line is a JSON object with the span fields, exactly one
+  root ``run`` span per run id, unique span ids, resolvable parent ids
+  and non-negative durations;
+* every metrics line (``jsonl`` format) is a typed instrument record;
+  histogram bucket counts are consistent with the observation count;
+* a ``prom`` metrics file parses as Prometheus text exposition lines.
+
+Used by the CI telemetry smoke job; exits non-zero with a message per
+violation.  Usage::
+
+    python scripts/check_telemetry.py --trace trace.jsonl \
+        --metrics metrics.jsonl [--metrics-format jsonl|prom]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import List
+
+TRACE_FIELDS = {
+    "run_id", "span_id", "parent_id", "name", "start", "end",
+    "duration", "attrs", "events",
+}
+METRIC_TYPES = {"counter", "gauge", "histogram"}
+RUN_ID = re.compile(r"^[a-z0-9:_-]+-\d{4}$")
+SPAN_ID = re.compile(r"^[a-z0-9:_-]+-\d{4}/s\d+$")
+PROM_LINE = re.compile(
+    r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+(inf)?)$"
+)
+
+
+def check_trace(path: str) -> List[str]:
+    problems: List[str] = []
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            missing = TRACE_FIELDS - set(record)
+            if missing:
+                problems.append(
+                    f"{path}:{lineno}: missing fields {sorted(missing)}"
+                )
+                continue
+            spans.append((lineno, record))
+
+    if not spans:
+        problems.append(f"{path}: no spans recorded")
+        return problems
+
+    seen_ids = set()
+    runs = {}
+    for lineno, record in spans:
+        span_id = record["span_id"]
+        if span_id in seen_ids:
+            problems.append(f"{path}:{lineno}: duplicate span_id {span_id!r}")
+        seen_ids.add(span_id)
+        if not RUN_ID.match(record["run_id"]):
+            problems.append(
+                f"{path}:{lineno}: malformed run_id {record['run_id']!r}"
+            )
+        if not SPAN_ID.match(span_id):
+            problems.append(f"{path}:{lineno}: malformed span_id {span_id!r}")
+        if record["duration"] < 0:
+            problems.append(f"{path}:{lineno}: negative duration")
+        if record["end"] < record["start"]:
+            problems.append(f"{path}:{lineno}: end precedes start")
+        if record["name"] == "run":
+            if record["parent_id"] is not None:
+                problems.append(
+                    f"{path}:{lineno}: run span has a parent"
+                )
+            runs.setdefault(record["run_id"], 0)
+            runs[record["run_id"]] += 1
+
+    for lineno, record in spans:
+        parent = record["parent_id"]
+        if parent is not None and parent not in seen_ids:
+            problems.append(
+                f"{path}:{lineno}: parent_id {parent!r} not in trace"
+            )
+
+    if not runs:
+        problems.append(f"{path}: no root 'run' span")
+    for run_id, count in runs.items():
+        if count != 1:
+            problems.append(f"{path}: {count} root spans for run {run_id!r}")
+    return problems
+
+
+def check_metrics_jsonl(path: str) -> List[str]:
+    problems: List[str] = []
+    records = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            records += 1
+            kind = record.get("type")
+            if kind not in METRIC_TYPES:
+                problems.append(f"{path}:{lineno}: unknown type {kind!r}")
+                continue
+            if not record.get("name"):
+                problems.append(f"{path}:{lineno}: missing name")
+            if kind == "counter":
+                value = record.get("value")
+                if not isinstance(value, int) or value < 0:
+                    problems.append(
+                        f"{path}:{lineno}: counter value {value!r} "
+                        "is not a non-negative integer"
+                    )
+            elif kind == "gauge":
+                if not isinstance(record.get("value"), (int, float)):
+                    problems.append(f"{path}:{lineno}: gauge value not numeric")
+            else:  # histogram
+                counts = record.get("counts")
+                if not isinstance(counts, list) or len(counts) != 17:
+                    problems.append(
+                        f"{path}:{lineno}: histogram needs 17 bucket counts"
+                    )
+                elif sum(counts) != record.get("count"):
+                    problems.append(
+                        f"{path}:{lineno}: bucket counts sum to "
+                        f"{sum(counts)}, count says {record.get('count')}"
+                    )
+                if record.get("sum", 0) < 0 or record.get("count", 0) < 0:
+                    problems.append(f"{path}:{lineno}: negative histogram totals")
+    if not records:
+        problems.append(f"{path}: no metric records")
+    return problems
+
+
+def check_metrics_prom(path: str) -> List[str]:
+    problems: List[str] = []
+    lines = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            lines += 1
+            if not PROM_LINE.match(line):
+                problems.append(
+                    f"{path}:{lineno}: not Prometheus text exposition: {line!r}"
+                )
+    if not lines:
+        problems.append(f"{path}: empty exposition")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, help="trace JSONL file")
+    parser.add_argument("--metrics", default=None, help="metrics file")
+    parser.add_argument(
+        "--metrics-format",
+        choices=("jsonl", "prom"),
+        default="jsonl",
+        help="format the metrics file was written in",
+    )
+    args = parser.parse_args(argv)
+    if args.trace is None and args.metrics is None:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+
+    problems: List[str] = []
+    if args.trace is not None:
+        problems += check_trace(args.trace)
+    if args.metrics is not None:
+        if args.metrics_format == "jsonl":
+            problems += check_metrics_jsonl(args.metrics)
+        else:
+            problems += check_metrics_prom(args.metrics)
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    checked = [p for p in (args.trace, args.metrics) if p]
+    print(f"OK: {', '.join(checked)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

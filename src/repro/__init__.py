@@ -43,6 +43,7 @@ from .core import (
     tune_thresholds,
 )
 from .errors import DatasetValidationError, ReproError
+from .obs import MetricsRegistry, Telemetry, Tracer
 from .exec import (
     BackendUnavailableError,
     ChunkFailure,
@@ -92,6 +93,9 @@ __all__ = [
     "ExecutionPolicy",
     "ExecutionReport",
     "ChunkFailure",
+    "Telemetry",
+    "MetricsRegistry",
+    "Tracer",
     "ReproError",
     "DatasetValidationError",
     "ExecutionError",

@@ -10,12 +10,86 @@ panels plot.
 from __future__ import annotations
 
 import csv
+import json
 import os
-from typing import Any, List, Mapping, Optional, Sequence, Union
+import subprocess
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_seconds", "write_csv", "Row"]
+__all__ = [
+    "format_table",
+    "format_seconds",
+    "write_csv",
+    "Row",
+    "BENCH_SCHEMA_VERSION",
+    "git_sha",
+    "bench_payload",
+    "write_bench_json",
+]
 
 Row = Mapping[str, Any]
+
+#: Schema version of the ``BENCH_<name>.json`` artifacts.  Bump only on
+#: breaking changes to the payload layout; consumers (CI trend tracking,
+#: plotting scripts) key on it.
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_sha(cwd: Optional[Union[str, os.PathLike]] = None) -> Optional[str]:
+    """The repository HEAD commit, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def bench_payload(
+    name: str,
+    config: Mapping[str, Any],
+    phases: Mapping[str, float],
+    results: Optional[Mapping[str, Any]] = None,
+    cwd: Optional[Union[str, os.PathLike]] = None,
+) -> Dict[str, Any]:
+    """The stable machine-readable benchmark record.
+
+    ``phases`` maps phase name -> seconds; ``config`` records whatever
+    parameters produced the numbers (dataset, sizes, thresholds);
+    ``results`` carries derived values (speedups, overhead ratios).
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "git_sha": git_sha(cwd),
+        "created_unix": time.time(),
+        "config": dict(config),
+        "phases": {key: float(value) for key, value in phases.items()},
+        "results": dict(results) if results else {},
+    }
+
+
+def write_bench_json(
+    name: str,
+    config: Mapping[str, Any],
+    phases: Mapping[str, float],
+    results: Optional[Mapping[str, Any]] = None,
+    directory: Union[str, os.PathLike] = ".",
+) -> str:
+    """Write ``BENCH_<name>.json`` into ``directory``; returns the path."""
+    payload = bench_payload(name, config, phases, results, cwd=directory)
+    path = os.path.join(os.fspath(directory), f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def format_seconds(value: float) -> str:

@@ -33,6 +33,7 @@ from .exec import (
     ExecutionFailed,
     ExecutionPolicy,
 )
+from .obs import METRICS_FORMATS, Telemetry
 from .datasets.ingest import load_delimited
 from .datasets.loaders import load_tsv, save_tsv
 from .datasets.stats import dataset_stats, format_table1
@@ -98,6 +99,26 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         help="terminal chunk failures: abort (raise), re-run on a simpler "
         "backend (degrade), or skip and report (partial)",
     )
+    tel = parser.add_argument_group("telemetry (see docs/observability.md)")
+    tel.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the run's trace spans to PATH as JSONL",
+    )
+    tel.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics to PATH (format: --metrics-format)",
+    )
+    tel.add_argument(
+        "--metrics-format",
+        choices=METRICS_FORMATS,
+        default="jsonl",
+        help="metrics serialization: jsonl (machine), prom (Prometheus "
+        "text exposition), or summary (human-readable table)",
+    )
 
 
 def _policy_from_args(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
@@ -143,11 +164,42 @@ def _executor_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _telemetry_from_args(args: argparse.Namespace) -> Optional[Telemetry]:
+    """A :class:`Telemetry` when any telemetry flag was given."""
+    if args.trace is None and args.metrics is None:
+        return None
+    return Telemetry()
+
+
+def _write_telemetry_outputs(
+    args: argparse.Namespace, telemetry: Optional[Telemetry]
+) -> None:
+    """Write ``--trace`` / ``--metrics`` files and report them on stderr."""
+    if telemetry is None:
+        return
+    if args.trace is not None:
+        spans = telemetry.write_trace(args.trace)
+        print(f"wrote {spans} trace spans to {args.trace}", file=sys.stderr)
+    if args.metrics is not None:
+        telemetry.write_metrics(args.metrics, fmt=args.metrics_format)
+        print(
+            f"wrote metrics ({args.metrics_format}) to {args.metrics}",
+            file=sys.stderr,
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
         prog="stpsjoin",
         description="Similarity search on spatio-textual point sets (EDBT 2016).",
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -279,6 +331,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     kwargs = {"fanout": args.fanout} if args.algorithm == "s-ppj-d" else {}
     kwargs.update(_executor_kwargs(args))
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
     result = stps_join(
         dataset,
         args.eps_loc,
@@ -291,6 +346,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if kwargs.get("with_report"):
         pairs, report = result
         print(report.summary(), file=sys.stderr)
+    _write_telemetry_outputs(args, telemetry)
     label = f"algorithm {args.algorithm}"
     if args.workers is not None:
         label += f", {args.workers} workers"
@@ -310,6 +366,9 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     dataset = load_tsv(args.path)
     start = time.perf_counter()
     kwargs = _executor_kwargs(args)
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
     result = topk_stps_join(
         dataset,
         args.eps_loc,
@@ -322,6 +381,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     if kwargs.get("with_report"):
         pairs, report = result
         print(report.summary(), file=sys.stderr)
+    _write_telemetry_outputs(args, telemetry)
     elapsed = time.perf_counter() - start
     print(
         f"top-{args.k}: {len(pairs)} pairs (algorithm {args.algorithm}, "

@@ -82,6 +82,28 @@ def _make_executor(
     )
 
 
+def _resolve_telemetry(telemetry, with_telemetry: bool):
+    """Normalize the two telemetry kwargs to ``(telemetry, append_it)``.
+
+    ``with_telemetry=True`` without an explicit object constructs one so
+    the caller can receive it back in the return tuple.
+    """
+    if with_telemetry and telemetry is None:
+        from ..obs import Telemetry
+
+        telemetry = Telemetry()
+    return telemetry, bool(with_telemetry)
+
+
+def _attach_telemetry(result, telemetry, with_telemetry: bool):
+    """Append ``telemetry`` to the engine's return value when requested."""
+    if not with_telemetry:
+        return result
+    if isinstance(result, tuple):
+        return (*result, telemetry)
+    return result, telemetry
+
+
 def stps_join(
     dataset: STDataset,
     eps_loc: float,
@@ -95,6 +117,8 @@ def stps_join(
     chunk_size: Optional[int] = None,
     policy=None,
     with_report: bool = False,
+    telemetry=None,
+    with_telemetry: bool = False,
     **kwargs,
 ):
     """Evaluate an STPSJoin query (Definition 1).
@@ -126,25 +150,35 @@ def stps_join(
         Return ``(pairs, report)`` with the run's
         :class:`repro.exec.ExecutionReport` instead of just the pairs.
         Also routes through the engine.
+    telemetry / with_telemetry:
+        ``telemetry=`` accepts a :class:`repro.obs.Telemetry` to record
+        metrics and trace spans into; ``with_telemetry=True`` constructs
+        one and appends it to the return value (after the report when
+        ``with_report`` is also set).  Either routes through the engine;
+        see ``docs/observability.md``.
     """
     query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
+    telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
     if (
         workers is not None
         or backend is not None
         or policy is not None
+        or telemetry is not None
         or with_report
     ):
         executor = _make_executor(
             workers, backend, start_method, chunk_size, policy
         )
-        return executor.join(
+        result = executor.join(
             dataset,
             query,
             algorithm=algorithm,
             stats=stats,
             with_report=with_report,
+            telemetry=telemetry,
             **kwargs,
         )
+        return _attach_telemetry(result, telemetry, with_telemetry)
     try:
         run = JOIN_ALGORITHMS[algorithm]
     except KeyError:
@@ -169,29 +203,35 @@ def topk_stps_join(
     chunk_size: Optional[int] = None,
     policy=None,
     with_report: bool = False,
+    telemetry=None,
+    with_telemetry: bool = False,
 ):
     """Evaluate a top-k STPSJoin query (Definition 2).
 
     ``workers`` / ``backend`` route evaluation through the parallel
     execution engine, exactly as in :func:`stps_join`; the returned k
     best pairs are byte-identical to the sequential algorithms (ties are
-    broken canonically everywhere).  ``policy`` and ``with_report`` also
-    behave as in :func:`stps_join`.
+    broken canonically everywhere).  ``policy``, ``with_report``,
+    ``telemetry`` and ``with_telemetry`` also behave as in
+    :func:`stps_join`.
     """
     query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
+    telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
     if (
         workers is not None
         or backend is not None
         or policy is not None
+        or telemetry is not None
         or with_report
     ):
         executor = _make_executor(
             workers, backend, start_method, chunk_size, policy
         )
-        return executor.topk(
+        result = executor.topk(
             dataset, query, algorithm=algorithm, stats=stats,
-            with_report=with_report,
+            with_report=with_report, telemetry=telemetry,
         )
+        return _attach_telemetry(result, telemetry, with_telemetry)
     try:
         run = TOPK_ALGORITHMS[algorithm]
     except KeyError:

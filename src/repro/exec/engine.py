@@ -93,6 +93,9 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from ..core.model import STDataset
 from ..core.pair_eval import PairEvalStats
 from ..core.query import STPSJoinQuery, TopKQuery, UserPair, pair_sort_key
+from ..obs import runtime as _obs
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import Telemetry
 from ..stindex.snapshot import DatasetSnapshot
 from . import faults as _faults
 from .errors import BackendUnavailableError, DeadlineExceeded, ExecutionFailed
@@ -126,31 +129,58 @@ _RUN_TOKENS = itertools.count(1)
 
 
 def _execute_chunk(
-    plan: Plan, state, chunk, chunk_index: int, attempt: int, with_stats: bool
-) -> Tuple[List[UserPair], Optional[dict]]:
+    plan: Plan,
+    state,
+    chunk,
+    chunk_index: int,
+    attempt: int,
+    with_stats: bool,
+    with_metrics: bool = False,
+) -> Tuple[List[UserPair], Optional[dict], Optional[dict], float]:
     """Evaluate one chunk, honoring the active fault plan.
 
-    Stats are collected into a chunk-local object and returned as a dict:
-    a failed attempt therefore contributes *nothing* to the caller's
-    counters — they are merged only when the chunk's result is accepted.
+    Returns ``(pairs, stats, metrics, seconds)``.  Stats — and, when
+    telemetry is on, a chunk-local metrics registry — are collected per
+    attempt and returned as plain dicts: a failed attempt therefore
+    contributes *nothing* to the caller's counters — they are merged only
+    when the chunk's result is accepted, so retried work is never
+    double-counted.  ``seconds`` is the attempt's own wall-clock time,
+    measured where the chunk ran (worker-side for pooled backends).
     """
     fault_plan = _faults.active_fault_plan()
     if fault_plan is not None:
         fault_plan.maybe_fire(chunk_index, attempt)
     stats = PairEvalStats() if with_stats else None
-    pairs = plan.run_chunk(state, chunk, stats)
-    return pairs, (stats.as_dict() if stats is not None else None)
+    if not with_metrics:
+        started = time.perf_counter()
+        pairs = plan.run_chunk(state, chunk, stats)
+        seconds = time.perf_counter() - started
+        return pairs, (stats.as_dict() if stats is not None else None), None, seconds
+    registry = MetricsRegistry()
+    previous = _obs.activate(registry)
+    started = time.perf_counter()
+    try:
+        pairs = plan.run_chunk(state, chunk, stats)
+    finally:
+        seconds = time.perf_counter() - started
+        _obs.restore(previous)
+    return (
+        pairs,
+        (stats.as_dict() if stats is not None else None),
+        registry.as_dict(),
+        seconds,
+    )
 
 
-def _run_task(task) -> Tuple[int, List[UserPair], Optional[dict]]:
+def _run_task(task) -> Tuple[int, List[UserPair], Optional[dict], Optional[dict], float]:
     """Pool-worker entry point; ``task = (token, index, attempt, chunk)``."""
     token, chunk_index, attempt, chunk = task
     entry = _WORKER_STATE[token]
-    pairs, counters = _execute_chunk(
+    pairs, counters, metrics, seconds = _execute_chunk(
         entry["plan"], entry["state"], chunk, chunk_index, attempt,
-        entry["with_stats"],
+        entry["with_stats"], entry["with_metrics"],
     )
-    return chunk_index, pairs, counters
+    return chunk_index, pairs, counters, metrics, seconds
 
 
 def _init_spawn_worker(
@@ -160,10 +190,17 @@ def _init_spawn_worker(
     algorithm: str,
     query,
     with_stats: bool,
+    with_metrics: bool,
     kwargs: dict,
     fault_plan_text: Optional[str],
 ) -> None:
-    """Spawn-worker initializer: restore the dataset, rebuild plan state."""
+    """Spawn-worker initializer: restore the dataset, rebuild plan state.
+
+    Index construction happens here with no active registry — spawn
+    workers' build phases are deliberately absent from the parent's
+    metrics (documented in ``docs/observability.md``); chunk-scoped
+    counters remain byte-identical to the other transports.
+    """
     if fault_plan_text:
         _faults.install_fault_plan(_faults.FaultPlan.parse(fault_plan_text))
     dataset = snapshot.restore()
@@ -172,6 +209,7 @@ def _init_spawn_worker(
         "plan": plan,
         "state": plan.build_state(dataset, query, **kwargs),
         "with_stats": with_stats,
+        "with_metrics": with_metrics,
     }
 
 
@@ -182,8 +220,9 @@ def _run_chunk_in_thread(
     chunk_index: int,
     attempt: int,
     with_stats: bool,
+    with_metrics: bool,
     timeout: Optional[float],
-) -> Tuple[List[UserPair], Optional[dict]]:
+) -> Tuple[List[UserPair], Optional[dict], Optional[dict], float]:
     """Degraded thread rung: one chunk on a fresh daemon thread.
 
     Unlike plain inline execution this rung can enforce a timeout — the
@@ -195,7 +234,8 @@ def _run_chunk_in_thread(
     def target() -> None:
         try:
             box["ok"] = _execute_chunk(
-                plan, state, chunk, chunk_index, attempt, with_stats
+                plan, state, chunk, chunk_index, attempt, with_stats,
+                with_metrics,
             )
         except BaseException as exc:  # noqa: BLE001 - relayed to the caller
             box["err"] = exc
@@ -345,6 +385,7 @@ class JoinExecutor:
         stats: Optional[PairEvalStats] = None,
         policy: Optional[ExecutionPolicy] = None,
         with_report: bool = False,
+        telemetry: Optional[Telemetry] = None,
         **kwargs,
     ):
         """Evaluate a threshold STPSJoin; canonically sorted result.
@@ -352,10 +393,13 @@ class JoinExecutor:
         ``policy`` overrides the executor default for this call;
         ``with_report=True`` returns ``(pairs, report)`` instead of just
         the pair list.  The report is also stored on ``last_report``.
+        ``telemetry`` attaches a :class:`~repro.obs.telemetry.Telemetry`
+        that the run records metrics and trace spans into.
         """
         plan = get_plan("join", algorithm)
         pairs, report = self._run(
-            plan, dataset, query, stats, kwargs, policy or self.policy
+            plan, dataset, query, stats, kwargs, policy or self.policy,
+            telemetry,
         )
         pairs.sort(key=pair_sort_key)
         self.last_report = report
@@ -369,6 +413,7 @@ class JoinExecutor:
         stats: Optional[PairEvalStats] = None,
         policy: Optional[ExecutionPolicy] = None,
         with_report: bool = False,
+        telemetry: Optional[Telemetry] = None,
         **kwargs,
     ):
         """Evaluate a top-k STPSJoin; canonically sorted k best pairs.
@@ -376,11 +421,13 @@ class JoinExecutor:
         Each task keeps a local top-k heap; the global top-k is a subset
         of the union of the local top-ks, so merging the per-task results
         canonically and truncating to ``k`` reproduces the sequential
-        answer exactly.  ``policy`` / ``with_report`` as in :meth:`join`.
+        answer exactly.  ``policy`` / ``with_report`` / ``telemetry`` as
+        in :meth:`join`.
         """
         plan = get_plan("topk", algorithm)
         pairs, report = self._run(
-            plan, dataset, query, stats, kwargs, policy or self.policy
+            plan, dataset, query, stats, kwargs, policy or self.policy,
+            telemetry,
         )
         pairs.sort(key=pair_sort_key)
         self.last_report = report
@@ -403,12 +450,25 @@ class JoinExecutor:
         stats: Optional[PairEvalStats],
         kwargs: dict,
         policy: Optional[ExecutionPolicy],
+        telemetry: Optional[Telemetry] = None,
     ) -> Tuple[List[UserPair], ExecutionReport]:
+        tele = telemetry if (telemetry is not None and telemetry.enabled) else None
         report = ExecutionReport(
             backend=self.backend,
             start_method=self.start_method,
             algorithm=f"{plan.kind}:{plan.name}",
         )
+        run_span = None
+        if tele is not None:
+            run_span = tele.tracer.start_run(
+                plan.kind,
+                attrs={
+                    "algorithm": plan.name,
+                    "backend": self.backend,
+                    "start_method": self.start_method,
+                    "workers": self.workers,
+                },
+            )
         start = time.perf_counter()
         try:
             n_units = plan.num_units(dataset)
@@ -417,7 +477,8 @@ class JoinExecutor:
             chunks = plan.chunks(dataset, self._effective_chunk_size(n_units))
             if self.backend == "sequential" or self.workers == 1:
                 results = self._run_inline(
-                    plan, dataset, query, stats, kwargs, chunks, policy, report
+                    plan, dataset, query, stats, kwargs, chunks, policy,
+                    report, tele, run_span,
                 )
             else:
                 results = self._run_pooled(
@@ -430,10 +491,99 @@ class JoinExecutor:
                     process=(self.backend == "process"),
                     policy=policy,
                     report=report,
+                    tele=tele,
+                    run_span=run_span,
                 )
             return results, report
         finally:
             report.elapsed = time.perf_counter() - start
+            if tele is not None:
+                self._finish_run_telemetry(tele, report, run_span)
+
+    @staticmethod
+    def _finish_run_telemetry(
+        tele: Telemetry, report: ExecutionReport, run_span
+    ) -> None:
+        """Fold the report's scheduling tallies into ``engine.*`` counters
+        and close the run span.  These counters describe *scheduling*
+        (retries, respawns), legitimately differ under faults, and are
+        excluded from :meth:`Telemetry.work_counters`."""
+        m = tele.metrics
+        m.counter("engine.runs").inc()
+        m.counter("engine.chunks_total").inc(report.chunks_total)
+        if report.chunks_retried:
+            m.counter("engine.chunks_retried").inc(report.chunks_retried)
+        if report.chunks_degraded:
+            m.counter("engine.chunks_degraded").inc(report.chunks_degraded)
+        if report.chunks_skipped:
+            m.counter("engine.chunks_skipped").inc(len(report.chunks_skipped))
+        if report.pool_respawns:
+            m.counter("engine.pool_respawns").inc(report.pool_respawns)
+        if report.deadline_hit:
+            m.counter("engine.deadline_hits").inc()
+        m.histogram("run.seconds").observe(report.elapsed)
+        run_span.end(
+            algorithm=report.algorithm,
+            chunks_total=report.chunks_total,
+            chunks_completed=report.chunks_completed,
+            completeness=report.completeness,
+            deadline_hit=report.deadline_hit,
+        )
+
+    def _accept_chunk_telemetry(
+        self,
+        tele: Optional[Telemetry],
+        report: ExecutionReport,
+        run_span,
+        idx: int,
+        attempts: int,
+        counters: Optional[dict],
+        metrics: Optional[dict],
+        seconds: float,
+    ) -> None:
+        """Per-accepted-chunk bookkeeping shared by every scheduling path.
+
+        Records the chunk's wall-clock and attempt count on the report
+        (always), and — with telemetry attached — merges the chunk-local
+        metrics snapshot, mirrors its stats counters, and back-dates a
+        ``chunk`` span under the run."""
+        report.chunk_seconds[idx] = seconds
+        report.chunk_attempts[idx] = attempts
+        if tele is None:
+            return
+        tele.record_stats(counters)
+        tele.metrics.merge(metrics)
+        tele.record_chunk(seconds, attempts)
+        tele.tracer.record(
+            "chunk",
+            seconds,
+            parent=run_span,
+            attrs={"chunk": idx, "attempts": attempts},
+        )
+
+    def _build_state(
+        self, plan, dataset, query, kwargs: dict, tele: Optional[Telemetry],
+        run_span,
+    ):
+        """Build the plan state, tracing it as the run's ``setup`` span.
+
+        The run-level registry is active during construction, so index
+        builders' ``phase.index.*`` instrumentation lands in the
+        telemetry (parent-side builds only; spawn workers build their
+        own state uninstrumented)."""
+        if tele is None:
+            return plan.build_state(dataset, query, **kwargs)
+        span = tele.tracer.start_span("setup", parent=run_span)
+        previous = _obs.activate(tele.metrics)
+        started = time.perf_counter()
+        try:
+            return plan.build_state(dataset, query, **kwargs)
+        finally:
+            _obs.restore(previous)
+            tele.metrics.histogram("setup.seconds").observe(
+                time.perf_counter() - started
+            )
+            span.end()
 
     # -- inline execution ---------------------------------------------------------
 
@@ -447,19 +597,45 @@ class JoinExecutor:
         chunks: Iterator,
         policy: Optional[ExecutionPolicy],
         report: ExecutionReport,
+        tele: Optional[Telemetry],
+        run_span,
     ) -> List[UserPair]:
-        state = plan.build_state(dataset, query, **kwargs)
+        state = self._build_state(plan, dataset, query, kwargs, tele, run_span)
         if policy is None:
-            # The exact fail-fast fast path: no per-chunk stats detour, no
-            # deadline checks, identical to the pre-resilience engine.
-            results: List[UserPair] = []
-            for chunk in chunks:
-                results.extend(plan.run_chunk(state, chunk, stats))
+            if tele is None:
+                # The exact fail-fast fast path: no per-chunk stats detour,
+                # no deadline checks — per-chunk wall-clock timing (two
+                # perf_counter reads per chunk) is the only addition over
+                # the pre-resilience engine.
+                results: List[UserPair] = []
+                idx = 0
+                for chunk in chunks:
+                    started = time.perf_counter()
+                    results.extend(plan.run_chunk(state, chunk, stats))
+                    report.chunk_seconds[idx] = time.perf_counter() - started
+                    report.chunk_attempts[idx] = 1
+                    idx += 1
+                report.chunks_total = report.chunks_completed = idx
+                return results
+            # Telemetry on, no policy: stats are forced per chunk so the
+            # filter.* counters are populated even when the caller did not
+            # ask for a PairEvalStats of its own.
+            results = []
+            for idx, chunk in enumerate(chunks):
+                pairs, counters, metrics, seconds = _execute_chunk(
+                    plan, state, chunk, idx, 0, True, True
+                )
+                results.extend(pairs)
+                if stats is not None and counters is not None:
+                    stats.merge(counters)
                 report.chunks_total += 1
                 report.chunks_completed += 1
+                self._accept_chunk_telemetry(
+                    tele, report, run_span, idx, 1, counters, metrics, seconds
+                )
             return results
         return self._run_inline_resilient(
-            plan, state, list(chunks), stats, policy, report
+            plan, state, list(chunks), stats, policy, report, tele, run_span
         )
 
     def _run_inline_resilient(
@@ -470,6 +646,8 @@ class JoinExecutor:
         stats: Optional[PairEvalStats],
         policy: ExecutionPolicy,
         report: ExecutionReport,
+        tele: Optional[Telemetry],
+        run_span,
     ) -> List[UserPair]:
         """Sequential execution under a policy.
 
@@ -479,18 +657,25 @@ class JoinExecutor:
         final extra attempt before failing.
         """
         report.chunks_total = len(chunk_list)
-        with_stats = stats is not None
+        with_stats = stats is not None or tele is not None
+        with_metrics = tele is not None
         deadline = _Deadline(policy.deadline)
         results: List[UserPair] = []
 
-        def accept(pairs, counters) -> None:
+        def accept(idx, attempts, pairs, counters, metrics, seconds) -> None:
             results.extend(pairs)
-            if with_stats and counters is not None:
+            if stats is not None and counters is not None:
                 stats.merge(counters)
             report.chunks_completed += 1
+            self._accept_chunk_telemetry(
+                tele, report, run_span, idx, attempts, counters, metrics,
+                seconds,
+            )
 
         for idx, chunk in enumerate(chunk_list):
             if deadline.expired():
+                if run_span is not None:
+                    run_span.event("deadline", next_chunk=idx)
                 self._conclude_deadline(
                     policy, report, range(idx, len(chunk_list))
                 )
@@ -499,15 +684,23 @@ class JoinExecutor:
             while True:
                 try:
                     accept(
+                        idx,
+                        attempt + 1,
                         *_execute_chunk(
-                            plan, state, chunk, idx, attempt, with_stats
-                        )
+                            plan, state, chunk, idx, attempt, with_stats,
+                            with_metrics,
+                        ),
                     )
                     break
                 except Exception as exc:
                     if attempt < policy.max_retries and not deadline.expired():
                         attempt += 1
                         report.chunks_retried += 1
+                        if run_span is not None:
+                            run_span.event(
+                                "retry", chunk=idx, attempt=attempt,
+                                error=repr(exc),
+                            )
                         time.sleep(
                             min(
                                 backoff_delay(policy, idx, attempt),
@@ -518,12 +711,16 @@ class JoinExecutor:
                     if policy.on_failure == "degrade":
                         try:
                             accept(
+                                idx,
+                                attempt + 2,
                                 *_execute_chunk(
                                     plan, state, chunk, idx, attempt + 1,
-                                    with_stats,
-                                )
+                                    with_stats, with_metrics,
+                                ),
                             )
                             report.chunks_degraded += 1
+                            if run_span is not None:
+                                run_span.event("degraded", chunk=idx)
                             break
                         except Exception as exc2:
                             exc = exc2
@@ -533,6 +730,10 @@ class JoinExecutor:
                         report.failures.append(
                             ChunkFailure(idx, attempt + 1, repr(exc), "inline")
                         )
+                        if run_span is not None:
+                            run_span.event(
+                                "skip", chunk=idx, error=repr(exc)
+                            )
                         break
                     failure = ChunkFailure(idx, attempt + 1, repr(exc), "inline")
                     report.failures.append(failure)
@@ -557,8 +758,11 @@ class JoinExecutor:
         process: bool,
         policy: Optional[ExecutionPolicy],
         report: ExecutionReport,
+        tele: Optional[Telemetry],
+        run_span,
     ) -> List[UserPair]:
-        with_stats = stats is not None
+        with_stats = stats is not None or tele is not None
+        with_metrics = tele is not None
         spawnish = process and self.start_method != "fork"
         token = next(_RUN_TOKENS)
 
@@ -570,13 +774,23 @@ class JoinExecutor:
                 # active fault plan rides along so injection is hermetic
                 # across transports.
                 active_plan = _faults.active_fault_plan()
+                if tele is not None:
+                    setup_span = tele.tracer.start_span(
+                        "setup", parent=run_span,
+                        attrs={"transport": "spawn-snapshot"},
+                    )
+                    snapshot = DatasetSnapshot.capture(dataset)
+                    setup_span.end()
+                else:
+                    snapshot = DatasetSnapshot.capture(dataset)
                 initargs = (
                     token,
-                    DatasetSnapshot.capture(dataset),
+                    snapshot,
                     plan.kind,
                     plan.name,
                     query,
                     with_stats,
+                    with_metrics,
                     kwargs,
                     active_plan.serialize() if active_plan else None,
                 )
@@ -596,8 +810,11 @@ class JoinExecutor:
                 # (or shared by reference) through the token-keyed global.
                 _WORKER_STATE[token] = {
                     "plan": plan,
-                    "state": plan.build_state(dataset, query, **kwargs),
+                    "state": self._build_state(
+                        plan, dataset, query, kwargs, tele, run_span
+                    ),
                     "with_stats": with_stats,
+                    "with_metrics": with_metrics,
                 }
             if policy is None:
                 results: List[UserPair] = []
@@ -606,13 +823,17 @@ class JoinExecutor:
                         (token, idx, 0, chunk)
                         for idx, chunk in enumerate(chunks)
                     )
-                    for _, pairs, counters in pool.imap_unordered(
-                        _run_task, tasks
+                    for idx, pairs, counters, metrics, seconds in (
+                        pool.imap_unordered(_run_task, tasks)
                     ):
                         results.extend(pairs)
                         report.chunks_completed += 1
-                        if with_stats and counters is not None:
+                        if stats is not None and counters is not None:
                             stats.merge(counters)
+                        self._accept_chunk_telemetry(
+                            tele, report, run_span, idx, 1, counters,
+                            metrics, seconds,
+                        )
                 report.chunks_total = report.chunks_completed
                 return results
             return self._dispatch_resilient(
@@ -628,6 +849,8 @@ class JoinExecutor:
                 report,
                 process,
                 spawnish,
+                tele,
+                run_span,
             )
         finally:
             # Pop only this run's entry: a concurrent executor in the same
@@ -649,6 +872,8 @@ class JoinExecutor:
         report: ExecutionReport,
         process: bool,
         spawnish: bool,
+        tele: Optional[Telemetry],
+        run_span,
     ) -> List[UserPair]:
         """The resilient ``AsyncResult`` dispatcher (pooled backends).
 
@@ -659,7 +884,6 @@ class JoinExecutor:
         ``on_failure`` mode.
         """
         report.chunks_total = len(chunk_list)
-        with_stats = stats is not None
         deadline = _Deadline(policy.deadline)
         results: List[UserPair] = []
         completed: Set[int] = set()
@@ -673,14 +897,20 @@ class JoinExecutor:
         degrade_queue: List[Tuple[int, int, Exception]] = []
         respawns = 0
 
-        def accept(idx: int, pairs, counters) -> None:
+        def accept(
+            idx: int, attempts: int, pairs, counters, metrics, seconds
+        ) -> None:
             if idx in completed:
                 return  # a retry raced an abandoned original; first wins
             completed.add(idx)
             results.extend(pairs)
-            if with_stats and counters is not None:
+            if stats is not None and counters is not None:
                 stats.merge(counters)
             report.chunks_completed += 1
+            self._accept_chunk_telemetry(
+                tele, report, run_span, idx, attempts, counters, metrics,
+                seconds,
+            )
 
         def terminal(idx: int, attempts: int, exc: Exception, stage: str) -> None:
             if policy.on_failure == "degrade":
@@ -690,6 +920,8 @@ class JoinExecutor:
             report.failures.append(failure)
             if policy.on_failure == "partial":
                 report.chunks_skipped.append(idx)
+                if run_span is not None:
+                    run_span.event("skip", chunk=idx, error=repr(exc))
                 return
             raise ExecutionFailed(
                 f"chunk {idx} failed after {attempts} attempt(s): {exc!r}",
@@ -700,6 +932,11 @@ class JoinExecutor:
         def fail(idx: int, attempt: int, exc: Exception, now: float) -> None:
             if attempt < policy.max_retries:
                 report.chunks_retried += 1
+                if run_span is not None:
+                    run_span.event(
+                        "retry", chunk=idx, attempt=attempt + 1,
+                        error=repr(exc),
+                    )
                 pending.append(
                     (now + backoff_delay(policy, idx, attempt + 1), idx,
                      attempt + 1)
@@ -724,11 +961,14 @@ class JoinExecutor:
                         del in_flight[idx]
                         progressed = True
                         try:
-                            _, pairs, counters = handle.get()
+                            _, pairs, counters, metrics, seconds = handle.get()
                         except Exception as exc:
                             fail(idx, attempt, exc, now)
                         else:
-                            accept(idx, pairs, counters)
+                            accept(
+                                idx, attempt + 1, pairs, counters, metrics,
+                                seconds,
+                            )
                     elif (
                         policy.chunk_timeout is not None
                         and now - dispatched_at >= policy.chunk_timeout
@@ -737,6 +977,8 @@ class JoinExecutor:
                         # it; the result, if it ever lands, is discarded).
                         del in_flight[idx]
                         progressed = True
+                        if run_span is not None:
+                            run_span.event("timeout", chunk=idx)
                         fail(
                             idx,
                             attempt,
@@ -755,6 +997,11 @@ class JoinExecutor:
                         if respawns < policy.respawn_limit:
                             respawns += 1
                             report.pool_respawns += 1
+                            if run_span is not None:
+                                run_span.event(
+                                    "pool_respawn",
+                                    lost_pids=sorted(known_pids - pids),
+                                )
                             _terminate_pool(pool)
                             pool = pool_factory()
                             pids = _worker_pids(pool)
@@ -805,6 +1052,8 @@ class JoinExecutor:
                     | {idx for _, idx, _ in pending}
                     | {idx for idx, _, _ in degrade_queue}
                 )
+                if run_span is not None:
+                    run_span.event("deadline", leftover=leftover)
                 self._conclude_deadline(policy, report, leftover)
                 return results
 
@@ -827,6 +1076,7 @@ class JoinExecutor:
                     self._run_degraded(
                         plan, state, chunk_list[idx], idx, attempts, exc,
                         rungs, policy, report, accept,
+                        with_metrics=(tele is not None), run_span=run_span,
                     )
             return results
         finally:
@@ -858,6 +1108,8 @@ class JoinExecutor:
         policy: ExecutionPolicy,
         report: ExecutionReport,
         accept,
+        with_metrics: bool = False,
+        run_span=None,
     ) -> None:
         """Walk a failed chunk down the degraded rungs."""
         with_stats = True  # counters ride in the returned dict either way
@@ -866,19 +1118,22 @@ class JoinExecutor:
             attempts += 1
             try:
                 if rung == "thread":
-                    pairs, counters = _run_chunk_in_thread(
+                    pairs, counters, metrics, seconds = _run_chunk_in_thread(
                         plan, state, chunk, idx, attempts - 1, with_stats,
-                        policy.chunk_timeout,
+                        with_metrics, policy.chunk_timeout,
                     )
                 else:
-                    pairs, counters = _execute_chunk(
-                        plan, state, chunk, idx, attempts - 1, with_stats
+                    pairs, counters, metrics, seconds = _execute_chunk(
+                        plan, state, chunk, idx, attempts - 1, with_stats,
+                        with_metrics,
                     )
             except Exception as rung_exc:
                 exc, stage = rung_exc, rung
                 continue
-            accept(idx, pairs, counters)
+            accept(idx, attempts, pairs, counters, metrics, seconds)
             report.chunks_degraded += 1
+            if run_span is not None:
+                run_span.event("degraded", chunk=idx, rung=rung)
             return
         failure = ChunkFailure(idx, attempts, repr(exc), stage)
         report.failures.append(failure)

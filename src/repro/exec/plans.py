@@ -37,9 +37,11 @@ rich index structures.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.model import STDataset, UserId
+from ..obs import runtime as _obs
 from ..core.pair_eval import PairEvalStats, ppj_b_pair, ppj_c_pair
 from ..core.ppj_d import ppj_d_pair
 from ..core.query import STPSJoinQuery, TopKQuery, UserPair
@@ -150,6 +152,7 @@ class NaiveJoinPlan(_PairwisePlan):
             )
             if score >= query.eps_user:
                 out.append(UserPair(users[i], users[j], score))
+        _obs.count("pairs.emitted", len(out))
         return out
 
 
@@ -181,6 +184,7 @@ class SPPJCPlan(_PairwisePlan):
             score = matched / total
             if score >= query.eps_user:
                 out.append(UserPair(users[i], users[j], score))
+        _obs.count("pairs.emitted", len(out))
         return out
 
 
@@ -216,6 +220,7 @@ class SPPJBPlan(_PairwisePlan):
             )
             if score >= query.eps_user:
                 out.append(UserPair(users[i], users[j], score))
+        _obs.count("pairs.emitted", len(out))
         return out
 
 
@@ -244,6 +249,8 @@ class SPPJFPlan(_UserShardPlan):
         sizes, rank = state["sizes"], state["rank"]
         query: STPSJoinQuery = state["query"]
         refine: str = state["refine"]
+        reg = _obs.active()
+        cand_seconds = 0.0
         out: List[UserPair] = []
         for user in chunk:
             my_rank = rank[user]
@@ -255,11 +262,15 @@ class SPPJFPlan(_UserShardPlan):
             # Candidate generation against the *full* index, restricted to
             # users preceding `user`: exactly the candidate set the
             # sequential, incrementally built index produces at u's turn.
+            if reg is not None:
+                started = time.perf_counter()
             candidates = {
                 cand: cells
                 for cand, cells in collect_candidates(index, dataset, user).items()
                 if rank[cand] < my_rank
             }
+            if reg is not None:
+                cand_seconds += time.perf_counter() - started
             if stats is not None:
                 stats.candidates += len(candidates)
             for cand, (own_cells, cand_cells) in candidates.items():
@@ -299,6 +310,9 @@ class SPPJFPlan(_UserShardPlan):
                     score = matched / total if total else 0.0
                 if score >= query.eps_user:
                     out.append(UserPair(cand, user, score))
+        if reg is not None:
+            reg.counter("pairs.emitted").inc(len(out))
+            reg.histogram("phase.candidates").observe(cand_seconds)
         return out
 
 
@@ -332,10 +346,16 @@ class SPPJDPlan(_UserShardPlan):
         index: STLeafIndex = state["index"]
         sizes, rank = state["sizes"], state["rank"]
         query: STPSJoinQuery = state["query"]
+        reg = _obs.active()
+        cand_seconds = 0.0
         out: List[UserPair] = []
         for user in chunk:
             my_rank = rank[user]
+            if reg is not None:
+                started = time.perf_counter()
             candidates = _leaf_candidates(index, user, rank, lambda r: r > my_rank)
+            if reg is not None:
+                cand_seconds += time.perf_counter() - started
             size_u = sizes[user]
             if stats is not None:
                 stats.candidates += len(candidates)
@@ -364,6 +384,9 @@ class SPPJDPlan(_UserShardPlan):
                 )
                 if score >= query.eps_user:
                     out.append(UserPair(user, cand, score))
+        if reg is not None:
+            reg.counter("pairs.emitted").inc(len(out))
+            reg.histogram("phase.candidates").observe(cand_seconds)
         return out
 
 
@@ -420,7 +443,9 @@ class NaiveTopKPlan(_PairwisePlan):
             )
             if score > 0.0:
                 heap.offer(UserPair(users[i], users[j], score))
-        return heap.results()
+        results = heap.results()
+        _obs.count("pairs.emitted", len(results))
+        return results
 
 
 class TopKGridPlan(_UserShardPlan):
@@ -450,6 +475,8 @@ class TopKGridPlan(_UserShardPlan):
         index: STGridIndex = state["index"]
         sizes, rank = state["sizes"], state["rank"]
         query: TopKQuery = state["query"]
+        reg = _obs.active()
+        cand_seconds = 0.0
         heap = _TopKHeap(query.k)
         for user in chunk:
             my_rank = rank[user]
@@ -457,11 +484,15 @@ class TopKGridPlan(_UserShardPlan):
             for obj in dataset.user_objects(user):
                 cell = index.grid.cell_of(obj.x, obj.y)
                 own_counts[cell] = own_counts.get(cell, 0) + 1
+            if reg is not None:
+                started = time.perf_counter()
             candidates = {
                 cand: cells
                 for cand, cells in collect_candidates(index, dataset, user).items()
                 if rank[cand] < my_rank
             }
+            if reg is not None:
+                cand_seconds += time.perf_counter() - started
             if stats is not None:
                 stats.candidates += len(candidates)
             for cand, (own_cells, cand_cells) in candidates.items():
@@ -495,7 +526,11 @@ class TopKGridPlan(_UserShardPlan):
                 )
                 if score > 0.0:
                     heap.offer(UserPair(cand, user, score))
-        return heap.results()
+        results = heap.results()
+        if reg is not None:
+            reg.counter("pairs.emitted").inc(len(results))
+            reg.histogram("phase.candidates").observe(cand_seconds)
+        return results
 
 
 class TopKLeafPlan(_UserShardPlan):
@@ -526,10 +561,16 @@ class TopKLeafPlan(_UserShardPlan):
         index: STLeafIndex = state["index"]
         sizes, rank = state["sizes"], state["rank"]
         query: TopKQuery = state["query"]
+        reg = _obs.active()
+        cand_seconds = 0.0
         heap = _TopKHeap(query.k)
         for user in chunk:
             my_rank = rank[user]
+            if reg is not None:
+                started = time.perf_counter()
             candidates = _leaf_candidates(index, user, rank, lambda r: r < my_rank)
+            if reg is not None:
+                cand_seconds += time.perf_counter() - started
             size_u = sizes[user]
             if stats is not None:
                 stats.candidates += len(candidates)
@@ -559,7 +600,11 @@ class TopKLeafPlan(_UserShardPlan):
                 )
                 if score > 0.0:
                     heap.offer(UserPair(cand, user, score))
-        return heap.results()
+        results = heap.results()
+        if reg is not None:
+            reg.counter("pairs.emitted").inc(len(results))
+            reg.histogram("phase.candidates").observe(cand_seconds)
+        return results
 
 
 _GRID_TOPK = TopKGridPlan()

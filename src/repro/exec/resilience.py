@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = [
     "ExecutionPolicy",
@@ -168,6 +168,12 @@ class ExecutionReport:
     retry and loss).  ``chunks_retried`` counts re-dispatches, so one
     chunk retried twice contributes 2; ``chunks_degraded`` counts chunks
     that produced their accepted result on a degraded rung.
+
+    ``chunk_seconds`` maps each *accepted* chunk's index to the wall-clock
+    seconds of the accepted attempt (measured where the chunk actually
+    ran, worker-side for pooled backends); ``chunk_attempts`` maps it to
+    how many attempts that chunk consumed before acceptance (1 for a
+    clean first-try run).  Skipped chunks appear in neither.
     """
 
     backend: str = "sequential"
@@ -182,6 +188,8 @@ class ExecutionReport:
     deadline_hit: bool = False
     elapsed: float = 0.0
     failures: List[ChunkFailure] = field(default_factory=list)
+    chunk_seconds: Dict[int, float] = field(default_factory=dict)
+    chunk_attempts: Dict[int, int] = field(default_factory=dict)
 
     @property
     def completeness(self) -> float:
@@ -220,5 +228,16 @@ class ExecutionReport:
             parts.append(f"{self.pool_respawns} pool respawn(s)")
         if self.deadline_hit:
             parts.append("DEADLINE HIT")
+        if self.chunk_seconds:
+            timings = sorted(self.chunk_seconds.values())
+            median = timings[len(timings) // 2]
+            parts.append(
+                f"chunk wall {timings[0]:.3f}/{median:.3f}/{timings[-1]:.3f}s "
+                f"(min/med/max)"
+            )
+        if self.chunk_attempts:
+            worst = max(self.chunk_attempts.values())
+            if worst > 1:
+                parts.append(f"max {worst} attempts/chunk")
         parts.append(f"{self.elapsed:.3f}s")
         return " ".join((parts[0], ", ".join(parts[1:])))

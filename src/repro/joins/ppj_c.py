@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.model import STObject
+from ..obs import runtime as _obs
 from ..spatial.geometry import Rect
 from ..spatial.grid import UniformGrid
 from .ppj import ppj_rs_join, ppj_self_join
@@ -31,12 +32,13 @@ def ppj_c_join(
     """
     if not objects:
         return []
-    bounds = Rect.from_points((o.x, o.y) for o in objects)
-    grid = UniformGrid(bounds, eps_loc)
+    with _obs.phase("join.ppj_c.partition"):
+        bounds = Rect.from_points((o.x, o.y) for o in objects)
+        grid = UniformGrid(bounds, eps_loc)
 
-    cells: Dict[Tuple[int, int], List[int]] = {}
-    for idx, obj in enumerate(objects):
-        cells.setdefault(grid.cell_of(obj.x, obj.y), []).append(idx)
+        cells: Dict[Tuple[int, int], List[int]] = {}
+        for idx, obj in enumerate(objects):
+            cells.setdefault(grid.cell_of(obj.x, obj.y), []).append(idx)
 
     results: List[Tuple[int, int]] = []
     for cell in sorted(cells.keys(), key=grid.cell_id):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from ..core.model import STObject
+from ..obs import runtime as _obs
 from ..spatial.rtree import RTree
 from ..spatial.spatial_join import rtree_relevant_leaf_pairs
 from .ppj import ppj_rs_join, ppj_self_join
@@ -33,13 +34,14 @@ def ppj_r_join(
     """
     if not objects:
         return []
-    entries = [(obj.x, obj.y, idx) for idx, obj in enumerate(objects)]
-    tree = RTree.bulk_load(entries, fanout=fanout)
-    leaves = tree.leaves()
-    leaf_members: List[List[int]] = [
-        [item for _, _, item in leaf.entries] for leaf in leaves
-    ]
-    extended = [leaf.mbr.extend(eps_loc) for leaf in leaves]  # type: ignore[union-attr]
+    with _obs.phase("join.ppj_r.partition"):
+        entries = [(obj.x, obj.y, idx) for idx, obj in enumerate(objects)]
+        tree = RTree.bulk_load(entries, fanout=fanout)
+        leaves = tree.leaves()
+        leaf_members: List[List[int]] = [
+            [item for _, _, item in leaf.entries] for leaf in leaves
+        ]
+        extended = [leaf.mbr.extend(eps_loc) for leaf in leaves]  # type: ignore[union-attr]
 
     results: List[Tuple[int, int]] = []
     for la, lb in rtree_relevant_leaf_pairs(tree, eps_loc):

@@ -1,0 +1,37 @@
+"""Observability: metrics registry, span tracing, phase profiling.
+
+The subsystem every layer of the join engine reports into — see
+``docs/observability.md`` for the narrative version.  Zero dependencies,
+near-zero cost when disabled:
+
+* :mod:`repro.obs.metrics` — counters, gauges and fixed log-scale-bucket
+  histograms in a merge-able :class:`MetricsRegistry`;
+* :mod:`repro.obs.runtime` — the thread-local active collector
+  instrumented library code reports to, and the :func:`phase` timer;
+* :mod:`repro.obs.trace` — span tracing with deterministic run/span ids,
+  emitted as JSONL;
+* :mod:`repro.obs.export` — JSONL / Prometheus / summary-table renderers;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the public
+  API hands out (``with_telemetry=True``).
+"""
+
+from .export import METRICS_FORMATS, render_metrics, to_jsonl, to_prometheus, to_summary
+from .metrics import HISTOGRAM_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import Telemetry
+from .trace import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_BUCKETS",
+    "Tracer",
+    "Span",
+    "METRICS_FORMATS",
+    "render_metrics",
+    "to_jsonl",
+    "to_prometheus",
+    "to_summary",
+]

@@ -1,0 +1,135 @@
+"""Exporters: metrics as JSONL, Prometheus text exposition, summary table.
+
+Three formats for three audiences:
+
+* ``jsonl`` — one JSON object per instrument, for machine diffing and the
+  benchmark trajectory files;
+* ``prom`` — Prometheus text exposition format (version 0.0.4), so a
+  scrape-file exporter or ``promtool check metrics`` can consume a run's
+  metrics directly;
+* ``summary`` — a fixed-width human-readable table, the format the CLI
+  prints and the benchmarks embed in their reports.
+
+Instrument names are dotted (``filter.candidates``); the Prometheus
+exporter rewrites them to ``repro_filter_candidates``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List
+
+from .metrics import HISTOGRAM_BUCKETS, MetricsRegistry
+
+__all__ = ["METRICS_FORMATS", "render_metrics", "to_jsonl", "to_prometheus", "to_summary"]
+
+#: Recognized values of the CLI's ``--metrics-format``.
+METRICS_FORMATS = ("jsonl", "prom", "summary")
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_SANITIZE.sub("_", name)
+
+
+def render_metrics(registry: MetricsRegistry, fmt: str) -> str:
+    """Render ``registry`` in one of :data:`METRICS_FORMATS`."""
+    if fmt == "jsonl":
+        return to_jsonl(registry)
+    if fmt == "prom":
+        return to_prometheus(registry)
+    if fmt == "summary":
+        return to_summary(registry)
+    raise ValueError(f"unknown metrics format {fmt!r}; choose from {METRICS_FORMATS}")
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per instrument, sorted by (type, name)."""
+    lines: List[str] = []
+    for name, value in registry.counter_values().items():
+        lines.append(_dump({"type": "counter", "name": name, "value": value}))
+    for name, value in registry.gauge_values().items():
+        lines.append(_dump({"type": "gauge", "name": name, "value": value}))
+    for name, hist in registry.histogram_items().items():
+        record = {"type": "histogram", "name": name}
+        record.update(hist.as_dict())
+        lines.append(_dump(record))
+    return "\n".join(lines)
+
+
+def _dump(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (counters, gauges, cumulative buckets)."""
+    out: List[str] = []
+    for name, value in registry.counter_values().items():
+        prom = _prom_name(name)
+        if not prom.endswith("_total"):
+            prom += "_total"
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {value}")
+    for name, value in registry.gauge_values().items():
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {_fmt_float(value)}")
+    for name, hist in registry.histogram_items().items():
+        prom = _prom_name(name)
+        if not prom.endswith("_seconds"):
+            prom += "_seconds"
+        out.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(HISTOGRAM_BUCKETS, hist.counts):
+            cumulative += count
+            out.append(f'{prom}_bucket{{le="{_fmt_float(bound)}"}} {cumulative}')
+        out.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        out.append(f"{prom}_sum {_fmt_float(hist.total)}")
+        out.append(f"{prom}_count {hist.count}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def _fmt_float(value: float) -> str:
+    return repr(float(value))
+
+
+def to_summary(registry: MetricsRegistry) -> str:
+    """Fixed-width human-readable table of every instrument."""
+    sections: List[str] = []
+
+    counters = registry.counter_values()
+    if counters:
+        width = max(len(n) for n in counters)
+        sections.append("counters")
+        sections.extend(
+            f"  {name.ljust(width)}  {value}" for name, value in counters.items()
+        )
+
+    gauges = registry.gauge_values()
+    if gauges:
+        width = max(len(n) for n in gauges)
+        sections.append("gauges")
+        sections.extend(
+            f"  {name.ljust(width)}  {value:.6g}" for name, value in gauges.items()
+        )
+
+    histograms = registry.histogram_items()
+    if histograms:
+        width = max(len(n) for n in histograms)
+        sections.append("histograms (seconds)")
+        sections.append(
+            f"  {'name'.ljust(width)}  {'count':>8}  {'mean':>10}  "
+            f"{'min':>10}  {'max':>10}  {'total':>10}"
+        )
+        for name, hist in histograms.items():
+            vmin = hist.vmin if hist.count else 0.0
+            sections.append(
+                f"  {name.ljust(width)}  {hist.count:>8}  {hist.mean:>10.6f}  "
+                f"{vmin:>10.6f}  {hist.vmax:>10.6f}  {hist.total:>10.6f}"
+            )
+
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n".join(sections)

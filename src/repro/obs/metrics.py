@@ -1,0 +1,244 @@
+"""The metrics registry: counters, gauges and log-scale histograms.
+
+Design constraints (see ``docs/observability.md``):
+
+* **Zero dependencies** — plain dicts and ints; no numpy in the hot path.
+* **Cheap when disabled** — a registry built with ``enabled=False`` hands
+  out shared null instruments whose methods are no-ops, so instrumented
+  code never needs its own feature flag.
+* **Merge-able** — a registry serializes to a plain dict
+  (:meth:`MetricsRegistry.as_dict`) and absorbs such dicts
+  (:meth:`MetricsRegistry.merge`), exactly like
+  :class:`~repro.core.pair_eval.PairEvalStats`.  The execution engine
+  gives every worker chunk its own registry and merges it into the run's
+  registry only when that chunk's result is *accepted*, so retried or
+  abandoned attempts contribute nothing (lossless accounting).
+
+Determinism contract
+--------------------
+
+**Counters** record logical work (candidates generated, pairs pruned,
+verifications run).  Because they are chunk-scoped and merged on
+acceptance only, their values are byte-identical across the sequential,
+thread and process backends and under injected faults — the property
+``tests/obs/test_determinism.py`` pins.  **Histograms** record wall-clock
+phase durations; their bucket *placement* is timing-dependent, so only
+their observation counts are deterministic (and only for chunk-scoped
+phases).  **Gauges** are last-writer/maximum values with no determinism
+guarantee.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "HISTOGRAM_BUCKETS",
+]
+
+#: Upper bounds (seconds) of the fixed log-scale histogram buckets: 16
+#: bounds spanning 1 microsecond to ~18 minutes in factor-4 steps, plus an
+#: implicit +Inf bucket.  Fixed bounds keep histograms merge-able by plain
+#: element-wise addition across workers and runs.
+HISTOGRAM_BUCKETS: tuple = tuple(1e-6 * 4.0**i for i in range(16))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; ``merge`` keeps the maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def update_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed log-scale-bucket histogram of non-negative observations.
+
+    Tracks per-bucket counts plus count/sum/min/max so exporters can
+    render both Prometheus bucket series and human-readable summaries.
+    """
+
+    __slots__ = ("counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(HISTOGRAM_BUCKETS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(HISTOGRAM_BUCKETS, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax,
+        }
+
+    def merge(self, other: dict) -> None:
+        counts = other.get("counts", ())
+        for i, c in enumerate(counts):
+            self.counts[i] += c
+        self.count += other.get("count", 0)
+        self.total += other.get("sum", 0.0)
+        if other.get("count", 0):
+            self.vmin = min(self.vmin, other.get("min", float("inf")))
+            self.vmax = max(self.vmax, other.get("max", 0.0))
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def update_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily on first use.
+
+    Instrument names are dotted lowercase paths (``"filter.candidates"``,
+    ``"phase.refine"``); exporters map them to their format's conventions
+    (Prometheus names replace the dots with underscores and gain a
+    ``repro_`` prefix).
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument lookup --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    # -- views --------------------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    def counter_values(self, prefix: Optional[str] = None) -> Dict[str, int]:
+        """Counter values, sorted by name (optionally filtered by prefix)."""
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if prefix is None or name.startswith(prefix)
+        }
+
+    def gauge_values(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histogram_items(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    # -- (de)serialization --------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot, the unit of cross-worker merging."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Absorb an :meth:`as_dict` snapshot (no-op on ``None``/empty).
+
+        Counters and histograms add; gauges keep the maximum (they track
+        high-water marks such as heap sizes across workers).
+        """
+        if not snapshot or not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).update_max(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(data)

@@ -1,0 +1,103 @@
+"""The per-thread active metrics collector instrumented code reports to.
+
+Library code (pair evaluators, PPJOIN, index builders) cannot thread a
+telemetry object through every signature — and must cost *nothing* when
+telemetry is off.  This module provides the bridge: the execution engine
+(or any caller) *activates* a :class:`~repro.obs.metrics.MetricsRegistry`
+for the current thread, instrumented code fetches it with
+:func:`active` (one thread-local read returning ``None`` when disabled),
+and records through the helpers here.
+
+Thread-locality matters: the thread backend runs several worker chunks
+concurrently in one process, each with its own chunk-local registry.  A
+module global would interleave their counters and break the engine's
+merge-on-accept accounting; a ``threading.local`` keeps each chunk's
+registry private to the thread executing it.  Process workers (fork and
+spawn) each get their own copy of the module state, so the same code
+covers every backend.
+
+Activation nests: :func:`activate` returns the previously active
+registry, which :func:`restore` reinstates — the engine activates a
+run-level registry around index construction and chunk-local registries
+around chunk evaluation without either clobbering the other.
+
+Typical instrumentation::
+
+    from repro.obs import runtime as _obs
+
+    def build(...):
+        with _obs.phase("index.build.grid"):
+            ...                      # duration lands in a histogram
+
+    def evaluate(...):
+        reg = _obs.active()
+        ...
+        if reg is not None:
+            reg.counter("filter.candidates").inc(n)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["active", "activate", "restore", "count", "phase"]
+
+_TLS = threading.local()
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The registry active on this thread, or ``None`` (the common case)."""
+    return getattr(_TLS, "registry", None)
+
+
+def activate(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Make ``registry`` the active collector; returns the previous one."""
+    previous = getattr(_TLS, "registry", None)
+    _TLS.registry = registry
+    return previous
+
+
+def restore(previous: Optional[MetricsRegistry]) -> None:
+    """Reinstate the registry :func:`activate` displaced."""
+    _TLS.registry = previous
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a counter on the active registry, if any."""
+    registry = getattr(_TLS, "registry", None)
+    if registry is not None:
+        registry.counter(name).inc(n)
+
+
+class phase:
+    """Context manager timing one phase into ``phase.<name>`` histograms.
+
+    When no registry is active, ``__enter__`` is a thread-local read and a
+    ``None`` check — cheap enough for per-user granularity, though still
+    too heavy for per-object inner loops (those use local tallies flushed
+    once per call instead).
+    """
+
+    __slots__ = ("_name", "_registry", "_started")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __enter__(self) -> "phase":
+        registry = getattr(_TLS, "registry", None)
+        self._registry = registry
+        if registry is not None:
+            self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        registry = self._registry
+        if registry is not None:
+            registry.histogram("phase." + self._name).observe(
+                time.perf_counter() - self._started
+            )
+        return False

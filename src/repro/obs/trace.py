@@ -1,0 +1,163 @@
+"""Span-based tracing with deterministic run and span identifiers.
+
+A :class:`Tracer` records a tree of :class:`Span` objects per executor
+run: a ``run`` root span, a ``setup`` child covering state/index
+construction, one ``chunk`` span per accepted chunk, and events on the
+run span for every scheduling incident (retry, timeout, worker respawn,
+degraded re-execution, deadline hit).  Spans serialize to JSONL — one
+JSON object per line, schema-checked by ``scripts/check_telemetry.py``.
+
+Identifier scheme
+-----------------
+
+Ids carry no randomness and no host state.  The ``n``-th run traced by a
+tracer under label ``L`` gets ``run_id = "L-n"`` (1-based, zero-padded),
+and the ``k``-th span started within that run gets
+``span_id = "L-n/s<k>"``.  Two processes replaying the same workload
+therefore assign identical ids to identical scheduling decisions; on the
+sequential backend the whole id sequence is reproducible, while pooled
+backends may number chunk spans in completion order.  Timestamps are
+wall-clock (``time.time``) and are the only non-deterministic fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One traced operation; ``end()`` stamps the finish time."""
+
+    __slots__ = ("run_id", "span_id", "parent_id", "name", "start", "finish",
+                 "attrs", "events")
+
+    def __init__(
+        self,
+        run_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        start: float,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.run_id = run_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.finish: Optional[float] = None
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.events: List[dict] = []
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Attach a point-in-time event (retry, respawn, ...) to the span."""
+        entry: Dict[str, object] = {"name": name, "time": time.time()}
+        entry.update(attrs)
+        self.events.append(entry)
+
+    def end(self, **attrs: object) -> None:
+        """Close the span, optionally attaching final attributes."""
+        if attrs:
+            self.attrs.update(attrs)
+        self.finish = time.time()
+
+    def to_dict(self) -> dict:
+        finish = self.finish if self.finish is not None else self.start
+        return {
+            "run_id": self.run_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": finish,
+            "duration": max(0.0, finish - self.start),
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+
+class _NullSpan:
+    """Absorbs span calls when tracing is disabled."""
+
+    __slots__ = ()
+    span_id = None
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def end(self, **attrs: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans in memory; writes JSONL on demand."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self._run_seq = 0
+        self._span_seq = 0
+        self._run_id = ""
+
+    # -- span lifecycle -----------------------------------------------------------
+
+    def start_run(self, label: str, attrs: Optional[dict] = None):
+        """Open a new root span; subsequent spans join this run's id space."""
+        if not self.enabled:
+            return _NULL_SPAN
+        self._run_seq += 1
+        self._span_seq = 0
+        self._run_id = f"{label}-{self._run_seq:04d}"
+        return self.start_span("run", parent=None, attrs=attrs)
+
+    def start_span(self, name: str, parent=None, attrs: Optional[dict] = None):
+        if not self.enabled:
+            return _NULL_SPAN
+        self._span_seq += 1
+        span = Span(
+            run_id=self._run_id,
+            span_id=f"{self._run_id}/s{self._span_seq}",
+            parent_id=getattr(parent, "span_id", None),
+            name=name,
+            start=time.time(),
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def record(
+        self, name: str, seconds: float, parent=None, attrs: Optional[dict] = None
+    ) -> None:
+        """Record a completed operation retroactively (pooled chunk spans:
+        the parent only learns a chunk's worker-measured duration when the
+        result arrives, so the span is back-dated by ``seconds``)."""
+        if not self.enabled:
+            return
+        span = self.start_span(name, parent=parent, attrs=attrs)
+        span.start = time.time() - seconds
+        span.finish = time.time()
+
+    # -- output -------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Every span as one compact JSON object per line."""
+        return "\n".join(
+            json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+            for span in self.spans
+        )
+
+    def write(self, path) -> int:
+        """Write the JSONL trace to ``path``; returns the span count."""
+        text = self.to_jsonl()
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self.spans)

@@ -32,6 +32,7 @@ import math
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
 
 from ..core.model import STDataset, STObject
+from ..obs import runtime as _obs
 from ..spatial.rtree import RTree, RTreeNode
 
 __all__ = ["IRTree"]
@@ -41,15 +42,16 @@ class IRTree:
     """R-tree + per-node token summaries for top-k spatial keyword search."""
 
     def __init__(self, dataset: STDataset, fanout: int = 64):
-        self.dataset = dataset
-        self.tree = RTree.bulk_load(
-            [(o.x, o.y, o) for o in dataset.objects], fanout=fanout
-        )
-        bounds = dataset.bounds
-        self.diameter = math.hypot(bounds.width, bounds.height) or 1.0
-        #: Token-id union of each node's subtree, keyed by node identity.
-        self._node_tokens: Dict[int, FrozenSet[int]] = {}
-        self._annotate(self.tree.root)
+        with _obs.phase("index.build.irtree"):
+            self.dataset = dataset
+            self.tree = RTree.bulk_load(
+                [(o.x, o.y, o) for o in dataset.objects], fanout=fanout
+            )
+            bounds = dataset.bounds
+            self.diameter = math.hypot(bounds.width, bounds.height) or 1.0
+            #: Token-id union of each node's subtree, keyed by node identity.
+            self._node_tokens: Dict[int, FrozenSet[int]] = {}
+            self._annotate(self.tree.root)
         #: Nodes popped from the priority queue in the last query — the
         #: work measure the index ablation compares.
         self.expansions = 0
@@ -92,6 +94,7 @@ class IRTree:
             raise ValueError("k must be positive")
         if not 0.0 <= alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
+        _obs.count("queries.irtree_topk")
         tokens = frozenset(self.dataset.vocab.encode_partial(keywords))
         self.expansions = 0
 

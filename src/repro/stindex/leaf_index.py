@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.model import STDataset, STObject, UserId
+from ..obs import runtime as _obs
 from ..spatial.geometry import Rect
 from ..spatial.quadtree import QuadTree
 from ..spatial.rtree import RTree
@@ -54,53 +55,54 @@ class STLeafIndex:
         self.fanout = int(fanout)
         self.partitioner = partitioner
 
-        if partitioner == "rtree":
-            entries = [(o.x, o.y, o) for o in dataset.objects]
-            self.tree = RTree.bulk_load(entries, fanout=fanout)
-        else:
-            self.tree = QuadTree(dataset.bounds, capacity=fanout)
-            for o in dataset.objects:
-                self.tree.insert(o.x, o.y, o)
-        leaves = self.tree.leaves()
-        self.num_leaves = len(leaves)
+        with _obs.phase("index.build.leaf"):
+            if partitioner == "rtree":
+                entries = [(o.x, o.y, o) for o in dataset.objects]
+                self.tree = RTree.bulk_load(entries, fanout=fanout)
+            else:
+                self.tree = QuadTree(dataset.bounds, capacity=fanout)
+                for o in dataset.objects:
+                    self.tree.insert(o.x, o.y, o)
+            leaves = self.tree.leaves()
+            self.num_leaves = len(leaves)
 
-        #: eps_loc-extended MBR of every leaf, indexed by leaf id.
-        self.extended: List[Rect] = [
-            leaf.mbr.extend(self.eps_loc) for leaf in leaves  # type: ignore[union-attr]
-        ]
+            #: eps_loc-extended MBR of every leaf, indexed by leaf id.
+            self.extended: List[Rect] = [
+                leaf.mbr.extend(self.eps_loc) for leaf in leaves  # type: ignore[union-attr]
+            ]
 
-        # leaf id -> user -> objects (D^l_u).
-        self._leaf_objects: List[Dict[UserId, List[STObject]]] = [
-            {} for _ in range(self.num_leaves)
-        ]
-        # leaf id -> token -> users (U^l_t).
-        self._leaf_token_users: List[Dict[int, Set[UserId]]] = [
-            {} for _ in range(self.num_leaves)
-        ]
-        # user -> sorted leaf ids (Lu).
-        self._user_leaves: Dict[UserId, List[int]] = {}
+            # leaf id -> user -> objects (D^l_u).
+            self._leaf_objects: List[Dict[UserId, List[STObject]]] = [
+                {} for _ in range(self.num_leaves)
+            ]
+            # leaf id -> token -> users (U^l_t).
+            self._leaf_token_users: List[Dict[int, Set[UserId]]] = [
+                {} for _ in range(self.num_leaves)
+            ]
+            # user -> sorted leaf ids (Lu).
+            self._user_leaves: Dict[UserId, List[int]] = {}
 
-        for leaf in leaves:
-            lid = leaf.leaf_id
-            per_user = self._leaf_objects[lid]
-            token_map = self._leaf_token_users[lid]
-            for _, _, obj in leaf.entries:
-                per_user.setdefault(obj.user, []).append(obj)
-                for token in obj.doc:
-                    token_map.setdefault(token, set()).add(obj.user)
-            for user in per_user:
-                self._user_leaves.setdefault(user, []).append(lid)
-        for leaf_ids in self._user_leaves.values():
-            leaf_ids.sort()
+            for leaf in leaves:
+                lid = leaf.leaf_id
+                per_user = self._leaf_objects[lid]
+                token_map = self._leaf_token_users[lid]
+                for _, _, obj in leaf.entries:
+                    per_user.setdefault(obj.user, []).append(obj)
+                    for token in obj.doc:
+                        token_map.setdefault(token, set()).add(obj.user)
+                for user in per_user:
+                    self._user_leaves.setdefault(user, []).append(lid)
+            for leaf_ids in self._user_leaves.values():
+                leaf_ids.sort()
 
-        # Relevance relation: leaf -> sorted relevant leaf ids (incl. self).
-        self._relevant: List[List[int]] = [[] for _ in range(self.num_leaves)]
-        for a, b in self._relevant_pairs():
-            self._relevant[a].append(b)
-            if a != b:
-                self._relevant[b].append(a)
-        for rel in self._relevant:
-            rel.sort()
+            # Relevance relation: leaf -> sorted relevant leaf ids (incl. self).
+            self._relevant: List[List[int]] = [[] for _ in range(self.num_leaves)]
+            for a, b in self._relevant_pairs():
+                self._relevant[a].append(b)
+                if a != b:
+                    self._relevant[b].append(a)
+            for rel in self._relevant:
+                rel.sort()
 
     def _relevant_pairs(self) -> Set[Tuple[int, int]]:
         """Unordered pairs of leaves with intersecting extended MBRs."""

@@ -25,6 +25,7 @@ import math
 from typing import Hashable, Iterable, List, Tuple
 
 from ..core.model import STDataset, STObject
+from ..obs import runtime as _obs
 from ..spatial.geometry import Rect
 from ..spatial.rtree import RTree
 
@@ -36,9 +37,10 @@ class SpatialKeywordIndex:
 
     def __init__(self, dataset: STDataset, fanout: int = 64):
         self.dataset = dataset
-        self.tree = RTree.bulk_load(
-            [(o.x, o.y, o) for o in dataset.objects], fanout=fanout
-        )
+        with _obs.phase("index.build.rtree"):
+            self.tree = RTree.bulk_load(
+                [(o.x, o.y, o) for o in dataset.objects], fanout=fanout
+            )
         bounds = dataset.bounds
         #: Normalization constant for the combined score: the diagonal of
         #: the data extent (1.0 for degenerate extents).
@@ -76,15 +78,17 @@ class SpatialKeywordIndex:
         from the corpus can never match under AND semantics, so a query
         containing one returns no objects.
         """
+        _obs.count("queries.boolean_range")
         raw = frozenset(keywords)
         tokens = self._query_doc(raw)
         if match_all and len(tokens) != len(raw):
             return []  # an out-of-corpus keyword can never be covered
-        return [
-            obj
-            for _, _, obj in self.tree.range_query(window)
-            if self._satisfies(obj, tokens, match_all)
-        ]
+        with _obs.phase("query.boolean_range"):
+            return [
+                obj
+                for _, _, obj in self.tree.range_query(window)
+                if self._satisfies(obj, tokens, match_all)
+            ]
 
     def knn_keyword(
         self,
@@ -102,6 +106,7 @@ class SpatialKeywordIndex:
         """
         if k < 1:
             raise ValueError("k must be positive")
+        _obs.count("queries.knn_keyword")
         raw = frozenset(keywords)
         tokens = self._query_doc(raw)
         if not tokens or (match_all and len(tokens) != len(raw)):
@@ -155,6 +160,7 @@ class SpatialKeywordIndex:
             raise ValueError("k must be positive")
         if not 0.0 <= alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
+        _obs.count("queries.topk_relevance")
         tokens = self._query_doc(keywords)
         self.expansions = 0
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core.model import STDataset, STObject, UserId
+from ..obs import runtime as _obs
 from ..spatial.geometry import Rect
 from ..spatial.grid import CellCoord, UniformGrid
 
@@ -63,9 +64,10 @@ class STGridIndex:
         users: Optional[Sequence[UserId]] = None,
     ) -> "STGridIndex":
         """Bulk-build the index over ``dataset`` (optionally a user subset)."""
-        index = cls(dataset.bounds, eps_loc, with_tokens=with_tokens)
-        for user in users if users is not None else dataset.users:
-            index.add_user(user, dataset.user_objects(user))
+        with _obs.phase("index.build.grid"):
+            index = cls(dataset.bounds, eps_loc, with_tokens=with_tokens)
+            for user in users if users is not None else dataset.users:
+                index.add_user(user, dataset.user_objects(user))
         return index
 
     def add_user(self, user: UserId, objects: Iterable[STObject]) -> None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import runtime as _obs
 from .measures import JACCARD, SimilarityMeasure
 from .verify import overlap_exact_or_pruned, suffix_filter
 
@@ -119,6 +120,10 @@ def similarity_self_join(
     # Inverted index over indexed prefixes: token -> [(doc idx, position)].
     index: Dict[int, List[Tuple[int, int]]] = {}
     results: List[Tuple[int, int]] = []
+    # Telemetry tallies, kept out of the probe loop: counted post hoc from
+    # each record's candidate map, at zero cost when no registry is active.
+    reg = _obs.active()
+    n_candidates = n_pruned = n_verified = 0
 
     for x_idx in order:
         x = docs[x_idx]
@@ -149,6 +154,13 @@ def similarity_self_join(
                         continue
                 candidates[y_idx] = acc + 1
 
+        if reg is not None:
+            for acc in candidates.values():
+                if acc == _PRUNED:
+                    n_pruned += 1
+                elif acc > 0:
+                    n_candidates += 1
+
         for y_idx, acc in candidates.items():
             if acc <= 0:
                 continue
@@ -160,6 +172,8 @@ def similarity_self_join(
             alpha = measure.required_overlap(threshold, lx, len(y))
             if suffix and not _passes_suffix_filter(x, y, alpha):
                 continue
+            if reg is not None:
+                n_verified += 1
             if _verify(measure, x, y, threshold, alpha):
                 pair = (x_idx, y_idx) if x_idx < y_idx else (y_idx, x_idx)
                 results.append(pair)
@@ -173,6 +187,11 @@ def similarity_self_join(
         )
         for pos_x in range(idx_len):
             index.setdefault(x[pos_x], []).append((x_idx, pos_x))
+    if reg is not None:
+        reg.counter("ppjoin.candidates").inc(n_candidates)
+        reg.counter("ppjoin.pruned").inc(n_pruned)
+        reg.counter("ppjoin.verified").inc(n_verified)
+        reg.counter("ppjoin.matches").inc(len(results))
     return results
 
 
@@ -208,6 +227,8 @@ def similarity_rs_join(
             index.setdefault(y[pos_y], []).append((y_idx, pos_y))
 
     results: List[Tuple[int, int]] = []
+    reg = _obs.active()
+    n_candidates = n_pruned = n_verified = 0
     for x_idx, x in enumerate(probe_docs):
         lx = len(x)
         if lx == 0:
@@ -235,6 +256,13 @@ def similarity_rs_join(
                         continue
                 candidates[y_idx] = acc + 1
 
+        if reg is not None:
+            for acc in candidates.values():
+                if acc == _PRUNED:
+                    n_pruned += 1
+                elif acc > 0:
+                    n_candidates += 1
+
         for y_idx, acc in candidates.items():
             if acc <= 0:
                 continue
@@ -247,8 +275,15 @@ def similarity_rs_join(
             alpha = measure.required_overlap(threshold, lx, len(y))
             if suffix and not _passes_suffix_filter(x, y, alpha):
                 continue
+            if reg is not None:
+                n_verified += 1
             if _verify(measure, x, y, threshold, alpha):
                 results.append((r_idx, s_idx))
+    if reg is not None:
+        reg.counter("ppjoin.candidates").inc(n_candidates)
+        reg.counter("ppjoin.pruned").inc(n_pruned)
+        reg.counter("ppjoin.verified").inc(n_verified)
+        reg.counter("ppjoin.matches").inc(len(results))
     return results
 
 

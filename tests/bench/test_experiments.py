@@ -4,7 +4,15 @@ tiny workloads and produces sane rows."""
 import pytest
 
 from repro.bench import experiments
-from repro.bench.reporting import format_seconds, format_table, write_csv
+from repro.bench.reporting import (
+    BENCH_SCHEMA_VERSION,
+    bench_payload,
+    format_seconds,
+    format_table,
+    git_sha,
+    write_bench_json,
+    write_csv,
+)
 
 TINY = (8, 12)
 
@@ -94,3 +102,41 @@ class TestReporting:
         path = tmp_path / "rows.csv"
         write_csv(rows, path, columns=["b"])
         assert path.read_text().splitlines()[0] == "b"
+
+
+class TestBenchJson:
+    def test_payload_has_stable_schema(self):
+        payload = bench_payload(
+            "demo",
+            config={"preset": "twitter"},
+            phases={"join": 1.5},
+            results={"speedup": 2.0},
+        )
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["name"] == "demo"
+        assert payload["config"] == {"preset": "twitter"}
+        assert payload["phases"] == {"join": 1.5}
+        assert payload["results"] == {"speedup": 2.0}
+        assert "created_unix" in payload
+        assert "git_sha" in payload
+
+    def test_git_sha_inside_repo(self):
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and all(
+            c in "0123456789abcdef" for c in sha
+        ))
+
+    def test_git_sha_outside_repo_is_none(self, tmp_path):
+        assert git_sha(cwd=tmp_path) is None
+
+    def test_write_bench_json_file_naming(self, tmp_path):
+        import json
+
+        path = write_bench_json(
+            "smoke", config={}, phases={"a": 0.5}, directory=tmp_path
+        )
+        assert path.endswith("BENCH_smoke.json")
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["phases"] == {"a": 0.5}
+        assert payload["results"] == {}

@@ -1,0 +1,78 @@
+"""The CI telemetry schema checker accepts real artifacts, rejects junk."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import Telemetry, stps_join
+from tests.helpers import build_random_dataset
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2] / "scripts" / "check_telemetry.py"
+)
+
+
+def _run_checker(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("telemetry")
+    dataset = build_random_dataset(3, n_users=20)
+    _, tele = stps_join(
+        dataset, 0.05, 0.2, 0.2, algorithm="s-ppj-f", with_telemetry=True
+    )
+    assert isinstance(tele, Telemetry)
+    trace = tmp / "trace.jsonl"
+    metrics = tmp / "metrics.jsonl"
+    prom = tmp / "metrics.prom"
+    tele.write_trace(trace)
+    tele.write_metrics(metrics, fmt="jsonl")
+    tele.write_metrics(prom, fmt="prom")
+    return trace, metrics, prom
+
+
+def test_accepts_real_trace_and_metrics(artifacts):
+    trace, metrics, _ = artifacts
+    proc = _run_checker("--trace", str(trace), "--metrics", str(metrics))
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_accepts_real_prom_exposition(artifacts):
+    _, _, prom = artifacts
+    proc = _run_checker(
+        "--metrics", str(prom), "--metrics-format", "prom"
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_rejects_malformed_trace(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"nope": true}\n')
+    proc = _run_checker("--trace", str(bad))
+    assert proc.returncode == 1
+    assert "missing fields" in proc.stderr
+
+
+def test_rejects_histogram_count_mismatch(tmp_path):
+    bad = tmp_path / "bad_metrics.jsonl"
+    bad.write_text(
+        '{"type":"histogram","name":"h","counts":' + str([1] * 17)
+        + ',"count":99,"sum":1.0,"min":0.0,"max":1.0}\n'
+    )
+    proc = _run_checker("--metrics", str(bad))
+    assert proc.returncode == 1
+    assert "bucket counts" in proc.stderr
+
+
+def test_requires_at_least_one_artifact():
+    proc = _run_checker()
+    assert proc.returncode == 2

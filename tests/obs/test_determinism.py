@@ -1,0 +1,172 @@
+"""Telemetry determinism: identical work counters everywhere.
+
+The observability subsystem's central guarantee (see
+``docs/observability.md``): for a fixed (dataset, query, algorithm,
+chunk size), the *work counters* — every counter except the ``engine.*``
+scheduling family — are byte-identical
+
+* across the sequential, thread and process backends, and
+* under injected chunk faults with retries enabled, because chunk-local
+  registries are merged into the run's registry only when a chunk's
+  result is accepted (retried attempts contribute nothing).
+
+Histogram bucket placement is wall-clock-dependent, so only observation
+counts are compared where it is meaningful.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro import Telemetry
+from repro.core.query import STPSJoinQuery, TopKQuery
+from repro.exec import ExecutionPolicy, JoinExecutor
+from repro.exec import faults
+from tests.helpers import build_random_dataset
+
+JOIN_ALGOS = ["naive", "s-ppj-c", "s-ppj-b", "s-ppj-f", "s-ppj-d"]
+TOPK_ALGOS = ["topk-s-ppj-p", "topk-s-ppj-d"]
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+CHUNK = 5
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_random_dataset(7, n_users=40)
+
+
+@pytest.fixture(scope="module")
+def join_query():
+    return STPSJoinQuery(eps_loc=0.05, eps_doc=0.2, eps_user=0.2)
+
+
+@pytest.fixture(scope="module")
+def topk_query():
+    return TopKQuery(eps_loc=0.05, eps_doc=0.2, k=7)
+
+
+def _join_counters(dataset, query, algorithm, backend, workers, **kwargs):
+    tele = Telemetry()
+    executor = JoinExecutor(
+        workers=workers, backend=backend, chunk_size=CHUNK, **kwargs
+    )
+    executor.join(dataset, query, algorithm=algorithm, telemetry=tele)
+    return tele.work_counters()
+
+
+class TestBackendMatrix:
+    @pytest.mark.parametrize("algorithm", JOIN_ALGOS)
+    def test_thread_matches_sequential(self, dataset, join_query, algorithm):
+        sequential = _join_counters(
+            dataset, join_query, algorithm, "sequential", 1
+        )
+        threaded = _join_counters(dataset, join_query, algorithm, "thread", 3)
+        assert sequential  # the instrumentation actually recorded work
+        assert threaded == sequential
+
+    @pytest.mark.parametrize("algorithm", ["s-ppj-b", "s-ppj-f"])
+    @pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+    def test_process_matches_sequential(self, dataset, join_query, algorithm):
+        sequential = _join_counters(
+            dataset, join_query, algorithm, "sequential", 1
+        )
+        process = _join_counters(
+            dataset, join_query, algorithm, "process", 3, start_method="fork"
+        )
+        assert process == sequential
+
+    @pytest.mark.parametrize("algorithm", TOPK_ALGOS)
+    def test_topk_thread_matches_sequential(
+        self, dataset, topk_query, algorithm
+    ):
+        results = {}
+        for backend, workers in [("sequential", 1), ("thread", 3)]:
+            tele = Telemetry()
+            executor = JoinExecutor(
+                workers=workers, backend=backend, chunk_size=CHUNK
+            )
+            executor.topk(dataset, topk_query, algorithm=algorithm, telemetry=tele)
+            results[backend] = tele.work_counters()
+        assert results["sequential"]
+        assert results["thread"] == results["sequential"]
+
+
+class TestFaultInjection:
+    """Retried chunks must not double-count: merge happens on accept only."""
+
+    @pytest.mark.parametrize("algorithm", ["s-ppj-b", "s-ppj-f"])
+    def test_errors_with_retries_leave_counters_identical(
+        self, dataset, join_query, algorithm
+    ):
+        clean = _join_counters(dataset, join_query, algorithm, "sequential", 1)
+
+        policy = ExecutionPolicy(
+            max_retries=2, backoff_base=0.0, backoff_jitter=0.0
+        )
+        faults.install_fault_plan(faults.FaultPlan.parse("error@0*2"))
+        try:
+            tele = Telemetry()
+            executor = JoinExecutor(
+                workers=1, backend="sequential", chunk_size=CHUNK, policy=policy
+            )
+            _, report = executor.join(
+                dataset,
+                join_query,
+                algorithm=algorithm,
+                telemetry=tele,
+                with_report=True,
+            )
+        finally:
+            faults.install_fault_plan(None)
+
+        assert report.chunks_retried >= 1  # the fault actually fired
+        assert max(report.chunk_attempts.values()) == 3
+        assert tele.work_counters() == clean
+
+    @pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+    def test_pooled_faulty_run_matches_clean_sequential(
+        self, dataset, join_query
+    ):
+        clean = _join_counters(dataset, join_query, "s-ppj-b", "sequential", 1)
+
+        policy = ExecutionPolicy(
+            max_retries=2, backoff_base=0.0, backoff_jitter=0.0
+        )
+        faults.install_fault_plan(faults.FaultPlan.parse("error@0*2"))
+        try:
+            tele = Telemetry()
+            executor = JoinExecutor(
+                workers=3,
+                backend="process",
+                start_method="fork",
+                chunk_size=CHUNK,
+                policy=policy,
+            )
+            executor.join(
+                dataset, join_query, algorithm="s-ppj-b", telemetry=tele
+            )
+        finally:
+            faults.install_fault_plan(None)
+
+        assert tele.work_counters() == clean
+
+
+class TestChunkHistogramCounts:
+    def test_chunk_observation_count_matches_chunks_completed(
+        self, dataset, join_query
+    ):
+        tele = Telemetry()
+        executor = JoinExecutor(workers=2, backend="thread", chunk_size=CHUNK)
+        _, report = executor.join(
+            dataset,
+            join_query,
+            algorithm="s-ppj-b",
+            telemetry=tele,
+            with_report=True,
+        )
+        hist = tele.metrics.histogram_items()["chunk.seconds"]
+        assert hist.count == report.chunks_completed

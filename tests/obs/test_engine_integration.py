@@ -1,0 +1,148 @@
+"""Engine-level telemetry integration: spans, report timings, API plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Telemetry, stps_join, topk_stps_join
+from repro.core.query import STPSJoinQuery
+from repro.exec import JoinExecutor
+from tests.helpers import build_random_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_random_dataset(11, n_users=30)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return STPSJoinQuery(eps_loc=0.05, eps_doc=0.2, eps_user=0.2)
+
+
+class TestReportTimings:
+    def test_fast_path_populates_chunk_timings(self, dataset, query):
+        executor = JoinExecutor(workers=1, backend="sequential", chunk_size=5)
+        _, report = executor.join(
+            dataset, query, algorithm="s-ppj-b", with_report=True
+        )
+        assert report.chunks_completed > 0
+        assert len(report.chunk_seconds) == report.chunks_completed
+        assert len(report.chunk_attempts) == report.chunks_completed
+        assert all(s >= 0.0 for s in report.chunk_seconds.values())
+        assert set(report.chunk_attempts.values()) == {1}
+
+    def test_summary_reports_chunk_wall_clock(self, dataset, query):
+        executor = JoinExecutor(workers=1, backend="sequential", chunk_size=5)
+        _, report = executor.join(
+            dataset, query, algorithm="s-ppj-b", with_report=True
+        )
+        assert "chunk wall" in report.summary()
+        assert "(min/med/max)" in report.summary()
+
+    def test_empty_report_summary_omits_chunk_wall(self):
+        from repro.exec import ExecutionReport
+
+        assert "chunk wall" not in ExecutionReport().summary()
+
+
+class TestTraceSpans:
+    def test_run_setup_and_chunk_spans(self, dataset, query):
+        tele = Telemetry()
+        executor = JoinExecutor(workers=1, backend="sequential", chunk_size=5)
+        _, report = executor.join(
+            dataset, query, algorithm="s-ppj-f",
+            telemetry=tele, with_report=True,
+        )
+        by_name = {}
+        for span in tele.tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+        assert len(by_name["run"]) == 1
+        assert len(by_name["setup"]) == 1
+        assert len(by_name["chunk"]) == report.chunks_completed
+
+        run = by_name["run"][0]
+        assert run.run_id == "join-0001"
+        assert run.attrs["algorithm"] == "join:s-ppj-f"
+        assert run.attrs["chunks_total"] == report.chunks_total
+        assert run.finish is not None
+        for chunk in by_name["chunk"]:
+            assert chunk.parent_id == run.span_id
+            assert chunk.attrs["attempts"] == 1
+
+    def test_successive_runs_get_successive_run_ids(self, dataset, query):
+        tele = Telemetry()
+        executor = JoinExecutor(workers=1, backend="sequential", chunk_size=5)
+        executor.join(dataset, query, algorithm="s-ppj-b", telemetry=tele)
+        executor.join(dataset, query, algorithm="s-ppj-b", telemetry=tele)
+        run_ids = [s.run_id for s in tele.tracer.spans if s.name == "run"]
+        assert run_ids == ["join-0001", "join-0002"]
+
+
+class TestPhaseMetrics:
+    def test_index_build_phase_recorded_for_leaf_algorithms(
+        self, dataset, query
+    ):
+        tele = Telemetry()
+        executor = JoinExecutor(workers=1, backend="sequential", chunk_size=5)
+        executor.join(dataset, query, algorithm="s-ppj-d", telemetry=tele)
+        histograms = tele.metrics.histogram_items()
+        assert "phase.index.build.leaf" in histograms
+        assert "phase.candidates" in histograms
+        assert "setup.seconds" in histograms
+
+    def test_ppjoin_counters_recorded(self, dataset, query):
+        tele = Telemetry()
+        executor = JoinExecutor(workers=1, backend="sequential", chunk_size=5)
+        executor.join(dataset, query, algorithm="s-ppj-b", telemetry=tele)
+        counters = tele.metrics.counter_values()
+        assert counters.get("pairs.emitted", 0) >= 0
+        assert "engine.runs" in counters
+        assert counters["engine.chunks_total"] == counters["engine.chunks_completed"]
+
+
+class TestApiPlumbing:
+    def test_with_telemetry_appends_to_return(self, dataset):
+        pairs, tele = stps_join(
+            dataset, 0.05, 0.2, 0.2, with_telemetry=True
+        )
+        assert isinstance(pairs, list)
+        assert isinstance(tele, Telemetry)
+        assert tele.work_counters()
+
+    def test_with_report_and_telemetry_order(self, dataset):
+        pairs, report, tele = stps_join(
+            dataset, 0.05, 0.2, 0.2, with_report=True, with_telemetry=True
+        )
+        assert isinstance(pairs, list)
+        assert report.chunks_completed > 0
+        assert isinstance(tele, Telemetry)
+
+    def test_explicit_telemetry_is_passed_through(self, dataset):
+        tele = Telemetry()
+        result = stps_join(dataset, 0.05, 0.2, 0.2, telemetry=tele)
+        assert isinstance(result, list)
+        assert tele.work_counters()
+
+    def test_topk_with_telemetry(self, dataset):
+        pairs, tele = topk_stps_join(
+            dataset, 0.05, 0.2, 5, with_telemetry=True
+        )
+        assert isinstance(pairs, list)
+        assert isinstance(tele, Telemetry)
+        run_ids = [s.run_id for s in tele.tracer.spans if s.name == "run"]
+        assert run_ids == ["topk-0001"]
+
+    def test_disabled_telemetry_records_nothing(self, dataset):
+        tele = Telemetry(enabled=False)
+        stps_join(dataset, 0.05, 0.2, 0.2, telemetry=tele)
+        assert not tele.metrics
+        assert tele.tracer.spans == []
+
+    def test_telemetry_accumulates_across_calls(self, dataset):
+        tele = Telemetry()
+        stps_join(dataset, 0.05, 0.2, 0.2, telemetry=tele)
+        first = dict(tele.work_counters())
+        stps_join(dataset, 0.05, 0.2, 0.2, telemetry=tele)
+        second = tele.work_counters()
+        assert second == {name: 2 * value for name, value in first.items()}

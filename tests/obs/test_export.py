@@ -1,0 +1,97 @@
+"""Unit tests for the metrics exporters (jsonl / prom / summary)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    HISTOGRAM_BUCKETS,
+    MetricsRegistry,
+    render_metrics,
+    to_jsonl,
+    to_prometheus,
+    to_summary,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("filter.candidates").inc(42)
+    reg.counter("engine.chunks_total").inc(4)
+    reg.gauge("workers.peak").set(3.0)
+    reg.histogram("chunk.seconds").observe(0.01)
+    reg.histogram("chunk.seconds").observe(0.02)
+    return reg
+
+
+class TestJsonl:
+    def test_one_record_per_instrument(self, registry):
+        records = [json.loads(line) for line in to_jsonl(registry).splitlines()]
+        assert len(records) == 4
+        by_name = {r["name"]: r for r in records}
+        assert by_name["filter.candidates"] == {
+            "type": "counter", "name": "filter.candidates", "value": 42,
+        }
+        assert by_name["workers.peak"]["type"] == "gauge"
+        hist = by_name["chunk.seconds"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 2
+        assert len(hist["counts"]) == len(HISTOGRAM_BUCKETS) + 1
+
+    def test_empty_registry_renders_empty(self):
+        assert to_jsonl(MetricsRegistry()) == ""
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_filter_candidates_total counter" in text
+        assert "repro_filter_candidates_total 42" in text
+
+    def test_total_suffix_not_doubled(self, registry):
+        text = to_prometheus(registry)
+        assert "repro_engine_chunks_total 4" in text
+        assert "chunks_total_total" not in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        lines = to_prometheus(registry).splitlines()
+        buckets = [l for l in lines if l.startswith("repro_chunk_seconds_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1].startswith('repro_chunk_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 2
+        assert "repro_chunk_seconds_sum" in "\n".join(lines)
+        assert "repro_chunk_seconds_count 2" in "\n".join(lines)
+
+    def test_seconds_suffix_not_doubled(self, registry):
+        assert "seconds_seconds" not in to_prometheus(registry)
+
+    def test_dots_sanitized_to_underscores(self, registry):
+        text = to_prometheus(registry)
+        assert "filter.candidates" not in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestSummary:
+    def test_all_sections_present(self, registry):
+        text = to_summary(registry)
+        assert "counters" in text
+        assert "gauges" in text
+        assert "histograms (seconds)" in text
+        assert "filter.candidates" in text
+
+    def test_empty_registry_says_so(self):
+        assert to_summary(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestRenderMetrics:
+    @pytest.mark.parametrize("fmt", ["jsonl", "prom", "summary"])
+    def test_dispatches(self, registry, fmt):
+        assert render_metrics(registry, fmt)
+
+    def test_unknown_format_raises(self, registry):
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            render_metrics(registry, "xml")

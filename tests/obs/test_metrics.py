@@ -1,0 +1,137 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import math
+
+import pytest
+
+from repro.obs import HISTOGRAM_BUCKETS, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_adds(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_update_max_keeps_maximum(self):
+        g = Gauge()
+        g.update_max(2.0)
+        g.update_max(1.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_buckets_are_log_scale_and_fixed(self):
+        assert len(HISTOGRAM_BUCKETS) == 16
+        assert HISTOGRAM_BUCKETS[0] == pytest.approx(1e-6)
+        for lo, hi in zip(HISTOGRAM_BUCKETS, HISTOGRAM_BUCKETS[1:]):
+            assert hi / lo == pytest.approx(4.0)
+
+    def test_observe_tracks_count_sum_min_max(self):
+        h = Histogram()
+        h.observe(0.001)
+        h.observe(0.1)
+        assert h.count == 2
+        assert h.total == pytest.approx(0.101)
+        assert h.vmin == pytest.approx(0.001)
+        assert h.vmax == pytest.approx(0.1)
+        assert h.mean == pytest.approx(0.0505)
+
+    def test_observation_lands_in_one_bucket(self):
+        h = Histogram()
+        h.observe(0.5)
+        assert sum(h.counts) == 1
+
+    def test_above_top_bound_lands_in_overflow(self):
+        h = Histogram()
+        h.observe(HISTOGRAM_BUCKETS[-1] * 10)
+        assert h.counts[-1] == 1
+
+    def test_empty_as_dict_has_zero_min(self):
+        assert Histogram().as_dict()["min"] == 0.0
+
+    def test_merge_adds_elementwise(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001)
+        b.observe(1.0)
+        b.observe(2.0)
+        a.merge(b.as_dict())
+        assert a.count == 3
+        assert a.total == pytest.approx(3.001)
+        assert a.vmin == pytest.approx(0.001)
+        assert a.vmax == pytest.approx(2.0)
+        assert sum(a.counts) == 3
+
+    def test_merge_empty_snapshot_keeps_min(self):
+        a = Histogram()
+        a.observe(0.5)
+        a.merge(Histogram().as_dict())
+        assert a.vmin == pytest.approx(0.5)
+        assert not math.isinf(a.vmin)
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_cached_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_disabled_registry_hands_out_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc(10)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(0.5)
+        assert reg.counter_values() == {}
+        assert reg.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert not reg
+
+    def test_bool_reflects_recorded_data(self):
+        reg = MetricsRegistry()
+        assert not reg
+        reg.counter("a").inc()
+        assert reg
+
+    def test_counter_values_sorted_and_prefix_filtered(self):
+        reg = MetricsRegistry()
+        reg.counter("b.two").inc(2)
+        reg.counter("a.one").inc(1)
+        assert list(reg.counter_values()) == ["a.one", "b.two"]
+        assert reg.counter_values(prefix="a.") == {"a.one": 1}
+
+    def test_merge_roundtrip(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(3)
+        src.gauge("g").set(2.0)
+        src.histogram("h").observe(0.25)
+        dst = MetricsRegistry()
+        dst.counter("c").inc(1)
+        dst.gauge("g").set(5.0)
+        dst.merge(src.as_dict())
+        assert dst.counter_values() == {"c": 4}
+        assert dst.gauge_values() == {"g": 5.0}  # merge keeps the max
+        assert dst.histogram_items()["h"].count == 1
+
+    def test_merge_none_and_empty_are_noops(self):
+        reg = MetricsRegistry()
+        reg.merge(None)
+        reg.merge({})
+        assert not reg
+
+    def test_merge_into_disabled_is_noop(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(1)
+        dst = MetricsRegistry(enabled=False)
+        dst.merge(src.as_dict())
+        assert dst.counter_values() == {}

@@ -1,0 +1,77 @@
+"""Unit tests for the thread-local active-registry runtime."""
+
+import threading
+
+from repro.obs import MetricsRegistry
+from repro.obs import runtime as obs_runtime
+
+
+class TestActivation:
+    def test_no_registry_active_by_default(self):
+        assert obs_runtime.active() is None
+
+    def test_activate_restore_roundtrip(self):
+        reg = MetricsRegistry()
+        previous = obs_runtime.activate(reg)
+        try:
+            assert obs_runtime.active() is reg
+        finally:
+            obs_runtime.restore(previous)
+        assert obs_runtime.active() is None
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        prev_outer = obs_runtime.activate(outer)
+        try:
+            prev_inner = obs_runtime.activate(inner)
+            assert prev_inner is outer
+            obs_runtime.restore(prev_inner)
+            assert obs_runtime.active() is outer
+        finally:
+            obs_runtime.restore(prev_outer)
+
+    def test_activation_is_thread_local(self):
+        reg = MetricsRegistry()
+        prev = obs_runtime.activate(reg)
+        seen = []
+        try:
+            thread = threading.Thread(
+                target=lambda: seen.append(obs_runtime.active())
+            )
+            thread.start()
+            thread.join()
+        finally:
+            obs_runtime.restore(prev)
+        assert seen == [None]
+
+
+class TestCount:
+    def test_count_is_noop_without_registry(self):
+        obs_runtime.count("never.recorded")  # must not raise
+
+    def test_count_hits_the_active_registry(self):
+        reg = MetricsRegistry()
+        prev = obs_runtime.activate(reg)
+        try:
+            obs_runtime.count("events", 3)
+        finally:
+            obs_runtime.restore(prev)
+        assert reg.counter_values() == {"events": 3}
+
+
+class TestPhase:
+    def test_phase_records_a_histogram_observation(self):
+        reg = MetricsRegistry()
+        prev = obs_runtime.activate(reg)
+        try:
+            with obs_runtime.phase("build"):
+                pass
+        finally:
+            obs_runtime.restore(prev)
+        hist = reg.histogram_items()["phase.build"]
+        assert hist.count == 1
+        assert hist.total >= 0.0
+
+    def test_phase_is_noop_without_registry(self):
+        with obs_runtime.phase("build"):
+            pass  # must not raise, must record nowhere

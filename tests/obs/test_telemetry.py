@@ -1,0 +1,80 @@
+"""Unit tests for the Telemetry facade."""
+
+import pytest
+
+from repro.obs import Telemetry
+
+
+class TestRecordStats:
+    def test_counters_land_under_filter_prefix(self):
+        tele = Telemetry()
+        tele.record_stats({"candidates": 10, "refinements": 4})
+        assert tele.metrics.counter_values() == {
+            "filter.candidates": 10,
+            "filter.refinements": 4,
+        }
+
+    def test_zero_valued_counters_are_skipped(self):
+        tele = Telemetry()
+        tele.record_stats({"candidates": 0})
+        assert tele.metrics.counter_values() == {}
+
+    def test_none_is_a_noop(self):
+        tele = Telemetry()
+        tele.record_stats(None)
+        assert not tele.metrics
+
+
+class TestRecordChunk:
+    def test_first_attempt_counts_no_extras(self):
+        tele = Telemetry()
+        tele.record_chunk(0.5, attempts=1)
+        values = tele.metrics.counter_values()
+        assert values == {"engine.chunks_completed": 1}
+        assert tele.metrics.histogram_items()["chunk.seconds"].count == 1
+
+    def test_retries_count_extra_attempts(self):
+        tele = Telemetry()
+        tele.record_chunk(0.5, attempts=3)
+        values = tele.metrics.counter_values()
+        assert values["engine.chunk_extra_attempts"] == 2
+
+
+class TestWorkCounters:
+    def test_excludes_engine_scheduling_counters(self):
+        tele = Telemetry()
+        tele.record_chunk(0.5, attempts=2)
+        tele.record_stats({"candidates": 7})
+        assert tele.work_counters() == {"filter.candidates": 7}
+
+
+class TestDisabled:
+    def test_disabled_telemetry_is_inert(self):
+        tele = Telemetry(enabled=False)
+        tele.record_stats({"candidates": 10})
+        tele.record_chunk(0.5, attempts=3)
+        span = tele.tracer.start_run("join")
+        span.end()
+        assert not tele.metrics
+        assert tele.tracer.spans == []
+        assert tele.summary() == "(no metrics recorded)"
+
+
+class TestOutput:
+    def test_write_metrics_validates_format(self, tmp_path):
+        tele = Telemetry()
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            tele.write_metrics(tmp_path / "m.xml", fmt="xml")
+
+    @pytest.mark.parametrize("fmt", ["jsonl", "prom", "summary"])
+    def test_write_metrics_ends_with_newline(self, tmp_path, fmt):
+        tele = Telemetry()
+        tele.record_stats({"candidates": 3})
+        path = tmp_path / f"metrics.{fmt}"
+        tele.write_metrics(path, fmt=fmt)
+        assert path.read_text().endswith("\n")
+
+    def test_write_trace_returns_span_count(self, tmp_path):
+        tele = Telemetry()
+        tele.tracer.start_run("join").end()
+        assert tele.write_trace(tmp_path / "trace.jsonl") == 1

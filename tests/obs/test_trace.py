@@ -1,0 +1,103 @@
+"""Unit tests for span tracing: deterministic ids, JSONL output."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestIds:
+    def test_run_ids_are_deterministic_and_sequential(self):
+        tracer = Tracer()
+        run1 = tracer.start_run("join")
+        run2 = tracer.start_run("join")
+        assert run1.run_id == "join-0001"
+        assert run2.run_id == "join-0002"
+
+    def test_span_ids_number_within_the_run(self):
+        tracer = Tracer()
+        run = tracer.start_run("topk")
+        child = tracer.start_span("setup", parent=run)
+        assert run.span_id == "topk-0001/s1"
+        assert child.span_id == "topk-0001/s2"
+        assert child.parent_id == run.span_id
+
+    def test_two_tracers_assign_identical_ids(self):
+        ids = []
+        for _ in range(2):
+            tracer = Tracer()
+            run = tracer.start_run("join")
+            tracer.start_span("setup", parent=run)
+            tracer.start_span("chunk", parent=run)
+            ids.append([s.span_id for s in tracer.spans])
+        assert ids[0] == ids[1]
+
+
+class TestSpans:
+    def test_end_stamps_finish_and_attrs(self):
+        tracer = Tracer()
+        span = tracer.start_run("join", attrs={"algorithm": "s-ppj-f"})
+        span.end(chunks_total=4)
+        data = span.to_dict()
+        assert data["end"] >= data["start"]
+        assert data["attrs"] == {"algorithm": "s-ppj-f", "chunks_total": 4}
+
+    def test_events_attach_to_the_span(self):
+        tracer = Tracer()
+        span = tracer.start_run("join")
+        span.event("retry", chunk=3, attempt=2)
+        (event,) = span.to_dict()["events"]
+        assert event["name"] == "retry"
+        assert event["chunk"] == 3
+        assert "time" in event
+
+    def test_record_backdates_by_duration(self):
+        tracer = Tracer()
+        run = tracer.start_run("join")
+        tracer.record("chunk", 1.5, parent=run, attrs={"chunk": 0})
+        chunk = tracer.spans[-1]
+        assert chunk.to_dict()["duration"] == pytest.approx(1.5, abs=0.05)
+        assert chunk.parent_id == run.span_id
+
+    def test_unended_span_serializes_with_zero_duration(self):
+        tracer = Tracer()
+        span = tracer.start_run("join")
+        assert span.to_dict()["duration"] == 0.0
+
+
+class TestDisabled:
+    def test_disabled_tracer_collects_nothing(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.start_run("join")
+        span.event("retry")
+        span.end()
+        tracer.record("chunk", 1.0, parent=span)
+        assert tracer.spans == []
+        assert span.span_id is None
+
+
+class TestOutput:
+    def test_jsonl_is_one_object_per_line(self):
+        tracer = Tracer()
+        run = tracer.start_run("join")
+        tracer.start_span("setup", parent=run).end()
+        run.end()
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert {"run_id", "span_id", "name", "start", "end",
+                    "duration", "attrs", "events"} <= set(record)
+
+    def test_write_returns_span_count(self, tmp_path):
+        tracer = Tracer()
+        tracer.start_run("join").end()
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write(path) == 1
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_write_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert Tracer().write(path) == 0
+        assert path.read_text() == ""

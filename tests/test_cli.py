@@ -477,6 +477,99 @@ class TestBench:
         assert "table1" in capsys.readouterr().out
 
 
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+
+        out = capsys.readouterr().out
+        assert "stpsjoin" in out
+        assert __version__ in out
+
+
+class TestTelemetryFlags:
+    def _join_args(self, dataset_path):
+        return [
+            "join", str(dataset_path),
+            "--eps-loc", "0.05", "--eps-doc", "0.2", "--eps-user", "0.2",
+        ]
+
+    def test_trace_writes_jsonl_spans(self, dataset_path, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(self._join_args(dataset_path) + ["--trace", str(trace)])
+        assert code == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        names = {json.loads(line)["name"] for line in lines}
+        assert "run" in names
+        assert "trace spans" in capsys.readouterr().err
+
+    def test_metrics_jsonl_default_format(self, dataset_path, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(self._join_args(dataset_path) + ["--metrics", str(metrics)])
+        assert code == 0
+        records = [
+            json.loads(line) for line in metrics.read_text().splitlines()
+        ]
+        assert any(r["type"] == "counter" for r in records)
+
+    def test_metrics_prom_format(self, dataset_path, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            self._join_args(dataset_path)
+            + ["--metrics", str(metrics), "--metrics-format", "prom"]
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_" in text
+
+    def test_metrics_summary_format(self, dataset_path, tmp_path, capsys):
+        metrics = tmp_path / "metrics.txt"
+        code = main(
+            self._join_args(dataset_path)
+            + ["--metrics", str(metrics), "--metrics-format", "summary"]
+        )
+        assert code == 0
+        assert "counters" in metrics.read_text()
+
+    def test_topk_accepts_telemetry_flags(self, dataset_path, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["topk", str(dataset_path), "--eps-loc", "0.05",
+             "--eps-doc", "0.2", "-k", "5", "--trace", str(trace)]
+        )
+        assert code == 0
+        assert trace.read_text()
+
+    def test_telemetry_composes_with_workers_and_policy(
+        self, dataset_path, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            self._join_args(dataset_path)
+            + ["--workers", "2", "--deadline", "60",
+               "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        assert code == 0
+        assert trace.read_text()
+        assert metrics.read_text()
+        assert "execution report" in capsys.readouterr().err
+
+    def test_unknown_metrics_format_rejected_by_parser(self, dataset_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                self._join_args(dataset_path)
+                + ["--metrics", "m.out", "--metrics-format", "xml"]
+            )
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
