@@ -8,18 +8,29 @@ worker count to show the user-shard decomposition.
 
 Run under pytest (``pytest benchmarks/bench_parallel_speedup.py
 --benchmark-only``) for the harness timings, or directly (``python
-benchmarks/bench_parallel_speedup.py``) for a wall-clock speedup table.
-The >1.3x speedup expectation at 4 workers only applies on machines with
-at least 4 CPUs; on smaller hosts the script still prints the curve but
-skips the assertion (parallel speedup on a 1-core box is not physics).
+benchmarks/bench_parallel_speedup.py [--workers 1,2,4] [--users N]``)
+for a wall-clock speedup table.  The speedup expectation at 4 workers
+only applies on machines with at least 4 CPUs; on smaller hosts the
+script still prints the curve but skips the assertion (parallel speedup
+on a 1-core box is not physics).
 
-The direct run also pins the telemetry overhead budget (see
-``docs/observability.md``): an enabled :class:`repro.Telemetry` may cost
-at most 5% over the uninstrumented engine run, a disabled one at most 1%,
-and writes the measurements to ``BENCH_parallel_speedup.json`` at the
-repository root.
+The direct run measures three things and writes them all to
+``BENCH_parallel_speedup.json`` at the repository root:
+
+* the parallel speedup curve on the *grown* default workload
+  (``--users 400`` — the historical 150-user preset finished in under a
+  second, dominated by pool startup), plus the 150-user sequential run
+  (phase ``join_workers_1_users_150``) that stays directly comparable to
+  the ``join_workers_1`` phase of older committed baselines;
+* chunk-level load balance: ``chunk_imbalance`` is the max/median of the
+  engine's per-chunk wall-clock (``report.chunk_seconds``) at the
+  highest worker count — the cost-model chunking keeps it ≤ 1.5;
+* the telemetry overhead budget (see ``docs/observability.md``): an
+  enabled :class:`repro.Telemetry` may cost at most 5% over the
+  uninstrumented engine run, a disabled one at most 1%.
 """
 
+import argparse
 import multiprocessing
 import os
 import statistics
@@ -36,8 +47,15 @@ from repro.exec import JoinExecutor
 from _common import REPO_ROOT, dataset_for, thresholds_for
 
 PRESET = "twitter"
+#: Users for the pytest harness timings and the legacy-comparable phase.
 NUM_USERS = 150
+#: Users for the direct run's speedup curve — big enough that the join
+#: dominates pool startup (~2.5s sequential on one 2020s core).
+MAIN_USERS = 400
 WORKER_COUNTS = (1, 2, 4)
+
+#: Ceiling on max/median per-chunk wall-clock under cost-model chunking.
+MAX_CHUNK_IMBALANCE = 1.5
 
 fork_available = "fork" in multiprocessing.get_all_start_methods()
 
@@ -80,14 +98,20 @@ TELEMETRY_ROUNDS = 5
 
 
 def _telemetry_overhead(dataset, query):
-    """Median engine wall-clock without telemetry, disabled, and enabled.
+    """Best engine wall-clock without telemetry, disabled, and enabled.
 
     All three run the sequential backend so the numbers isolate the
     instrumentation cost from scheduling noise.  Rounds are interleaved
     (none, disabled, enabled, none, ...) so slow clock drift on a busy
     host hits every configuration equally instead of whichever block ran
-    last; a disabled Telemetry must be indistinguishable from none at all
-    (the engine short-circuits it).
+    last, and each configuration reports its *minimum* across rounds:
+    host interference only ever slows a run down, so the min is the
+    estimate of intrinsic cost least contaminated by one-sided noise.
+    The caller passes the grown main workload — the kernel-layer
+    speedups shrank the legacy 150-user run to a few hundred ms, where
+    scheduler jitter dwarfs the single-digit-percent budgets no
+    estimator can shake off.  A disabled Telemetry must be
+    indistinguishable from none at all (the engine short-circuits it).
     """
     executor = JoinExecutor(workers=1, backend="sequential")
     configs = {
@@ -108,69 +132,152 @@ def _telemetry_overhead(dataset, query):
             start = time.perf_counter()
             fn()
             times[name].append(time.perf_counter() - start)
-    medians = {name: statistics.median(vals) for name, vals in times.items()}
-    return medians["none"], medians["disabled"], medians["enabled"]
+    best = {name: min(vals) for name, vals in times.items()}
+    return best["none"], best["disabled"], best["enabled"]
 
 
-def main() -> int:
-    """Wall-clock speedup table: S-PPJ-B, workers 1 / 2 / 4."""
-    dataset = dataset_for(PRESET, NUM_USERS)
+def _chunk_imbalance(report) -> float:
+    """Max/median of the per-chunk wall-clock; 1.0 for trivial runs."""
+    chunk_times = sorted(report.chunk_seconds.values())
+    if len(chunk_times) < 2 or chunk_times[-1] <= 0.0:
+        return 1.0
+    return chunk_times[-1] / statistics.median(chunk_times)
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="S-PPJ-B parallel speedup + chunk balance benchmark"
+    )
+    parser.add_argument(
+        "--workers",
+        default=",".join(str(w) for w in WORKER_COUNTS),
+        help="comma-separated worker counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=MAIN_USERS,
+        help="users in the speedup workload (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    args.worker_counts = tuple(
+        int(w) for w in args.workers.split(",") if w.strip()
+    )
+    if not args.worker_counts or any(w < 1 for w in args.worker_counts):
+        parser.error("--workers needs positive integers")
+    return args
+
+
+def main(argv=None) -> int:
+    """Wall-clock speedup table: S-PPJ-B across worker counts."""
+    args = _parse_args(argv)
+    worker_counts = args.worker_counts
+    dataset = dataset_for(PRESET, args.users)
     query = _query()
     cpus = os.cpu_count() or 1
     print(
-        f"S-PPJ-B on {PRESET} ({NUM_USERS} users, "
+        f"S-PPJ-B on {PRESET} ({args.users} users, "
         f"{dataset.num_objects} objects), {cpus} CPUs"
     )
 
     reference = None
     times = {}
-    for workers in WORKER_COUNTS:
+    imbalances = {}
+    for workers in worker_counts:
         executor = JoinExecutor(workers=workers, backend="process")
         start = time.perf_counter()
-        result = executor.join(dataset, query, algorithm="s-ppj-b")
+        result, report = executor.join(
+            dataset, query, algorithm="s-ppj-b", with_report=True
+        )
         elapsed = time.perf_counter() - start
         times[workers] = elapsed
+        imbalances[workers] = _chunk_imbalance(report)
         if reference is None:
             reference = result
         elif result != reference:
             print("FAIL: parallel result diverged from workers=1")
             return 1
-        speedup = times[WORKER_COUNTS[0]] / elapsed
-        print(f"  workers={workers}: {elapsed:8.3f}s  speedup {speedup:4.2f}x")
+        speedup = times[worker_counts[0]] / elapsed
+        print(
+            f"  workers={workers}: {elapsed:8.3f}s  speedup {speedup:4.2f}x  "
+            f"chunk imbalance {imbalances[workers]:4.2f} "
+            f"({len(report.chunk_seconds)} chunks)"
+        )
+
+    # The 150-user sequential phase keeps one number directly comparable
+    # to the `join_workers_1` phase of pre-grown committed baselines.
+    legacy_dataset = dataset_for(PRESET, NUM_USERS)
+    seq_executor = JoinExecutor(workers=1, backend="sequential")
+    start = time.perf_counter()
+    seq_executor.join(legacy_dataset, query, algorithm="s-ppj-b")
+    seq_150 = time.perf_counter() - start
+    print(f"  sequential ({NUM_USERS} users, legacy workload): {seq_150:8.3f}s")
 
     base, disabled, enabled = _telemetry_overhead(dataset, query)
     overhead_on = enabled / base - 1.0
     overhead_off = disabled / base - 1.0
-    print(f"telemetry (sequential backend, median of {TELEMETRY_ROUNDS}):")
+    print(f"telemetry (sequential backend, best of {TELEMETRY_ROUNDS}):")
     print(f"  none                     : {base:8.3f}s")
     print(f"  disabled                 : {disabled:8.3f}s  ({overhead_off:+.1%})")
     print(f"  enabled                  : {enabled:8.3f}s  ({overhead_on:+.1%})")
 
-    speedup_at_4 = times[1] / times[4]
+    top_workers = max(worker_counts)
+    base_workers = min(worker_counts)
+    top_speedup = times[base_workers] / times[top_workers]
+    chunk_imbalance = imbalances[top_workers]
+    results = {
+        f"speedup_at_{top_workers}": top_speedup,
+        "chunk_imbalance": chunk_imbalance,
+        "telemetry_overhead_enabled": overhead_on,
+        "telemetry_overhead_disabled": overhead_off,
+    }
     path = write_bench_json(
         "parallel_speedup",
         config={
             "preset": PRESET,
-            "num_users": NUM_USERS,
+            "num_users": args.users,
+            "legacy_num_users": NUM_USERS,
             "algorithm": "s-ppj-b",
-            "worker_counts": list(WORKER_COUNTS),
+            "worker_counts": list(worker_counts),
             "cpus": cpus,
             "telemetry_rounds": TELEMETRY_ROUNDS,
         },
         phases={
             **{f"join_workers_{w}": t for w, t in times.items()},
+            f"join_workers_1_users_{NUM_USERS}": seq_150,
             "telemetry_none": base,
             "telemetry_disabled": disabled,
             "telemetry_enabled": enabled,
         },
         results={
-            "speedup_at_4": speedup_at_4,
-            "telemetry_overhead_enabled": overhead_on,
-            "telemetry_overhead_disabled": overhead_off,
+            **results,
+            **{
+                f"chunk_imbalance_workers_{w}": v
+                for w, v in imbalances.items()
+            },
         },
         directory=REPO_ROOT,
     )
     print(f"wrote {path}")
+
+    # Like the speedup assertion below, the imbalance gate needs a core
+    # per worker: on an oversubscribed host per-chunk wall-clock measures
+    # scheduler interference between time-sliced workers, not chunking.
+    if cpus >= top_workers:
+        if chunk_imbalance > MAX_CHUNK_IMBALANCE:
+            print(
+                f"FAIL: chunk imbalance {chunk_imbalance:.2f} at "
+                f"{top_workers} workers exceeds {MAX_CHUNK_IMBALANCE}"
+            )
+            return 1
+        print(
+            f"OK: chunk imbalance {chunk_imbalance:.2f} at {top_workers} workers"
+        )
+    else:
+        print(
+            f"note: {cpus} CPU(s), {top_workers} max workers — imbalance "
+            f"assertion skipped (got {chunk_imbalance:.2f})"
+        )
 
     if overhead_on > MAX_TELEMETRY_OVERHEAD:
         print(
@@ -189,15 +296,18 @@ def main() -> int:
         f"{overhead_off:+.1%} disabled"
     )
 
-    if cpus >= 4:
-        if speedup_at_4 < 1.3:
-            print(f"FAIL: expected >1.3x speedup at 4 workers, got {speedup_at_4:.2f}x")
+    if top_workers >= 4 and cpus >= top_workers:
+        if top_speedup < 1.8:
+            print(
+                f"FAIL: expected >=1.8x speedup at {top_workers} workers, "
+                f"got {top_speedup:.2f}x"
+            )
             return 1
-        print(f"OK: {speedup_at_4:.2f}x speedup at 4 workers")
+        print(f"OK: {top_speedup:.2f}x speedup at {top_workers} workers")
     else:
         print(
-            f"note: only {cpus} CPU(s) — speedup assertion skipped "
-            f"(got {speedup_at_4:.2f}x)"
+            f"note: {cpus} CPU(s), {top_workers} max workers — speedup "
+            f"assertion skipped (got {top_speedup:.2f}x)"
         )
     return 0
 

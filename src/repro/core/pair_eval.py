@@ -24,8 +24,15 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..stindex.stgrid import STGridIndex
-from ..textual.ppjoin import ppjoin_rs_join
+from ..obs import runtime as _obs
+from ..spatial.grid import (
+    _LOWER_ID_OFFSETS,
+    _SNAKE_EVEN_OFFSETS,
+    _SNAKE_ODD_OFFSETS,
+)
+from ..stindex.stgrid import CellPack, STGridIndex
+from ..textual.measures import JACCARD
+from ..textual.ppjoin import build_prefix_index
 from .model import STObject, UserId
 
 __all__ = ["join_object_lists", "ppj_c_pair", "ppj_b_pair", "PairEvalStats"]
@@ -92,6 +99,221 @@ class PairEvalStats:
             setattr(self, name, getattr(self, name) + counters.get(name, 0))
 
 
+#: Sentinel marking a candidate eliminated by the positional filter
+#: (mirrors :mod:`repro.textual.ppjoin`).
+_PRUNED = -1
+
+_probe_prefix_length = JACCARD.probe_prefix_length
+_required_overlap = JACCARD.required_overlap
+
+
+def _join_small(
+    pack_a: CellPack,
+    pack_b: CellPack,
+    eps_sq: float,
+    eps_doc: float,
+    matched_a: Set[int],
+    matched_b: Set[int],
+    predicate: Optional[Callable[[STObject, STObject], bool]],
+) -> None:
+    """Nested-loop kernel for tiny cell contents.
+
+    Filters run cheapest-first: spatial distance, Jaccard length bounds,
+    token-id range disjointness (sorted docs whose id ranges do not
+    overlap cannot intersect), the optional predicate, and only then the
+    exact set intersection.  All filters are admissible — a pruned pair
+    provably fails the exact test — so matches are identical to the
+    unfiltered loop.
+    """
+    oids_a, xs_a, ys_a = pack_a.oids, pack_a.xs, pack_a.ys
+    docs_a, sets_a, objs_a = pack_a.docs, pack_a.doc_sets, pack_a.objs
+    oids_b, xs_b, ys_b = pack_b.oids, pack_b.xs, pack_b.ys
+    docs_b, sets_b, objs_b = pack_b.docs, pack_b.doc_sets, pack_b.objs
+    lens_b = pack_b.lens
+    for i in range(len(oids_a)):
+        da = docs_a[i]
+        la = len(da)
+        if la == 0:
+            continue
+        sa = sets_a[i]
+        ax, ay = xs_a[i], ys_a[i]
+        a_first, a_last = da[0], da[-1]
+        min_len = eps_doc * la - _EPS
+        max_len = la / eps_doc + _EPS
+        a_matched = oids_a[i] in matched_a
+        for j in range(len(oids_b)):
+            if a_matched and oids_b[j] in matched_b:
+                continue
+            lb = lens_b[j]
+            if lb == 0:
+                continue
+            dx = ax - xs_b[j]
+            dy = ay - ys_b[j]
+            if dx * dx + dy * dy > eps_sq:
+                continue
+            if lb < min_len or lb > max_len:
+                continue
+            db = docs_b[j]
+            if db[0] > a_last or a_first > db[-1]:
+                continue
+            if predicate is not None and not predicate(objs_a[i], objs_b[j]):
+                continue
+            sb = sets_b[j]
+            inter = len(sa & sb)
+            if inter and inter / (la + lb - inter) >= eps_doc:
+                matched_a.add(oids_a[i])
+                matched_b.add(oids_b[j])
+                a_matched = True
+
+
+def _probe_join(
+    pack_a: CellPack,
+    pack_b: CellPack,
+    index_map: Dict[int, List[Tuple[int, int]]],
+    index_is_b: bool,
+    eps_sq: float,
+    eps_doc: float,
+    matched_a: Set[int],
+    matched_b: Set[int],
+    predicate: Optional[Callable[[STObject, STObject], bool]],
+) -> None:
+    """PPJOIN probe kernel: one pack probes the other's prefix index.
+
+    ``index_map`` is a :func:`repro.textual.ppjoin.build_prefix_index`
+    structure over the indexed pack's documents (side selected by
+    ``index_is_b``) — usually the cached per-``(cell, user)`` index of
+    :meth:`repro.stindex.stgrid.STGridIndex.cell_prefix_index`.
+    Candidate generation applies the size and positional filters exactly
+    as :func:`repro.textual.ppjoin.similarity_rs_join`; verification then
+    applies the both-matched skip, the spatial test, the optional
+    predicate, and exact Jaccard on the cached ``doc_set``s.
+    """
+    if index_is_b:
+        probe, indexed = pack_a, pack_b
+    else:
+        probe, indexed = pack_b, pack_a
+    probe_docs = probe.docs
+    index_lens = indexed.lens
+    oids_a, xs_a, ys_a, sets_a = pack_a.oids, pack_a.xs, pack_a.ys, pack_a.doc_sets
+    oids_b, xs_b, ys_b, sets_b = pack_b.oids, pack_b.xs, pack_b.ys, pack_b.doc_sets
+    reg = _obs.active()
+    n_candidates = n_pruned = n_verified = n_matches = 0
+
+    for x_idx in range(len(probe_docs)):
+        x = probe_docs[x_idx]
+        lx = len(x)
+        if lx == 0:
+            continue
+        min_len = eps_doc * lx - _EPS
+        max_len = lx / eps_doc + _EPS
+        alpha_by_len: Dict[int, int] = {}
+        candidates: Dict[int, int] = {}
+        for pos_x in range(_probe_prefix_length(eps_doc, lx)):
+            postings = index_map.get(x[pos_x])
+            if not postings:
+                continue
+            for y_idx, pos_y in postings:
+                acc = candidates.get(y_idx, 0)
+                if acc == _PRUNED:
+                    continue
+                ly = index_lens[y_idx]
+                if ly < min_len or ly > max_len:
+                    candidates[y_idx] = _PRUNED
+                    continue
+                alpha = alpha_by_len.get(ly)
+                if alpha is None:
+                    alpha = alpha_by_len[ly] = _required_overlap(eps_doc, lx, ly)
+                if acc + 1 + min(lx - pos_x - 1, ly - pos_y - 1) < alpha:
+                    candidates[y_idx] = _PRUNED
+                    continue
+                candidates[y_idx] = acc + 1
+
+        if reg is not None:
+            for acc in candidates.values():
+                if acc == _PRUNED:
+                    n_pruned += 1
+                elif acc > 0:
+                    n_candidates += 1
+
+        for y_idx, acc in candidates.items():
+            if acc <= 0:
+                continue
+            if index_is_b:
+                i, j = x_idx, y_idx
+            else:
+                i, j = y_idx, x_idx
+            oa, ob = oids_a[i], oids_b[j]
+            if oa in matched_a and ob in matched_b:
+                continue
+            dx = xs_a[i] - xs_b[j]
+            dy = ys_a[i] - ys_b[j]
+            if dx * dx + dy * dy > eps_sq:
+                continue
+            if predicate is not None and not predicate(
+                pack_a.objs[i], pack_b.objs[j]
+            ):
+                continue
+            if reg is not None:
+                n_verified += 1
+            sa, sb = sets_a[i], sets_b[j]
+            inter = len(sa & sb)
+            if inter and inter / (len(sa) + len(sb) - inter) >= eps_doc:
+                matched_a.add(oa)
+                matched_b.add(ob)
+                if reg is not None:
+                    n_matches += 1
+
+    if reg is not None:
+        reg.counter("ppjoin.candidates").inc(n_candidates)
+        reg.counter("ppjoin.pruned").inc(n_pruned)
+        reg.counter("ppjoin.verified").inc(n_verified)
+        reg.counter("ppjoin.matches").inc(n_matches)
+
+
+def _join_cell_packs(
+    index: STGridIndex,
+    cell_a,
+    user_a: UserId,
+    pack_a: CellPack,
+    cell_b,
+    user_b: UserId,
+    pack_b: CellPack,
+    eps_sq: float,
+    eps_doc: float,
+    matched_a: Set[int],
+    matched_b: Set[int],
+    stats: Optional[PairEvalStats],
+    predicate: Optional[Callable[[STObject, STObject], bool]],
+) -> None:
+    """Join two cached cell packs, reusing the index's prefix indexes.
+
+    The larger side is indexed (more reuse per probe) through the
+    per-``(cell, user)`` cache, so repeated joins of the same cell list
+    against different partner users never rebuild PPJOIN structures.
+    """
+    na, nb = len(pack_a.oids), len(pack_b.oids)
+    if stats is not None:
+        stats.cell_joins += 1
+        stats.object_pairs += na * nb
+    if na * nb <= _SMALL_JOIN_LIMIT:
+        _join_small(
+            pack_a, pack_b, eps_sq, eps_doc, matched_a, matched_b, predicate
+        )
+        return
+    if nb >= na:
+        index_map = index.cell_prefix_index(cell_b, user_b, eps_doc)
+        _probe_join(
+            pack_a, pack_b, index_map, True, eps_sq, eps_doc,
+            matched_a, matched_b, predicate,
+        )
+    else:
+        index_map = index.cell_prefix_index(cell_a, user_a, eps_doc)
+        _probe_join(
+            pack_a, pack_b, index_map, False, eps_sq, eps_doc,
+            matched_a, matched_b, predicate,
+        )
+
+
 def join_object_lists(
     objs_a: Sequence[STObject],
     objs_b: Sequence[STObject],
@@ -99,7 +321,7 @@ def join_object_lists(
     eps_doc: float,
     matched_a: Set[int],
     matched_b: Set[int],
-    stats: PairEvalStats = None,
+    stats: Optional[PairEvalStats] = None,
     predicate: Optional[Callable[[STObject, STObject], bool]] = None,
 ) -> None:
     """PPJ between two object lists; matched oids are added to the sets.
@@ -110,6 +332,11 @@ def join_object_lists(
     extends PPJOIN in Bouros et al.  ``predicate`` is an optional extra
     match condition (e.g. the temporal proximity check of the temporal
     STPSJoin extension), evaluated after the spatial test.
+
+    This list-based entry point packs its inputs on the fly (callers like
+    PPJ-D clip leaf lists per area, so there is nothing to cache); the
+    grid-based evaluators below go through the index's cached
+    :class:`~repro.stindex.stgrid.CellPack`s and prefix indexes instead.
     """
     if not objs_a or not objs_b:
         return
@@ -117,64 +344,64 @@ def join_object_lists(
         stats.cell_joins += 1
         stats.object_pairs += len(objs_a) * len(objs_b)
     eps_sq = eps_loc * eps_loc
+    pack_a = CellPack(objs_a)
+    pack_b = CellPack(objs_b)
 
     if len(objs_a) * len(objs_b) <= _SMALL_JOIN_LIMIT:
-        for a in objs_a:
-            sa = a.doc_set
-            if not sa:
-                continue
-            a_matched = a.oid in matched_a
-            for b in objs_b:
-                if a_matched and b.oid in matched_b:
-                    continue
-                sb = b.doc_set
-                if not sb:
-                    continue
-                dx = a.x - b.x
-                dy = a.y - b.y
-                if dx * dx + dy * dy > eps_sq:
-                    continue
-                if predicate is not None and not predicate(a, b):
-                    continue
-                inter = len(sa & sb)
-                if inter and inter / (len(sa) + len(sb) - inter) >= eps_doc:
-                    matched_a.add(a.oid)
-                    matched_b.add(b.oid)
-                    a_matched = True
+        _join_small(
+            pack_a, pack_b, eps_sq, eps_doc, matched_a, matched_b, predicate
+        )
         return
 
-    docs_a = [o.doc for o in objs_a]
-    docs_b = [o.doc for o in objs_b]
-
-    def admissible(i: int, j: int) -> bool:
-        a, b = objs_a[i], objs_b[j]
-        dx = a.x - b.x
-        dy = a.y - b.y
-        if dx * dx + dy * dy > eps_sq:
-            return False
-        return predicate is None or predicate(a, b)
-
-    def both_matched(i: int, j: int) -> bool:
-        return objs_a[i].oid in matched_a and objs_b[j].oid in matched_b
-
-    for i, j in ppjoin_rs_join(
-        docs_a,
-        docs_b,
-        eps_doc,
-        pair_predicate=admissible,
-        skip_pair=both_matched,
-    ):
-        matched_a.add(objs_a[i].oid)
-        matched_b.add(objs_b[j].oid)
+    if len(objs_b) >= len(objs_a):
+        index_map = build_prefix_index(pack_b.docs, eps_doc)
+        _probe_join(
+            pack_a, pack_b, index_map, True, eps_sq, eps_doc,
+            matched_a, matched_b, predicate,
+        )
+    else:
+        index_map = build_prefix_index(pack_a.docs, eps_doc)
+        _probe_join(
+            pack_a, pack_b, index_map, False, eps_sq, eps_doc,
+            matched_a, matched_b, predicate,
+        )
 
 
 def _pair_cells(
     index: STGridIndex, user_a: UserId, user_b: UserId
 ) -> List[Tuple[int, int]]:
-    """Union of the two users' occupied cells, ascending by cell id."""
-    cells = set(index.user_cells(user_a))
-    cells.update(index.user_cells(user_b))
-    return sorted(cells, key=index.grid.cell_id)
+    """Union of the two users' occupied cells, ascending by cell id.
+
+    Both per-user cell lists are already sorted by cell id (the index
+    maintains that invariant), so a linear merge with deduplication
+    replaces the set-union + sort of the naive formulation.
+    """
+    cells_a = index.user_cells(user_a)
+    cells_b = index.user_cells(user_b)
+    if not cells_a:
+        return list(cells_b)
+    if not cells_b:
+        return list(cells_a)
+    ids_a = index.user_cell_ids(user_a)
+    ids_b = index.user_cell_ids(user_b)
+    out: List[Tuple[int, int]] = []
+    i = j = 0
+    na, nb = len(cells_a), len(cells_b)
+    while i < na and j < nb:
+        ida, idb = ids_a[i], ids_b[j]
+        if ida == idb:
+            out.append(cells_a[i])
+            i += 1
+            j += 1
+        elif ida < idb:
+            out.append(cells_a[i])
+            i += 1
+        else:
+            out.append(cells_b[j])
+            j += 1
+    out.extend(cells_a[i:])
+    out.extend(cells_b[j:])
+    return out
 
 
 def ppj_c_pair(
@@ -183,7 +410,7 @@ def ppj_c_pair(
     user_b: UserId,
     eps_loc: float,
     eps_doc: float,
-    stats: PairEvalStats = None,
+    stats: Optional[PairEvalStats] = None,
     predicate: Optional[Callable[[STObject, STObject], bool]] = None,
 ) -> int:
     """Exact matched-object count via the PPJ-C traversal (no pruning).
@@ -194,29 +421,37 @@ def ppj_c_pair(
     """
     matched_a: Set[int] = set()
     matched_b: Set[int] = set()
-    grid = index.grid
+    eps_sq = eps_loc * eps_loc
+    packs_a = index.user_packs(user_a)
+    packs_b = index.user_packs(user_b)
+    get_a, get_b = packs_a.get, packs_b.get
     for cell in _pair_cells(index, user_a, user_b):
-        a_here = index.cell_objects(cell, user_a)
-        b_here = index.cell_objects(cell, user_b)
-        if a_here and b_here:
-            join_object_lists(
-                a_here, b_here, eps_loc, eps_doc, matched_a, matched_b,
-                stats, predicate,
+        a_here = get_a(cell)
+        b_here = get_b(cell)
+        if a_here is not None and b_here is not None:
+            _join_cell_packs(
+                index, cell, user_a, a_here, cell, user_b, b_here,
+                eps_sq, eps_doc, matched_a, matched_b, stats, predicate,
             )
-        for other in grid.lower_id_neighbours(cell):
-            if a_here:
-                b_other = index.cell_objects(other, user_b)
-                if b_other:
-                    join_object_lists(
-                        a_here, b_other, eps_loc, eps_doc,
-                        matched_a, matched_b, stats, predicate,
+        col, row = cell
+        for dc, dr in _LOWER_ID_OFFSETS:
+            # Out-of-range coordinates simply miss the per-user dicts.
+            other = (col + dc, row + dr)
+            if a_here is not None:
+                b_other = get_b(other)
+                if b_other is not None:
+                    _join_cell_packs(
+                        index, cell, user_a, a_here, other, user_b, b_other,
+                        eps_sq, eps_doc, matched_a, matched_b, stats,
+                        predicate,
                     )
-            if b_here:
-                a_other = index.cell_objects(other, user_a)
-                if a_other:
-                    join_object_lists(
-                        a_other, b_here, eps_loc, eps_doc,
-                        matched_a, matched_b, stats, predicate,
+            if b_here is not None:
+                a_other = get_a(other)
+                if a_other is not None:
+                    _join_cell_packs(
+                        index, other, user_a, a_other, cell, user_b, b_here,
+                        eps_sq, eps_doc, matched_a, matched_b, stats,
+                        predicate,
                     )
     return len(matched_a) + len(matched_b)
 
@@ -230,7 +465,7 @@ def ppj_b_pair(
     eps_user: float,
     size_a: int,
     size_b: int,
-    stats: PairEvalStats = None,
+    stats: Optional[PairEvalStats] = None,
     predicate: Optional[Callable[[STObject, STObject], bool]] = None,
 ) -> float:
     """PPJ-B: exact ``sigma`` or ``0.0`` once Lemma 1 proves it < eps_user.
@@ -250,7 +485,10 @@ def ppj_b_pair(
     cells = _pair_cells(index, user_a, user_b)
     if not cells:
         return 0.0
-    grid = index.grid
+    eps_sq = eps_loc * eps_loc
+    packs_a = index.user_packs(user_a)
+    packs_b = index.user_packs(user_b)
+    get_a, get_b = packs_a.get, packs_b.get
     matched_a: Set[int] = set()
     matched_b: Set[int] = set()
 
@@ -265,7 +503,7 @@ def ppj_b_pair(
     prev_row: Optional[int] = None
 
     for cell in cells:
-        row = cell[1]
+        col, row = cell
         if prev_row is not None and row != prev_row:
             # Row prev_row just finished; checkpoint if it was paper-odd
             # (0-based even) or if the next occupied row leaves a gap.
@@ -276,28 +514,38 @@ def ppj_b_pair(
                     return 0.0
         prev_row = row
 
-        a_here = index.cell_objects(cell, user_a)
-        b_here = index.cell_objects(cell, user_b)
-        seen += len(a_here) + len(b_here)
-        if a_here and b_here:
-            join_object_lists(
-                a_here, b_here, eps_loc, eps_doc, matched_a, matched_b,
-                stats, predicate,
+        a_here = get_a(cell)
+        b_here = get_b(cell)
+        if a_here is not None:
+            seen += len(a_here.oids)
+        if b_here is not None:
+            seen += len(b_here.oids)
+        if a_here is not None and b_here is not None:
+            _join_cell_packs(
+                index, cell, user_a, a_here, cell, user_b, b_here,
+                eps_sq, eps_doc, matched_a, matched_b, stats, predicate,
             )
-        for other in grid.snake_partners(cell):
-            if a_here:
-                b_other = index.cell_objects(other, user_b)
-                if b_other:
-                    join_object_lists(
-                        a_here, b_other, eps_loc, eps_doc,
-                        matched_a, matched_b, stats, predicate,
+        # Snake partners (Figure 2b): paper-odd rows (0-based even) join
+        # with every neighbour except the right cell, paper-even rows
+        # only with the left cell.
+        offsets = _SNAKE_ODD_OFFSETS if row % 2 == 0 else _SNAKE_EVEN_OFFSETS
+        for dc, dr in offsets:
+            other = (col + dc, row + dr)
+            if a_here is not None:
+                b_other = get_b(other)
+                if b_other is not None:
+                    _join_cell_packs(
+                        index, cell, user_a, a_here, other, user_b, b_other,
+                        eps_sq, eps_doc, matched_a, matched_b, stats,
+                        predicate,
                     )
-            if b_here:
-                a_other = index.cell_objects(other, user_a)
-                if a_other:
-                    join_object_lists(
-                        a_other, b_here, eps_loc, eps_doc,
-                        matched_a, matched_b, stats, predicate,
+            if b_here is not None:
+                a_other = get_a(other)
+                if a_other is not None:
+                    _join_cell_packs(
+                        index, other, user_a, a_other, cell, user_b, b_here,
+                        eps_sq, eps_doc, matched_a, matched_b, stats,
+                        predicate,
                     )
 
     sigma = (len(matched_a) + len(matched_b)) / total

@@ -107,14 +107,6 @@ __all__ = ["JoinExecutor", "BackendUnavailableError", "BACKENDS"]
 #: Recognized backend names.
 BACKENDS = ("sequential", "thread", "process")
 
-#: Hard ceiling on adaptive chunk sizes — beyond this, bigger chunks only
-#: hurt load balance without reducing dispatch overhead meaningfully.
-_MAX_AUTO_CHUNK = 4096
-
-#: Tasks handed out per worker (on average) by the adaptive chunking —
-#: enough slack for dynamic scheduling to rebalance skewed chunks.
-_TASKS_PER_WORKER = 8
-
 #: Worker-side state, keyed by run token so that concurrent or nested
 #: executors in one process (and a ``build_state`` that raises midway)
 #: can never clobber each other's entries.  With the ``fork`` start
@@ -309,7 +301,9 @@ class JoinExecutor:
         raises :class:`BackendUnavailableError`.
     chunk_size:
         Work units (user pairs or users, depending on the algorithm) per
-        task; ``None`` adapts to the input size and worker count.
+        task; ``None`` (the default) lets the plan's cost model pack
+        chunks of balanced *estimated work* (~``|Du|·|Du'|`` per pair)
+        instead of equal unit counts — see ``docs/performance.md``.
     policy:
         Default :class:`~repro.exec.resilience.ExecutionPolicy` for every
         run of this executor; ``None`` keeps the exact, fail-fast
@@ -436,12 +430,6 @@ class JoinExecutor:
 
     # -- scheduling ---------------------------------------------------------------
 
-    def _effective_chunk_size(self, n_units: int) -> int:
-        if self.chunk_size is not None:
-            return self.chunk_size
-        target = -(-n_units // (self.workers * _TASKS_PER_WORKER))
-        return max(1, min(_MAX_AUTO_CHUNK, target))
-
     def _run(
         self,
         plan: Plan,
@@ -474,7 +462,13 @@ class JoinExecutor:
             n_units = plan.num_units(dataset)
             if n_units == 0:
                 return [], report
-            chunks = plan.chunks(dataset, self._effective_chunk_size(n_units))
+            # An explicit chunk_size keeps the historical fixed-size
+            # partition (fault plans and tests key on its chunk indices);
+            # otherwise the plan's cost model balances estimated work.
+            if self.chunk_size is not None:
+                chunks = plan.chunks(dataset, self.chunk_size)
+            else:
+                chunks = plan.cost_chunks(dataset, max(1, self.workers))
             if self.backend == "sequential" or self.workers == 1:
                 results = self._run_inline(
                     plan, dataset, query, stats, kwargs, chunks, policy,

@@ -37,6 +37,7 @@ rich index structures.
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -58,6 +59,19 @@ __all__ = ["JOIN_PLANS", "TOPK_PLANS", "get_plan", "Plan"]
 #: that Lemma 1 can never fire, so scores stay exact.
 _NO_THRESHOLD = 1e-12
 
+#: Hard ceiling on adaptive chunk sizes — beyond this, bigger chunks only
+#: hurt load balance without reducing dispatch overhead meaningfully.
+_MAX_AUTO_CHUNK = 4096
+
+#: Tasks handed out per worker (on average) by the *size-based* adaptive
+#: chunking — the fallback when no cost model applies.
+_TASKS_PER_WORKER = 8
+
+#: Chunks produced per worker by the *cost-model* chunking: few enough
+#: that per-chunk dispatch overhead stays negligible, enough slack that
+#: dynamic scheduling can absorb estimation error.
+_COST_CHUNKS_PER_WORKER = 4
+
 
 class Plan:
     """Base class: how one algorithm partitions and evaluates.
@@ -66,6 +80,22 @@ class Plan:
     partitioner), :meth:`build_state` (executed once per process holding
     the state) and :meth:`run_chunk` (the worker body).  ``kind`` is
     ``"join"`` or ``"topk"`` — plan names are unique per kind.
+
+    Two partitioners coexist:
+
+    * :meth:`chunks` — fixed ``chunk_size`` units per chunk, in unit
+      order.  Deterministic chunk *indexing* is part of its contract:
+      fault plans and the resilience tests key on chunk indices.
+    * :meth:`cost_chunks` — used when the caller did not pin a chunk
+      size.  Subclasses with a cost model pack chunks so estimated
+      *work*, not unit count, is balanced, and emit the heaviest chunks
+      first so dynamic scheduling fills the tail with light ones.  The
+      base implementation falls back to size-based adaptive chunking.
+
+    Both emit chunks in the *compact encoding* their ``run_chunk``
+    expects — ``(i, j0, j1)`` row segments for pairwise plans, position
+    ranges/lists for user shards — so a chunk pickles as a handful of
+    ints no matter how many units it spans.
     """
 
     kind: str = "join"
@@ -77,6 +107,12 @@ class Plan:
     def chunks(self, dataset: STDataset, chunk_size: int) -> Iterator[list]:
         raise NotImplementedError
 
+    def cost_chunks(self, dataset: STDataset, workers: int) -> Iterator[list]:
+        """Cost-balanced chunks; base fallback is size-based chunking."""
+        n_units = self.num_units(dataset)
+        target = -(-n_units // (max(1, workers) * _TASKS_PER_WORKER))
+        return self.chunks(dataset, max(1, min(_MAX_AUTO_CHUNK, target)))
+
     def build_state(self, dataset: STDataset, query, **kwargs):
         raise NotImplementedError
 
@@ -86,23 +122,145 @@ class Plan:
         raise NotImplementedError
 
 
-def _triangular_chunks(n_users: int, chunk_size: int) -> Iterator[List[Tuple[int, int]]]:
-    """Split the triangular pair space into contiguous chunks."""
-    chunk: List[Tuple[int, int]] = []
+def _triangular_chunks(
+    n_users: int, chunk_size: int
+) -> Iterator[List[Tuple[int, int, int]]]:
+    """Split the triangular pair space into contiguous chunks.
+
+    Chunks are emitted as ``(i, j0, j1)`` row segments — the pairs
+    ``(i, j)`` for ``j0 <= j < j1`` — covering exactly ``chunk_size``
+    pairs each (except the last).  The pair-to-chunk-index mapping is
+    identical to the historical explicit pair lists, only the encoding
+    is compact.
+    """
+    chunk: List[Tuple[int, int, int]] = []
+    count = 0
     for i in range(n_users):
-        for j in range(i + 1, n_users):
-            chunk.append((i, j))
-            if len(chunk) >= chunk_size:
+        j = i + 1
+        while j < n_users:
+            take = min(chunk_size - count, n_users - j)
+            chunk.append((i, j, j + take))
+            count += take
+            j += take
+            if count >= chunk_size:
                 yield chunk
                 chunk = []
+                count = 0
     if chunk:
         yield chunk
 
 
-def _user_shards(users: Sequence[UserId], chunk_size: int) -> Iterator[List[UserId]]:
-    """Split the user list into contiguous shards."""
-    for start in range(0, len(users), chunk_size):
-        yield list(users[start : start + chunk_size])
+def _user_shards(n_users: int, chunk_size: int) -> Iterator[range]:
+    """Split the user positions into contiguous shards (as ranges)."""
+    for start in range(0, n_users, chunk_size):
+        yield range(start, min(start + chunk_size, n_users))
+
+
+def _user_sizes(dataset: STDataset) -> List[int]:
+    return [len(dataset.user_objects(u)) for u in dataset.users]
+
+
+def _balanced_pair_chunks(
+    sizes: List[int], workers: int
+) -> List[List[Tuple[int, int, int]]]:
+    """Cost-model chunking of the triangular pair space.
+
+    Pair ``(i, j)`` is costed at ``|Du_i|·|Du_j| + 1`` (the dominant
+    term of every pairwise evaluator, plus a floor so empty users still
+    count as dispatch work).  Rows are cut into segments of roughly the
+    per-chunk cost target, then LPT-packed (heaviest segment onto the
+    lightest bin) into ``~4× workers`` bins.  Bins are returned heaviest
+    first.  Everything is derived deterministically from the sizes, so
+    the partition — and therefore the result merge — is reproducible.
+    """
+    n = len(sizes)
+    suffix = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + sizes[i]
+    total = 0
+    row_costs = []
+    for i in range(n - 1):
+        cost = sizes[i] * suffix[i + 1] + (n - 1 - i)
+        row_costs.append(cost)
+        total += cost
+    n_units = n * (n - 1) // 2
+    bins_wanted = max(1, min(n_units, max(1, workers) * _COST_CHUNKS_PER_WORKER))
+    target = total / bins_wanted
+
+    # Cut each row into segments of ~target cost; most rows fit whole.
+    segments: List[Tuple[float, int, int, int]] = []
+    for i in range(n - 1):
+        if row_costs[i] <= target * 1.5:
+            segments.append((row_costs[i], i, i + 1, n))
+            continue
+        size_i = sizes[i]
+        acc = 0.0
+        j0 = i + 1
+        for j in range(i + 1, n):
+            acc += size_i * sizes[j] + 1
+            if acc >= target and j + 1 < n:
+                segments.append((acc, i, j0, j + 1))
+                j0 = j + 1
+                acc = 0.0
+        if j0 < n:
+            segments.append((acc, i, j0, n))
+
+    # LPT greedy: heaviest segment onto the currently lightest bin.
+    order = sorted(
+        range(len(segments)),
+        key=lambda s: (-segments[s][0], segments[s][1], segments[s][2]),
+    )
+    loads = [0.0] * bins_wanted
+    bins: List[List[Tuple[int, int, int]]] = [[] for _ in range(bins_wanted)]
+    heap = [(0.0, b) for b in range(bins_wanted)]
+    for s in order:
+        cost, i, j0, j1 = segments[s]
+        load, b = heapq.heappop(heap)
+        bins[b].append((i, j0, j1))
+        loads[b] = load + cost
+        heapq.heappush(heap, (load + cost, b))
+    for b in range(bins_wanted):
+        bins[b].sort()
+    packed = [
+        (loads[b], bins[b]) for b in range(bins_wanted) if bins[b]
+    ]
+    packed.sort(key=lambda e: (-e[0], e[1]))
+    return [chunk for _, chunk in packed]
+
+
+def _balanced_user_shards(sizes: List[int], workers: int) -> List[range]:
+    """Cost-model sharding of the user list into contiguous ranges.
+
+    User at position ``p`` is costed at ``|Du_p|·(Σ_{q<p} |Du_q|) + |Du_p|
+    + 1`` — candidate generation scales with the user's own objects and
+    refinement with the pairs against earlier-ranked users (each
+    unordered pair is charged to its later member, mirroring the shard
+    plans' rank filter).  The cumulative cost curve is cut at equal-cost
+    boundaries into ``~4× workers`` contiguous ranges, returned heaviest
+    first.
+    """
+    n = len(sizes)
+    costs = []
+    prefix = 0
+    for p in range(n):
+        costs.append(sizes[p] * prefix + sizes[p] + 1)
+        prefix += sizes[p]
+    total = sum(costs)
+    bins_wanted = max(1, min(n, max(1, workers) * _COST_CHUNKS_PER_WORKER))
+    target = total / bins_wanted
+    shards: List[Tuple[float, range]] = []
+    acc = 0.0
+    start = 0
+    for p in range(n):
+        acc += costs[p]
+        if acc >= target and p + 1 < n:
+            shards.append((acc, range(start, p + 1)))
+            start = p + 1
+            acc = 0.0
+    if start < n:
+        shards.append((acc, range(start, n)))
+    shards.sort(key=lambda e: (-e[0], e[1].start))
+    return [shard for _, shard in shards]
 
 
 class _PairwisePlan(Plan):
@@ -115,6 +273,9 @@ class _PairwisePlan(Plan):
     def chunks(self, dataset: STDataset, chunk_size: int):
         return _triangular_chunks(dataset.num_users, chunk_size)
 
+    def cost_chunks(self, dataset: STDataset, workers: int):
+        return _balanced_pair_chunks(_user_sizes(dataset), workers)
+
 
 class _UserShardPlan(Plan):
     """Shared partitioner for plans whose unit is one user."""
@@ -123,7 +284,10 @@ class _UserShardPlan(Plan):
         return dataset.num_users
 
     def chunks(self, dataset: STDataset, chunk_size: int):
-        return _user_shards(dataset.users, chunk_size)
+        return _user_shards(dataset.num_users, chunk_size)
+
+    def cost_chunks(self, dataset: STDataset, workers: int):
+        return _balanced_user_shards(_user_sizes(dataset), workers)
 
 
 # -- threshold joins ---------------------------------------------------------------
@@ -146,12 +310,13 @@ class NaiveJoinPlan(_PairwisePlan):
         users, objects = state["users"], state["objects"]
         query: STPSJoinQuery = state["query"]
         out: List[UserPair] = []
-        for i, j in chunk:
-            score = set_similarity(
-                objects[i], objects[j], query.eps_loc, query.eps_doc
-            )
-            if score >= query.eps_user:
-                out.append(UserPair(users[i], users[j], score))
+        for i, j0, j1 in chunk:
+            for j in range(j0, j1):
+                score = set_similarity(
+                    objects[i], objects[j], query.eps_loc, query.eps_doc
+                )
+                if score >= query.eps_user:
+                    out.append(UserPair(users[i], users[j], score))
         _obs.count("pairs.emitted", len(out))
         return out
 
@@ -174,16 +339,17 @@ class SPPJCPlan(_PairwisePlan):
         users, sizes = state["users"], state["sizes"]
         index, query = state["index"], state["query"]
         out: List[UserPair] = []
-        for i, j in chunk:
-            matched = ppj_c_pair(
-                index, users[i], users[j], query.eps_loc, query.eps_doc, stats
-            )
-            total = sizes[i] + sizes[j]
-            if total == 0:
-                continue
-            score = matched / total
-            if score >= query.eps_user:
-                out.append(UserPair(users[i], users[j], score))
+        for i, j0, j1 in chunk:
+            for j in range(j0, j1):
+                matched = ppj_c_pair(
+                    index, users[i], users[j], query.eps_loc, query.eps_doc, stats
+                )
+                total = sizes[i] + sizes[j]
+                if total == 0:
+                    continue
+                score = matched / total
+                if score >= query.eps_user:
+                    out.append(UserPair(users[i], users[j], score))
         _obs.count("pairs.emitted", len(out))
         return out
 
@@ -206,20 +372,21 @@ class SPPJBPlan(_PairwisePlan):
         users, sizes = state["users"], state["sizes"]
         index, query = state["index"], state["query"]
         out: List[UserPair] = []
-        for i, j in chunk:
-            score = ppj_b_pair(
-                index,
-                users[i],
-                users[j],
-                query.eps_loc,
-                query.eps_doc,
-                query.eps_user,
-                sizes[i],
-                sizes[j],
-                stats,
-            )
-            if score >= query.eps_user:
-                out.append(UserPair(users[i], users[j], score))
+        for i, j0, j1 in chunk:
+            for j in range(j0, j1):
+                score = ppj_b_pair(
+                    index,
+                    users[i],
+                    users[j],
+                    query.eps_loc,
+                    query.eps_doc,
+                    query.eps_user,
+                    sizes[i],
+                    sizes[j],
+                    stats,
+                )
+                if score >= query.eps_user:
+                    out.append(UserPair(users[i], users[j], score))
         _obs.count("pairs.emitted", len(out))
         return out
 
@@ -236,6 +403,7 @@ class SPPJFPlan(_UserShardPlan):
             raise ValueError(f"unknown refine strategy: {refine!r}")
         return {
             "dataset": dataset,
+            "users": list(dataset.users),
             "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=True),
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
@@ -245,6 +413,7 @@ class SPPJFPlan(_UserShardPlan):
 
     def run_chunk(self, state, chunk, stats):
         dataset: STDataset = state["dataset"]
+        users_list = state["users"]
         index: STGridIndex = state["index"]
         sizes, rank = state["sizes"], state["rank"]
         query: STPSJoinQuery = state["query"]
@@ -252,7 +421,8 @@ class SPPJFPlan(_UserShardPlan):
         reg = _obs.active()
         cand_seconds = 0.0
         out: List[UserPair] = []
-        for user in chunk:
+        for pos in chunk:
+            user = users_list[pos]
             my_rank = rank[user]
             own_counts: Dict[Tuple[int, int], int] = {}
             for obj in dataset.user_objects(user):
@@ -337,6 +507,7 @@ class SPPJDPlan(_UserShardPlan):
             raise ValueError("prebuilt index eps_loc does not match the query")
         return {
             "index": index,
+            "users": list(dataset.users),
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,
@@ -344,12 +515,14 @@ class SPPJDPlan(_UserShardPlan):
 
     def run_chunk(self, state, chunk, stats):
         index: STLeafIndex = state["index"]
+        users_list = state["users"]
         sizes, rank = state["sizes"], state["rank"]
         query: STPSJoinQuery = state["query"]
         reg = _obs.active()
         cand_seconds = 0.0
         out: List[UserPair] = []
-        for user in chunk:
+        for pos in chunk:
+            user = users_list[pos]
             my_rank = rank[user]
             if reg is not None:
                 started = time.perf_counter()
@@ -437,12 +610,13 @@ class NaiveTopKPlan(_PairwisePlan):
         users, objects = state["users"], state["objects"]
         query: TopKQuery = state["query"]
         heap = _TopKHeap(query.k)
-        for i, j in chunk:
-            score = set_similarity(
-                objects[i], objects[j], query.eps_loc, query.eps_doc
-            )
-            if score > 0.0:
-                heap.offer(UserPair(users[i], users[j], score))
+        for i, j0, j1 in chunk:
+            for j in range(j0, j1):
+                score = set_similarity(
+                    objects[i], objects[j], query.eps_loc, query.eps_doc
+                )
+                if score > 0.0:
+                    heap.offer(UserPair(users[i], users[j], score))
         results = heap.results()
         _obs.count("pairs.emitted", len(results))
         return results
@@ -464,6 +638,7 @@ class TopKGridPlan(_UserShardPlan):
     def build_state(self, dataset: STDataset, query: TopKQuery):
         return {
             "dataset": dataset,
+            "users": list(dataset.users),
             "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=True),
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
@@ -472,13 +647,15 @@ class TopKGridPlan(_UserShardPlan):
 
     def run_chunk(self, state, chunk, stats):
         dataset: STDataset = state["dataset"]
+        users_list = state["users"]
         index: STGridIndex = state["index"]
         sizes, rank = state["sizes"], state["rank"]
         query: TopKQuery = state["query"]
         reg = _obs.active()
         cand_seconds = 0.0
         heap = _TopKHeap(query.k)
-        for user in chunk:
+        for pos in chunk:
+            user = users_list[pos]
             my_rank = rank[user]
             own_counts: Dict[Tuple[int, int], int] = {}
             for obj in dataset.user_objects(user):
@@ -552,6 +729,7 @@ class TopKLeafPlan(_UserShardPlan):
             raise ValueError("prebuilt index eps_loc does not match the query")
         return {
             "index": index,
+            "users": list(dataset.users),
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,
@@ -559,12 +737,14 @@ class TopKLeafPlan(_UserShardPlan):
 
     def run_chunk(self, state, chunk, stats):
         index: STLeafIndex = state["index"]
+        users_list = state["users"]
         sizes, rank = state["sizes"], state["rank"]
         query: TopKQuery = state["query"]
         reg = _obs.active()
         cand_seconds = 0.0
         heap = _TopKHeap(query.k)
-        for user in chunk:
+        for pos in chunk:
+            user = users_list[pos]
             my_rank = rank[user]
             if reg is not None:
                 started = time.perf_counter()

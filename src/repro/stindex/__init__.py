@@ -4,9 +4,10 @@ from .irtree import IRTree
 from .leaf_index import STLeafIndex
 from .queries import SpatialKeywordIndex
 from .snapshot import DatasetSnapshot
-from .stgrid import STGridIndex
+from .stgrid import CellPack, STGridIndex
 
 __all__ = [
+    "CellPack",
     "STGridIndex",
     "STLeafIndex",
     "SpatialKeywordIndex",

@@ -33,31 +33,44 @@ __all__ = ["DatasetSnapshot"]
 class DatasetSnapshot:
     """An immutable, picklable capture of an :class:`STDataset`.
 
-    The snapshot stores plain tuples only (no dataclass instances, no
-    sets), which keeps the pickle small and version-stable.
+    The snapshot stores plain parallel tuples only (no dataclass
+    instances, no sets, no per-record containers): one column per object
+    attribute.  The columnar layout pickles smaller and faster than a
+    tuple-of-records — pickle emits each column as one homogeneous
+    sequence instead of interleaving a 4-tuple frame per object — which
+    matters because the spawn transport serializes a snapshot into every
+    worker's initializer.
     """
 
-    __slots__ = ("tokens", "dfs", "records")
+    __slots__ = ("tokens", "dfs", "users", "xs", "ys", "docs")
 
     def __init__(
         self,
         tokens: Tuple[Hashable, ...],
         dfs: Tuple[int, ...],
-        records: Tuple[Tuple[UserId, float, float, Tuple[int, ...]], ...],
+        users: Tuple[UserId, ...],
+        xs: Tuple[float, ...],
+        ys: Tuple[float, ...],
+        docs: Tuple[Tuple[int, ...], ...],
     ):
         self.tokens = tokens
         self.dfs = dfs
-        self.records = records
+        self.users = users
+        self.xs = xs
+        self.ys = ys
+        self.docs = docs
 
     @classmethod
     def capture(cls, dataset: STDataset) -> "DatasetSnapshot":
         """Snapshot ``dataset``; the dataset is not modified."""
+        objs = dataset.objects
         return cls(
             tokens=tuple(dataset.vocab._id_to_token),
             dfs=tuple(dataset.vocab._df),
-            records=tuple(
-                (o.user, o.x, o.y, o.doc) for o in dataset.objects
-            ),
+            users=tuple(o.user for o in objs),
+            xs=tuple(o.x for o in objs),
+            ys=tuple(o.y for o in objs),
+            docs=tuple(o.doc for o in objs),
         )
 
     def restore(self) -> STDataset:
@@ -75,7 +88,7 @@ class DatasetSnapshot:
 
         objects: List[STObject] = []
         by_user: Dict[UserId, List[STObject]] = {}
-        for user, x, y, doc in self.records:
+        for user, x, y, doc in zip(self.users, self.xs, self.ys, self.docs):
             obj = STObject(
                 oid=len(objects),
                 user=user,
@@ -91,10 +104,10 @@ class DatasetSnapshot:
 
     @property
     def num_objects(self) -> int:
-        return len(self.records)
+        return len(self.users)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"DatasetSnapshot({len(self.records)} objects, "
+            f"DatasetSnapshot({len(self.users)} objects, "
             f"{len(self.tokens)} tokens)"
         )

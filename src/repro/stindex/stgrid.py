@@ -15,14 +15,41 @@ a-time population that Algorithm 2 interleaves with candidate search.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.model import STDataset, STObject, UserId
 from ..obs import runtime as _obs
 from ..spatial.geometry import Rect
 from ..spatial.grid import CellCoord, UniformGrid
+from ..textual.ppjoin import build_prefix_index
 
-__all__ = ["STGridIndex"]
+__all__ = ["CellPack", "STGridIndex"]
+
+
+class CellPack:
+    """Columnar view of one ``D^c_u`` object list (the hot-path layout).
+
+    The pair evaluators touch an object's coordinates, oid, canonical
+    document and cached ``doc_set`` millions of times per join; pulling
+    attributes off dataclass instances in the inner loop costs a dict
+    lookup each.  A pack hoists them into parallel lists once, so the
+    kernels index plain lists instead.  ``objs`` keeps the original
+    objects for the (rare) predicate hook.
+    """
+
+    __slots__ = ("objs", "oids", "xs", "ys", "docs", "doc_sets", "lens")
+
+    def __init__(self, objs: Sequence[STObject]):
+        self.objs = list(objs)
+        self.oids = [o.oid for o in self.objs]
+        self.xs = [o.x for o in self.objs]
+        self.ys = [o.y for o in self.objs]
+        self.docs = [o.doc for o in self.objs]
+        self.doc_sets = [o.doc_set for o in self.objs]
+        self.lens = [len(o.doc) for o in self.objs]
+
+    def __len__(self) -> int:
+        return len(self.objs)
 
 
 class STGridIndex:
@@ -52,6 +79,19 @@ class STGridIndex:
         self._cell_token_users: Dict[CellCoord, Dict[int, Set[UserId]]] = {}
         # user -> cells containing the user's objects, sorted by cell id (Cu).
         self._user_cells: Dict[UserId, List[CellCoord]] = {}
+        # user -> the scalar cell ids of _user_cells, same order (cached so
+        # the pair evaluators can merge two users' cell lists on ints).
+        self._user_cell_ids: Dict[UserId, List[int]] = {}
+        # (cell, user) -> columnar pack over D^c_u, built lazily on first
+        # touch and invalidated when add_user grows the list.
+        self._packs: Dict[Tuple[CellCoord, UserId], CellPack] = {}
+        # (cell, user) -> threshold -> prefix index over the pack's docs.
+        self._prefix_indexes: Dict[
+            Tuple[CellCoord, UserId],
+            Dict[float, Dict[int, List[Tuple[int, int]]]],
+        ] = {}
+        # user -> {cell -> pack} over every occupied cell of the user.
+        self._user_packs: Dict[UserId, Dict[CellCoord, CellPack]] = {}
 
     # -- construction ------------------------------------------------------------
 
@@ -86,6 +126,13 @@ class STGridIndex:
             merged = set(self._user_cells[user]) | cells
             ordered = sorted(merged, key=self.grid.cell_id)
         self._user_cells[user] = ordered
+        self._user_cell_ids[user] = [self.grid.cell_id(c) for c in ordered]
+        # Drop cached packs/prefix indexes for the (cell, user) lists that
+        # just grew; they are rebuilt lazily on next access.
+        for cell in cells:
+            self._packs.pop((cell, user), None)
+            self._prefix_indexes.pop((cell, user), None)
+        self._user_packs.pop(user, None)
 
     # -- accessors ----------------------------------------------------------------
 
@@ -93,12 +140,78 @@ class STGridIndex:
         """Cells containing objects of ``user``, ascending by cell id (Cu)."""
         return self._user_cells.get(user, [])
 
+    def user_cell_ids(self, user: UserId) -> List[int]:
+        """Scalar cell ids of :meth:`user_cells`, in the same order."""
+        return self._user_cell_ids.get(user, [])
+
     def cell_objects(self, cell: CellCoord, user: UserId) -> List[STObject]:
         """``D^c_u``: objects of ``user`` inside ``cell``."""
         per_user = self._cell_objects.get(cell)
         if not per_user:
             return []
         return per_user.get(user, [])
+
+    def cell_pack(self, cell: CellCoord, user: UserId) -> Optional[CellPack]:
+        """Columnar :class:`CellPack` over ``D^c_u``, or ``None`` if empty.
+
+        Built on first access and cached, so the many partner users that
+        S-PPJ-C/B join the same cell list against all share one layout.
+        """
+        key = (cell, user)
+        pack = self._packs.get(key)
+        if pack is None:
+            per_user = self._cell_objects.get(cell)
+            objs = per_user.get(user) if per_user else None
+            if not objs:
+                return None
+            pack = CellPack(objs)
+            self._packs[key] = pack
+        return pack
+
+    def user_packs(self, user: UserId) -> Dict[CellCoord, CellPack]:
+        """``{cell -> CellPack}`` over every occupied cell of ``user``.
+
+        The pair evaluators probe this small per-user dict directly —
+        one ``dict.get`` per (cell, neighbour) probe instead of a
+        two-level lookup into the global cell map.  Out-of-range
+        neighbour coordinates simply miss.  Cached per user and shared
+        with :meth:`cell_pack`'s per-cell cache.
+        """
+        packs = self._user_packs.get(user)
+        if packs is None:
+            packs = {}
+            for cell in self._user_cells.get(user, ()):
+                key = (cell, user)
+                pack = self._packs.get(key)
+                if pack is None:
+                    pack = self._packs[key] = CellPack(
+                        self._cell_objects[cell][user]
+                    )
+                packs[cell] = pack
+            self._user_packs[user] = packs
+        return packs
+
+    def cell_prefix_index(
+        self, cell: CellCoord, user: UserId, threshold: float
+    ) -> Dict[int, List[Tuple[int, int]]]:
+        """Cached PPJOIN prefix index over ``D^c_u``'s documents.
+
+        Keyed by threshold on top of ``(cell, user)`` — the same list can
+        serve joins at different ``eps_doc`` values (top-k refinement,
+        repeated queries) without cross-talk.  The returned mapping is the
+        RS-join index side (probing prefixes, Jaccard), exactly what
+        :func:`repro.textual.ppjoin.build_prefix_index` produces.
+        """
+        key = (cell, user)
+        per_threshold = self._prefix_indexes.get(key)
+        if per_threshold is None:
+            per_threshold = self._prefix_indexes[key] = {}
+        index = per_threshold.get(threshold)
+        if index is None:
+            pack = self.cell_pack(cell, user)
+            docs = pack.docs if pack is not None else []
+            index = per_threshold[threshold] = build_prefix_index(docs, threshold)
+        return index
 
     def cell_user_count(self, cell: CellCoord, user: UserId) -> int:
         """``|D^c_u|`` without materializing a list."""

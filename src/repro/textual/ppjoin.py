@@ -30,6 +30,7 @@ from .measures import JACCARD, SimilarityMeasure
 from .verify import overlap_exact_or_pruned, suffix_filter
 
 __all__ = [
+    "build_prefix_index",
     "similarity_self_join",
     "similarity_rs_join",
     "ppjoin_self_join",
@@ -46,6 +47,30 @@ _PRUNED = -1
 
 #: Slack keeping float size-filter bounds loose-safe.
 _EPS = 1e-9
+
+
+def build_prefix_index(
+    docs: Sequence[Doc],
+    threshold: float,
+    measure: SimilarityMeasure = JACCARD,
+) -> Dict[int, List[Tuple[int, int]]]:
+    """Inverted index over *probing* prefixes: token -> [(doc idx, pos)].
+
+    This is the index side of an RS-join: because neither side of an
+    RS-join is guaranteed to hold the longer record, the indexed prefix
+    must be the full probing prefix (the shorter indexing prefix is a
+    self-join-only optimization).  The structure depends only on the
+    document list and the threshold, so callers joining the same list
+    against many partners can build it once and reuse it — the
+    per-``(user, cell)`` prefix-index cache of
+    :meth:`repro.stindex.stgrid.STGridIndex.cell_prefix_index` does
+    exactly that for the S-PPJ hot path.
+    """
+    index: Dict[int, List[Tuple[int, int]]] = {}
+    for y_idx, y in enumerate(docs):
+        for pos_y in range(measure.probe_prefix_length(threshold, len(y))):
+            index.setdefault(y[pos_y], []).append((y_idx, pos_y))
+    return index
 
 
 def _passes_suffix_filter(doc_a: Doc, doc_b: Doc, alpha: int) -> bool:
@@ -221,10 +246,7 @@ def similarity_rs_join(
     swap = len(docs_s) < len(docs_r)
     probe_docs, index_docs = (docs_s, docs_r) if swap else (docs_r, docs_s)
 
-    index: Dict[int, List[Tuple[int, int]]] = {}
-    for y_idx, y in enumerate(index_docs):
-        for pos_y in range(measure.probe_prefix_length(threshold, len(y))):
-            index.setdefault(y[pos_y], []).append((y_idx, pos_y))
+    index = build_prefix_index(index_docs, threshold, measure)
 
     results: List[Tuple[int, int]] = []
     reg = _obs.active()

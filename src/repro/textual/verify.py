@@ -220,35 +220,60 @@ def suffix_filter(
     never be pruned.  ``hamming_max`` is only used for early exit — the
     returned value is a valid lower bound regardless.
     """
-    la, lb = len(suffix_a), len(suffix_b)
+    return _suffix_filter(
+        suffix_a, 0, len(suffix_a),
+        suffix_b, 0, len(suffix_b),
+        hamming_max, depth,
+    )
+
+
+def _suffix_filter(
+    suffix_a: Sequence[int],
+    a_lo: int,
+    a_hi: int,
+    suffix_b: Sequence[int],
+    b_lo: int,
+    b_hi: int,
+    hamming_max: int,
+    depth: int,
+) -> int:
+    """:func:`suffix_filter` on index ranges — the recursion never slices,
+    so a candidate test allocates nothing however deep it recurses."""
+    la = a_hi - a_lo
+    lb = b_hi - b_lo
     if depth > _SUFFIX_MAX_DEPTH or la == 0 or lb == 0:
         return abs(la - lb)
 
-    mid = lb // 2
+    mid = b_lo + lb // 2
     w = suffix_b[mid]
-    b_left, b_right = suffix_b[:mid], suffix_b[mid + 1 :]
 
-    # Binary search for w's position in suffix_a.
-    lo, hi = 0, la
+    # Binary search for w's position in suffix_a[a_lo:a_hi].
+    lo, hi = a_lo, a_hi
     while lo < hi:
         m = (lo + hi) // 2
         if suffix_a[m] < w:
             lo = m + 1
         else:
             hi = m
-    if lo < la and suffix_a[lo] == w:
-        a_left, a_right, diff = suffix_a[:lo], suffix_a[lo + 1 :], 0
+    if lo < a_hi and suffix_a[lo] == w:
+        a_right_lo, diff = lo + 1, 0
     else:
-        a_left, a_right, diff = suffix_a[:lo], suffix_a[lo:], 1
+        a_right_lo, diff = lo, 1
 
-    right_gap = abs(len(a_right) - len(b_right))
-    h = abs(len(a_left) - len(b_left)) + right_gap + diff
+    right_gap = abs((a_hi - a_right_lo) - (b_hi - mid - 1))
+    h = abs((lo - a_lo) - (mid - b_lo)) + right_gap + diff
     if h > hamming_max:
         return h
 
-    h_left = suffix_filter(a_left, b_left, hamming_max - right_gap - diff, depth + 1)
+    h_left = _suffix_filter(
+        suffix_a, a_lo, lo, suffix_b, b_lo, mid,
+        hamming_max - right_gap - diff, depth + 1,
+    )
     h = h_left + right_gap + diff
     if h > hamming_max:
         return h
-    h_right = suffix_filter(a_right, b_right, hamming_max - h_left - diff, depth + 1)
+    h_right = _suffix_filter(
+        suffix_a, a_right_lo, a_hi, suffix_b, mid + 1, b_hi,
+        hamming_max - h_left - diff, depth + 1,
+    )
     return h_left + h_right + diff

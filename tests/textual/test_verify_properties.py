@@ -1,0 +1,137 @@
+"""Property tests: the verify-layer filter bounds are *admissible*.
+
+Every filter in :mod:`repro.textual.verify` is a pruning bound: it may
+admit a candidate pair that exact verification later rejects, but it must
+never reject a pair that brute-force Jaccard accepts — otherwise the
+joins silently lose results.  Randomized canonical documents (sorted
+tuples of unique token ids) probe exactly that one-sided contract for
+``required_overlap``, ``probe_prefix_length``, ``index_prefix_length``,
+``position_upper_bound`` and ``suffix_filter``, plus the exactness of the
+verification kernels themselves.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textual.verify import (
+    index_prefix_length,
+    jaccard,
+    overlap,
+    overlap_at_least,
+    overlap_exact_or_pruned,
+    position_upper_bound,
+    probe_prefix_length,
+    required_overlap,
+    suffix_filter,
+    verify_jaccard,
+)
+
+#: Canonical documents: sorted tuples of unique token ids.  A small token
+#: universe forces frequent overlaps, which is where bounds get tight.
+docs = st.lists(
+    st.integers(min_value=0, max_value=40), max_size=14, unique=True
+).map(lambda tokens: tuple(sorted(tokens)))
+
+nonempty_docs = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=14, unique=True
+).map(lambda tokens: tuple(sorted(tokens)))
+
+thresholds = st.floats(min_value=0.05, max_value=0.95)
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc_a=docs, doc_b=docs, threshold=thresholds)
+def test_required_overlap_is_admissible(doc_a, doc_b, threshold):
+    # Jaccard >= t forces the overlap to reach alpha — a pair at the
+    # threshold can never be pruned by the overlap bound.  Two empty
+    # documents are out of scope: jaccard defines them as 1.0 but every
+    # join kernel drops empty documents before any filter runs.
+    if not doc_a and not doc_b:
+        return
+    if jaccard(doc_a, doc_b) >= threshold:
+        alpha = required_overlap(threshold, len(doc_a), len(doc_b))
+        assert overlap(doc_a, doc_b) >= alpha
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc_a=nonempty_docs, doc_b=nonempty_docs, threshold=thresholds)
+def test_probe_prefixes_share_a_token(doc_a, doc_b, threshold):
+    # The prefix-filtering principle: matching pairs collide within
+    # their probing prefixes, so prefix indexing misses no result.
+    if jaccard(doc_a, doc_b) >= threshold:
+        prefix_a = doc_a[: probe_prefix_length(len(doc_a), threshold)]
+        prefix_b = doc_b[: probe_prefix_length(len(doc_b), threshold)]
+        assert set(prefix_a) & set(prefix_b)
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc_a=nonempty_docs, doc_b=nonempty_docs, threshold=thresholds)
+def test_index_prefix_valid_for_length_ordered_self_join(
+    doc_a, doc_b, threshold
+):
+    # In a length-ordered self-join the indexed record is never longer
+    # than the prober, which licenses the shorter indexing prefix; the
+    # probing side must still scan its full probing prefix.
+    shorter, longer = sorted((doc_a, doc_b), key=len)
+    if jaccard(shorter, longer) >= threshold:
+        index_prefix = shorter[: index_prefix_length(len(shorter), threshold)]
+        probe_prefix = longer[: probe_prefix_length(len(longer), threshold)]
+        assert set(index_prefix) & set(probe_prefix)
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc_a=nonempty_docs, doc_b=nonempty_docs)
+def test_position_upper_bound_dominates_true_overlap(doc_a, doc_b):
+    # At any shared token, tokens below it sit in both prefixes and
+    # tokens above it in both suffixes, so the bound decomposition holds.
+    common = sorted(set(doc_a) & set(doc_b))
+    if not common:
+        return
+    for token in common:
+        pos_a, pos_b = doc_a.index(token), doc_b.index(token)
+        acc = overlap(doc_a[:pos_a], doc_b[:pos_b])
+        bound = position_upper_bound(len(doc_a), pos_a, len(doc_b), pos_b, acc)
+        assert overlap(doc_a, doc_b) <= bound
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    suffix_a=docs,
+    suffix_b=docs,
+    hamming_max=st.integers(min_value=0, max_value=30),
+)
+def test_suffix_filter_never_exceeds_true_hamming(
+    suffix_a, suffix_b, hamming_max
+):
+    # The divide-and-conquer estimate is a lower bound on the true
+    # Hamming distance whatever the early-exit budget, so a candidate
+    # whose true distance is within budget can never be disqualified.
+    true_hamming = (
+        len(suffix_a) + len(suffix_b) - 2 * overlap(suffix_a, suffix_b)
+    )
+    assert suffix_filter(suffix_a, suffix_b, hamming_max) <= true_hamming
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc_a=docs, doc_b=docs, threshold=thresholds)
+def test_verify_jaccard_matches_brute_force(doc_a, doc_b, threshold):
+    # Same empty-pair exclusion as above: verification is only ever
+    # reached for documents that survived the kernels' emptiness check.
+    if not doc_a and not doc_b:
+        return
+    alpha = required_overlap(threshold, len(doc_a), len(doc_b))
+    assert verify_jaccard(doc_a, doc_b, threshold, alpha) == (
+        jaccard(doc_a, doc_b) >= threshold
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc_a=docs, doc_b=docs, alpha=st.integers(min_value=0, max_value=20))
+def test_overlap_kernels_agree_with_exact_overlap(doc_a, doc_b, alpha):
+    exact = overlap(doc_a, doc_b)
+    assert overlap_at_least(doc_a, doc_b, alpha) == (exact >= alpha)
+    bounded = overlap_exact_or_pruned(doc_a, doc_b, alpha)
+    if bounded >= 0:
+        assert bounded == exact
+    else:
+        assert exact < alpha
