@@ -27,7 +27,12 @@ The direct run measures three things and writes them all to
   highest worker count — the cost-model chunking keeps it ≤ 1.5;
 * the telemetry overhead budget (see ``docs/observability.md``): an
   enabled :class:`repro.Telemetry` may cost at most 5% over the
-  uninstrumented engine run, a disabled one at most 1%.
+  uninstrumented engine run, a disabled one at most 1%, and a full
+  EXPLAIN run (enabled telemetry + report + ``build_explain``) at most
+  5% as well;
+* the deterministic work counters of the legacy 150-user run, recorded
+  into the payload's ``counters`` section so
+  ``scripts/check_bench_regression.py`` can gate on them exactly.
 """
 
 import argparse
@@ -91,27 +96,43 @@ def test_sequential_baseline(run_once):
     assert isinstance(result, list)
 
 
-#: Telemetry overhead budgets the observability docs promise.
+#: Telemetry overhead budgets the observability docs promise.  The
+#: explain budget matches the enabled budget: building the
+#: :class:`repro.obs.ExplainReport` is a post-run aggregation over
+#: already-collected counters, not extra per-pair instrumentation.
 MAX_TELEMETRY_OVERHEAD = 0.05
 MAX_DISABLED_OVERHEAD = 0.01
+MAX_EXPLAIN_OVERHEAD = 0.05
 TELEMETRY_ROUNDS = 5
 
 
-def _telemetry_overhead(dataset, query):
-    """Best engine wall-clock without telemetry, disabled, and enabled.
+def _explain_run(executor, dataset, query):
+    from repro.obs import build_explain
 
-    All three run the sequential backend so the numbers isolate the
+    tele = Telemetry()
+    _pairs, report = executor.join(
+        dataset, query, algorithm="s-ppj-b", telemetry=tele, with_report=True
+    )
+    build_explain(tele, report, dataset=dataset)
+
+
+def _telemetry_overhead(dataset, query):
+    """Best engine wall-clock: no telemetry, disabled, enabled, explain.
+
+    All four run the sequential backend so the numbers isolate the
     instrumentation cost from scheduling noise.  Rounds are interleaved
-    (none, disabled, enabled, none, ...) so slow clock drift on a busy
-    host hits every configuration equally instead of whichever block ran
-    last, and each configuration reports its *minimum* across rounds:
-    host interference only ever slows a run down, so the min is the
-    estimate of intrinsic cost least contaminated by one-sided noise.
-    The caller passes the grown main workload — the kernel-layer
+    (none, disabled, enabled, explain, none, ...) so slow clock drift on
+    a busy host hits every configuration equally instead of whichever
+    block ran last, and each configuration reports its *minimum* across
+    rounds: host interference only ever slows a run down, so the min is
+    the estimate of intrinsic cost least contaminated by one-sided
+    noise.  The caller passes the grown main workload — the kernel-layer
     speedups shrank the legacy 150-user run to a few hundred ms, where
     scheduler jitter dwarfs the single-digit-percent budgets no
     estimator can shake off.  A disabled Telemetry must be
-    indistinguishable from none at all (the engine short-circuits it).
+    indistinguishable from none at all (the engine short-circuits it);
+    the explain configuration additionally assembles the
+    :class:`repro.obs.ExplainReport` after the run.
     """
     executor = JoinExecutor(workers=1, backend="sequential")
     configs = {
@@ -123,6 +144,7 @@ def _telemetry_overhead(dataset, query):
         "enabled": lambda: executor.join(
             dataset, query, algorithm="s-ppj-b", telemetry=Telemetry()
         ),
+        "explain": lambda: _explain_run(executor, dataset, query),
     }
     for fn in configs.values():  # warm-up, untimed
         fn()
@@ -132,8 +154,7 @@ def _telemetry_overhead(dataset, query):
             start = time.perf_counter()
             fn()
             times[name].append(time.perf_counter() - start)
-    best = {name: min(vals) for name, vals in times.items()}
-    return best["none"], best["disabled"], best["enabled"]
+    return {name: min(vals) for name, vals in times.items()}
 
 
 def _chunk_imbalance(report) -> float:
@@ -205,21 +226,31 @@ def main(argv=None) -> int:
         )
 
     # The 150-user sequential phase keeps one number directly comparable
-    # to the `join_workers_1` phase of pre-grown committed baselines.
+    # to the `join_workers_1` phase of pre-grown committed baselines.  The
+    # same run collects the deterministic work counters the regression
+    # checker gates on exactly (the legacy workload is fixed-seed, so the
+    # counters are reproducible across hosts and backends).
     legacy_dataset = dataset_for(PRESET, NUM_USERS)
     seq_executor = JoinExecutor(workers=1, backend="sequential")
+    legacy_tele = Telemetry()
     start = time.perf_counter()
-    seq_executor.join(legacy_dataset, query, algorithm="s-ppj-b")
+    seq_executor.join(
+        legacy_dataset, query, algorithm="s-ppj-b", telemetry=legacy_tele
+    )
     seq_150 = time.perf_counter() - start
+    work_counters = legacy_tele.work_counters()
     print(f"  sequential ({NUM_USERS} users, legacy workload): {seq_150:8.3f}s")
 
-    base, disabled, enabled = _telemetry_overhead(dataset, query)
-    overhead_on = enabled / base - 1.0
-    overhead_off = disabled / base - 1.0
+    best = _telemetry_overhead(dataset, query)
+    base = best["none"]
+    overhead_on = best["enabled"] / base - 1.0
+    overhead_off = best["disabled"] / base - 1.0
+    overhead_explain = best["explain"] / base - 1.0
     print(f"telemetry (sequential backend, best of {TELEMETRY_ROUNDS}):")
     print(f"  none                     : {base:8.3f}s")
-    print(f"  disabled                 : {disabled:8.3f}s  ({overhead_off:+.1%})")
-    print(f"  enabled                  : {enabled:8.3f}s  ({overhead_on:+.1%})")
+    print(f"  disabled                 : {best['disabled']:8.3f}s  ({overhead_off:+.1%})")
+    print(f"  enabled                  : {best['enabled']:8.3f}s  ({overhead_on:+.1%})")
+    print(f"  explain                  : {best['explain']:8.3f}s  ({overhead_explain:+.1%})")
 
     top_workers = max(worker_counts)
     base_workers = min(worker_counts)
@@ -230,6 +261,7 @@ def main(argv=None) -> int:
         "chunk_imbalance": chunk_imbalance,
         "telemetry_overhead_enabled": overhead_on,
         "telemetry_overhead_disabled": overhead_off,
+        "telemetry_overhead_explain": overhead_explain,
     }
     path = write_bench_json(
         "parallel_speedup",
@@ -246,8 +278,9 @@ def main(argv=None) -> int:
             **{f"join_workers_{w}": t for w, t in times.items()},
             f"join_workers_1_users_{NUM_USERS}": seq_150,
             "telemetry_none": base,
-            "telemetry_disabled": disabled,
-            "telemetry_enabled": enabled,
+            "telemetry_disabled": best["disabled"],
+            "telemetry_enabled": best["enabled"],
+            "telemetry_explain": best["explain"],
         },
         results={
             **results,
@@ -256,6 +289,7 @@ def main(argv=None) -> int:
                 for w, v in imbalances.items()
             },
         },
+        counters=work_counters,
         directory=REPO_ROOT,
     )
     print(f"wrote {path}")
@@ -291,9 +325,15 @@ def main(argv=None) -> int:
             f"{MAX_DISABLED_OVERHEAD:.0%}"
         )
         return 1
+    if overhead_explain > MAX_EXPLAIN_OVERHEAD:
+        print(
+            f"FAIL: explain overhead {overhead_explain:.1%} exceeds "
+            f"{MAX_EXPLAIN_OVERHEAD:.0%}"
+        )
+        return 1
     print(
         f"OK: telemetry overhead {overhead_on:+.1%} enabled / "
-        f"{overhead_off:+.1%} disabled"
+        f"{overhead_off:+.1%} disabled / {overhead_explain:+.1%} explain"
     )
 
     if top_workers >= 4 and cpus >= top_workers:

@@ -28,6 +28,17 @@ comparison across different workloads is noise, so the baseline must be
 refreshed in the same change that alters the workload.  The ``cpus``
 config key is exempt — the host sizing legitimately differs between a
 laptop and CI.
+
+Payloads carrying a ``counters`` section (deterministic work counters,
+see ``docs/observability.md``) are gated *exactly*: any counter whose
+value differs from the baseline — or appears on only one side — fails
+the check even when every wall-clock phase is within tolerance.  The
+counters are reproducible by construction (merge-on-accept registries,
+fixed-seed workloads), so unlike timings they admit no tolerance; drift
+means the algorithms did different work and the baseline must be
+refreshed deliberately.  A baseline without a ``counters`` section
+prints a note instead of failing, so older snapshots keep working until
+refreshed.
 """
 
 from __future__ import annotations
@@ -94,6 +105,48 @@ def _config_drift(fresh: dict, baseline: dict) -> List[str]:
     return drifted
 
 
+def check_counters(fresh: dict, baseline: dict, failures: List[str]) -> None:
+    """Exact-equality gate on the deterministic ``counters`` section.
+
+    Work counters are byte-identical across backends and retries by
+    construction, so *any* delta is a regression — no tolerance.  This
+    catches work-level drift (a filter silently pruning less, a kernel
+    evaluating more pairs) that a 20% wall-clock tolerance on a noisy
+    CI host would wave through.
+    """
+    name = fresh["name"]
+    base_counters = baseline.get("counters")
+    if base_counters is None:
+        if fresh.get("counters"):
+            print(
+                f"  {name}: baseline has no counters section — refresh with "
+                f"--update to start gating on work counters"
+            )
+        return
+    fresh_counters = fresh.get("counters")
+    if fresh_counters is None:
+        failures.append(
+            f"{name}: baseline has work counters but the fresh run recorded "
+            f"none — counter gating cannot be silently dropped"
+        )
+        return
+    drifted = []
+    for key in sorted(set(base_counters) | set(fresh_counters)):
+        base_value = base_counters.get(key)
+        fresh_value = fresh_counters.get(key)
+        if base_value != fresh_value:
+            drifted.append(f"{key}: baseline={base_value} fresh={fresh_value}")
+    if drifted:
+        failures.append(
+            f"{name}: work counters drifted from the baseline — the "
+            f"algorithms did different work ({'; '.join(drifted)}); refresh "
+            f"with --update only if the change is deliberate"
+        )
+        print(f"  {name}.counters: DRIFT ({len(drifted)} counter(s) differ)")
+    else:
+        print(f"  {name}.counters: {len(base_counters)} counter(s) identical")
+
+
 def check_file(
     fresh: dict,
     baseline: dict,
@@ -109,6 +162,7 @@ def check_file(
             f"({'; '.join(drift)}) — refresh with --update"
         )
         return
+    check_counters(fresh, baseline, failures)
     for phase, base_seconds in sorted(baseline["phases"].items()):
         fresh_seconds = fresh["phases"].get(phase)
         if fresh_seconds is None:

@@ -58,14 +58,19 @@ def bench_payload(
     phases: Mapping[str, float],
     results: Optional[Mapping[str, Any]] = None,
     cwd: Optional[Union[str, os.PathLike]] = None,
+    counters: Optional[Mapping[str, int]] = None,
 ) -> Dict[str, Any]:
     """The stable machine-readable benchmark record.
 
     ``phases`` maps phase name -> seconds; ``config`` records whatever
     parameters produced the numbers (dataset, sizes, thresholds);
-    ``results`` carries derived values (speedups, overhead ratios).
+    ``results`` carries derived values (speedups, overhead ratios);
+    ``counters`` (additive, schema-compatible) carries the run's
+    deterministic work counters (``Telemetry.work_counters()``), which
+    ``scripts/check_bench_regression.py`` gates on exactly — robust
+    where wall-clock baselines are not (throttled CI hosts).
     """
-    return {
+    payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "name": name,
         "git_sha": git_sha(cwd),
@@ -74,6 +79,11 @@ def bench_payload(
         "phases": {key: float(value) for key, value in phases.items()},
         "results": dict(results) if results else {},
     }
+    if counters is not None:
+        payload["counters"] = {
+            key: int(value) for key, value in counters.items()
+        }
+    return payload
 
 
 def write_bench_json(
@@ -82,9 +92,10 @@ def write_bench_json(
     phases: Mapping[str, float],
     results: Optional[Mapping[str, Any]] = None,
     directory: Union[str, os.PathLike] = ".",
+    counters: Optional[Mapping[str, int]] = None,
 ) -> str:
     """Write ``BENCH_<name>.json`` into ``directory``; returns the path."""
-    payload = bench_payload(name, config, phases, results, cwd=directory)
+    payload = bench_payload(name, config, phases, results, cwd=directory, counters=counters)
     path = os.path.join(os.fspath(directory), f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

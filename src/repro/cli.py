@@ -33,7 +33,13 @@ from .exec import (
     ExecutionFailed,
     ExecutionPolicy,
 )
-from .obs import METRICS_FORMATS, Telemetry
+from .obs import (
+    METRICS_FORMATS,
+    Telemetry,
+    diff_files,
+    render_diff,
+    render_explain,
+)
 from .datasets.ingest import load_delimited
 from .datasets.loaders import load_tsv, save_tsv
 from .datasets.stats import dataset_stats, format_table1
@@ -119,6 +125,19 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         help="metrics serialization: jsonl (machine), prom (Prometheus "
         "text exposition), or summary (human-readable table)",
     )
+    tel.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a filter-funnel EXPLAIN report to stderr "
+        "(see docs/observability.md)",
+    )
+    tel.add_argument(
+        "--explain-out",
+        metavar="PATH",
+        default=None,
+        help="write the EXPLAIN report to PATH as JSON "
+        "(diff two runs with `stpsjoin obs diff`)",
+    )
 
 
 def _policy_from_args(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
@@ -165,27 +184,54 @@ def _executor_kwargs(args: argparse.Namespace) -> dict:
 
 
 def _telemetry_from_args(args: argparse.Namespace) -> Optional[Telemetry]:
-    """A :class:`Telemetry` when any telemetry flag was given."""
-    if args.trace is None and args.metrics is None:
+    """A :class:`Telemetry` when any telemetry flag was given.
+
+    ``--explain`` / ``--explain-out`` need one too: the EXPLAIN report is
+    assembled from the run's metrics registry.
+    """
+    if (
+        args.trace is None
+        and args.metrics is None
+        and not args.explain
+        and args.explain_out is None
+    ):
         return None
     return Telemetry()
 
 
 def _write_telemetry_outputs(
-    args: argparse.Namespace, telemetry: Optional[Telemetry]
+    args: argparse.Namespace,
+    telemetry: Optional[Telemetry],
+    report=None,
+    explain_report=None,
 ) -> None:
-    """Write ``--trace`` / ``--metrics`` files and report them on stderr."""
-    if telemetry is None:
-        return
-    if args.trace is not None:
-        spans = telemetry.write_trace(args.trace)
-        print(f"wrote {spans} trace spans to {args.trace}", file=sys.stderr)
-    if args.metrics is not None:
-        telemetry.write_metrics(args.metrics, fmt=args.metrics_format)
-        print(
-            f"wrote metrics ({args.metrics_format}) to {args.metrics}",
-            file=sys.stderr,
-        )
+    """Write ``--trace`` / ``--metrics`` / ``--explain-out`` artifacts.
+
+    Each written path is reported on stderr and recorded in
+    ``report.artifacts`` (when a report exists) so the execution summary
+    the CLI prints afterwards points at everything the run produced.
+    """
+    artifacts = {}
+    if telemetry is not None:
+        if args.trace is not None:
+            spans = telemetry.write_trace(args.trace)
+            print(f"wrote {spans} trace spans to {args.trace}", file=sys.stderr)
+            artifacts["trace"] = args.trace
+        if args.metrics is not None:
+            telemetry.write_metrics(args.metrics, fmt=args.metrics_format)
+            print(
+                f"wrote metrics ({args.metrics_format}) to {args.metrics}",
+                file=sys.stderr,
+            )
+            artifacts["metrics"] = args.metrics
+    if explain_report is not None and args.explain_out is not None:
+        with open(args.explain_out, "w", encoding="utf-8") as handle:
+            handle.write(explain_report.to_json())
+            handle.write("\n")
+        print(f"wrote explain report to {args.explain_out}", file=sys.stderr)
+        artifacts["explain"] = args.explain_out
+    if report is not None:
+        report.artifacts.update(artifacts)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -272,6 +318,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tune.add_argument("--seed", type=int, default=0)
 
+    p_obs = sub.add_parser(
+        "obs", help="inspect observability artifacts (explain / BENCH JSON)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two artifacts: counter drift fails, wall-clock advises",
+    )
+    p_diff.add_argument("before", help="baseline explain/BENCH JSON")
+    p_diff.add_argument("after", help="fresh explain/BENCH JSON")
+    p_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative wall-clock change worth reporting (default: %(default)s)",
+    )
+    p_show = obs_sub.add_parser(
+        "show", help="render an explain JSON artifact for humans"
+    )
+    p_show.add_argument("path", help="explain JSON written by --explain-out")
+
     p_bench = sub.add_parser("bench", help="regenerate the paper's experiments")
     p_bench.add_argument("--fast", action="store_true", help="smaller workloads")
     p_bench.add_argument(
@@ -334,6 +401,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
+    explain_requested = args.explain or args.explain_out is not None
+    if explain_requested:
+        kwargs["explain"] = True
     result = stps_join(
         dataset,
         args.eps_loc,
@@ -342,11 +412,20 @@ def _cmd_join(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         **kwargs,
     )
-    pairs = result
+    explain_report = None
+    if explain_requested:
+        *rest, explain_report = result
+        result = rest[0] if len(rest) == 1 else tuple(rest)
+    pairs, report = result, None
     if kwargs.get("with_report"):
         pairs, report = result
+    _write_telemetry_outputs(
+        args, telemetry, report=report, explain_report=explain_report
+    )
+    if args.explain and explain_report is not None:
+        print(explain_report.summary(), file=sys.stderr)
+    if report is not None:
         print(report.summary(), file=sys.stderr)
-    _write_telemetry_outputs(args, telemetry)
     label = f"algorithm {args.algorithm}"
     if args.workers is not None:
         label += f", {args.workers} workers"
@@ -369,6 +448,9 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
+    explain_requested = args.explain or args.explain_out is not None
+    if explain_requested:
+        kwargs["explain"] = True
     result = topk_stps_join(
         dataset,
         args.eps_loc,
@@ -377,11 +459,20 @@ def _cmd_topk(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         **kwargs,
     )
-    pairs = result
+    explain_report = None
+    if explain_requested:
+        *rest, explain_report = result
+        result = rest[0] if len(rest) == 1 else tuple(rest)
+    pairs, report = result, None
     if kwargs.get("with_report"):
         pairs, report = result
+    _write_telemetry_outputs(
+        args, telemetry, report=report, explain_report=explain_report
+    )
+    if args.explain and explain_report is not None:
+        print(explain_report.summary(), file=sys.stderr)
+    if report is not None:
         print(report.summary(), file=sys.stderr)
-    _write_telemetry_outputs(args, telemetry)
     elapsed = time.perf_counter() - start
     print(
         f"top-{args.k}: {len(pairs)} pairs (algorithm {args.algorithm}, "
@@ -443,6 +534,32 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``obs diff`` / ``obs show`` over explain and BENCH artifacts.
+
+    ``obs diff`` exits ``1`` exactly when deterministic work counters
+    drifted — wall-clock changes alone never fail (they are advisory;
+    see docs/observability.md).
+    """
+    if args.obs_command == "diff":
+        diff = diff_files(args.before, args.after, tolerance=args.tolerance)
+        print(render_diff(diff))
+        return 1 if diff["counter_drift"] else 0
+    import json
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("kind") != "explain":
+        print(
+            f"error: {args.path} is not an explain artifact "
+            f"(expected \"kind\": \"explain\")",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_explain(payload))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment is None:
         if args.csv:
@@ -488,6 +605,7 @@ _COMMANDS = {
     "topk": _cmd_topk,
     "knn": _cmd_knn,
     "tune": _cmd_tune,
+    "obs": _cmd_obs,
     "bench": _cmd_bench,
 }
 

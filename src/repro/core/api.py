@@ -104,6 +104,13 @@ def _attach_telemetry(result, telemetry, with_telemetry: bool):
     return result, telemetry
 
 
+def _attach_explain(result, explain_report):
+    """Append the :class:`~repro.obs.ExplainReport` (always last)."""
+    if isinstance(result, tuple):
+        return (*result, explain_report)
+    return result, explain_report
+
+
 def stps_join(
     dataset: STDataset,
     eps_loc: float,
@@ -119,6 +126,7 @@ def stps_join(
     with_report: bool = False,
     telemetry=None,
     with_telemetry: bool = False,
+    explain: bool = False,
     **kwargs,
 ):
     """Evaluate an STPSJoin query (Definition 1).
@@ -156,9 +164,19 @@ def stps_join(
         one and appends it to the return value (after the report when
         ``with_report`` is also set).  Either routes through the engine;
         see ``docs/observability.md``.
+    explain:
+        Build an :class:`repro.obs.ExplainReport` (filter funnel, phase
+        attribution, chunk stats — the EXPLAIN section of
+        ``docs/observability.md``) from the run and append it to the
+        return value, always last.  Implies routing through the engine
+        and constructs an internal ``Telemetry`` when none was given.
     """
     query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
     telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
+    if explain and telemetry is None:
+        from ..obs import Telemetry
+
+        telemetry = Telemetry()
     if (
         workers is not None
         or backend is not None
@@ -174,11 +192,21 @@ def stps_join(
             query,
             algorithm=algorithm,
             stats=stats,
-            with_report=with_report,
+            with_report=with_report or explain,
             telemetry=telemetry,
             **kwargs,
         )
-        return _attach_telemetry(result, telemetry, with_telemetry)
+        explain_report = None
+        if explain:
+            from ..obs import build_explain
+
+            pairs, report = result
+            explain_report = build_explain(telemetry, report, dataset=dataset)
+            result = (pairs, report) if with_report else pairs
+        result = _attach_telemetry(result, telemetry, with_telemetry)
+        if explain:
+            result = _attach_explain(result, explain_report)
+        return result
     try:
         run = JOIN_ALGORITHMS[algorithm]
     except KeyError:
@@ -205,6 +233,7 @@ def topk_stps_join(
     with_report: bool = False,
     telemetry=None,
     with_telemetry: bool = False,
+    explain: bool = False,
 ):
     """Evaluate a top-k STPSJoin query (Definition 2).
 
@@ -212,11 +241,15 @@ def topk_stps_join(
     execution engine, exactly as in :func:`stps_join`; the returned k
     best pairs are byte-identical to the sequential algorithms (ties are
     broken canonically everywhere).  ``policy``, ``with_report``,
-    ``telemetry`` and ``with_telemetry`` also behave as in
+    ``telemetry``, ``with_telemetry`` and ``explain`` also behave as in
     :func:`stps_join`.
     """
     query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
     telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
+    if explain and telemetry is None:
+        from ..obs import Telemetry
+
+        telemetry = Telemetry()
     if (
         workers is not None
         or backend is not None
@@ -229,9 +262,19 @@ def topk_stps_join(
         )
         result = executor.topk(
             dataset, query, algorithm=algorithm, stats=stats,
-            with_report=with_report, telemetry=telemetry,
+            with_report=with_report or explain, telemetry=telemetry,
         )
-        return _attach_telemetry(result, telemetry, with_telemetry)
+        explain_report = None
+        if explain:
+            from ..obs import build_explain
+
+            pairs, report = result
+            explain_report = build_explain(telemetry, report, dataset=dataset)
+            result = (pairs, report) if with_report else pairs
+        result = _attach_telemetry(result, telemetry, with_telemetry)
+        if explain:
+            result = _attach_explain(result, explain_report)
+        return result
     try:
         run = TOPK_ALGORITHMS[algorithm]
     except KeyError:

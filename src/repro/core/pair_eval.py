@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..obs import runtime as _obs
+from ..obs.funnel import flush_funnel
 from ..spatial.grid import (
     _LOWER_ID_OFFSETS,
     _SNAKE_EVEN_OFFSETS,
@@ -99,9 +100,13 @@ class PairEvalStats:
             setattr(self, name, getattr(self, name) + counters.get(name, 0))
 
 
-#: Sentinel marking a candidate eliminated by the positional filter
-#: (mirrors :mod:`repro.textual.ppjoin`).
-_PRUNED = -1
+#: Sentinels marking pruned candidates (mirrors
+#: :mod:`repro.textual.ppjoin`).  Two distinct negative values let the
+#: post-hoc funnel tally attribute the prune to the length or the
+#: positional filter without any extra work in the probe loop (the
+#: hot-path checks become ``acc < 0``, same cost as an equality test).
+_PRUNED_LEN = -1
+_PRUNED_POS = -2
 
 _probe_prefix_length = JACCARD.probe_prefix_length
 _required_overlap = JACCARD.required_overlap
@@ -124,7 +129,18 @@ def _join_small(
     exact set intersection.  All filters are admissible — a pruned pair
     provably fails the exact test — so matches are identical to the
     unfiltered loop.
+
+    With an active registry the counted twin below runs instead,
+    attributing every pair to one funnel stage; without one this loop is
+    byte-for-byte the uninstrumented kernel.
     """
+    reg = _obs.active()
+    if reg is not None:
+        _join_small_counted(
+            pack_a, pack_b, eps_sq, eps_doc, matched_a, matched_b,
+            predicate, reg,
+        )
+        return
     oids_a, xs_a, ys_a = pack_a.oids, pack_a.xs, pack_a.ys
     docs_a, sets_a, objs_a = pack_a.docs, pack_a.doc_sets, pack_a.objs
     oids_b, xs_b, ys_b = pack_b.oids, pack_b.xs, pack_b.ys
@@ -166,6 +182,90 @@ def _join_small(
                 a_matched = True
 
 
+def _join_small_counted(
+    pack_a: CellPack,
+    pack_b: CellPack,
+    eps_sq: float,
+    eps_doc: float,
+    matched_a: Set[int],
+    matched_b: Set[int],
+    predicate: Optional[Callable[[STObject, STObject], bool]],
+    reg,
+) -> None:
+    """:func:`_join_small` with per-stage funnel tallies.
+
+    Identical filter order and matches; each of the ``n_a * n_b`` pairs
+    is charged to the first filter that dismissed it (the token-id-range
+    disjointness test counts as ``prefix`` — it proves no shared token,
+    which is what the prefix filter establishes in the indexed kernel).
+    Tallies live in locals and flush once at the end.
+    """
+    oids_a, xs_a, ys_a = pack_a.oids, pack_a.xs, pack_a.ys
+    docs_a, sets_a, objs_a = pack_a.docs, pack_a.doc_sets, pack_a.objs
+    oids_b, xs_b, ys_b = pack_b.oids, pack_b.xs, pack_b.ys
+    docs_b, sets_b, objs_b = pack_b.docs, pack_b.doc_sets, pack_b.objs
+    lens_b = pack_b.lens
+    n_b = len(oids_b)
+    n_skip = n_empty = n_spatial = n_length = n_prefix = n_predicate = 0
+    n_verified = n_matched = 0
+    for i in range(len(oids_a)):
+        da = docs_a[i]
+        la = len(da)
+        if la == 0:
+            n_empty += n_b
+            continue
+        sa = sets_a[i]
+        ax, ay = xs_a[i], ys_a[i]
+        a_first, a_last = da[0], da[-1]
+        min_len = eps_doc * la - _EPS
+        max_len = la / eps_doc + _EPS
+        a_matched = oids_a[i] in matched_a
+        for j in range(n_b):
+            if a_matched and oids_b[j] in matched_b:
+                n_skip += 1
+                continue
+            lb = lens_b[j]
+            if lb == 0:
+                n_empty += 1
+                continue
+            dx = ax - xs_b[j]
+            dy = ay - ys_b[j]
+            if dx * dx + dy * dy > eps_sq:
+                n_spatial += 1
+                continue
+            if lb < min_len or lb > max_len:
+                n_length += 1
+                continue
+            db = docs_b[j]
+            if db[0] > a_last or a_first > db[-1]:
+                n_prefix += 1
+                continue
+            if predicate is not None and not predicate(objs_a[i], objs_b[j]):
+                n_predicate += 1
+                continue
+            n_verified += 1
+            sb = sets_b[j]
+            inter = len(sa & sb)
+            if inter and inter / (la + lb - inter) >= eps_doc:
+                matched_a.add(oids_a[i])
+                matched_b.add(oids_b[j])
+                a_matched = True
+                n_matched += 1
+    flush_funnel(
+        reg,
+        len(oids_a) * n_b,
+        skip=n_skip,
+        empty=n_empty,
+        spatial=n_spatial,
+        length=n_length,
+        prefix=n_prefix,
+        predicate=n_predicate,
+        verified=n_verified,
+        matched=n_matched,
+        cell_pairs=1,
+    )
+
+
 def _probe_join(
     pack_a: CellPack,
     pack_b: CellPack,
@@ -187,6 +287,11 @@ def _probe_join(
     as :func:`repro.textual.ppjoin.similarity_rs_join`; verification then
     applies the both-matched skip, the spatial test, the optional
     predicate, and exact Jaccard on the cached ``doc_set``s.
+
+    Funnel accounting covers *all* ``n_probe * n_indexed`` pairs: pairs
+    the inverted index never surfaced for a probing record are charged to
+    the ``prefix`` stage (``empty`` when a side has no tokens) — counted
+    post hoc from the candidate map sizes, never inside the probe loop.
     """
     if index_is_b:
         probe, indexed = pack_a, pack_b
@@ -197,12 +302,18 @@ def _probe_join(
     oids_a, xs_a, ys_a, sets_a = pack_a.oids, pack_a.xs, pack_a.ys, pack_a.doc_sets
     oids_b, xs_b, ys_b, sets_b = pack_b.oids, pack_b.xs, pack_b.ys, pack_b.doc_sets
     reg = _obs.active()
-    n_candidates = n_pruned = n_verified = n_matches = 0
+    n_idx = len(index_lens)
+    if reg is not None:
+        n_idx_empty = sum(1 for ly in index_lens if ly == 0)
+        n_idx_filled = n_idx - n_idx_empty
+    n_skip = n_empty = n_spatial = n_length = n_prefix = n_positional = 0
+    n_predicate = n_verified = n_matches = 0
 
     for x_idx in range(len(probe_docs)):
         x = probe_docs[x_idx]
         lx = len(x)
         if lx == 0:
+            n_empty += n_idx
             continue
         min_len = eps_doc * lx - _EPS
         max_len = lx / eps_doc + _EPS
@@ -214,26 +325,31 @@ def _probe_join(
                 continue
             for y_idx, pos_y in postings:
                 acc = candidates.get(y_idx, 0)
-                if acc == _PRUNED:
+                if acc < 0:
                     continue
                 ly = index_lens[y_idx]
                 if ly < min_len or ly > max_len:
-                    candidates[y_idx] = _PRUNED
+                    candidates[y_idx] = _PRUNED_LEN
                     continue
                 alpha = alpha_by_len.get(ly)
                 if alpha is None:
                     alpha = alpha_by_len[ly] = _required_overlap(eps_doc, lx, ly)
                 if acc + 1 + min(lx - pos_x - 1, ly - pos_y - 1) < alpha:
-                    candidates[y_idx] = _PRUNED
+                    candidates[y_idx] = _PRUNED_POS
                     continue
                 candidates[y_idx] = acc + 1
 
         if reg is not None:
+            # Only non-empty indexed records appear in postings, so the
+            # pairs this probe never surfaced split into empty partners
+            # and prefix-disjoint partners.
+            n_empty += n_idx_empty
+            n_prefix += n_idx_filled - len(candidates)
             for acc in candidates.values():
-                if acc == _PRUNED:
-                    n_pruned += 1
-                elif acc > 0:
-                    n_candidates += 1
+                if acc == _PRUNED_LEN:
+                    n_length += 1
+                elif acc == _PRUNED_POS:
+                    n_positional += 1
 
         for y_idx, acc in candidates.items():
             if acc <= 0:
@@ -244,14 +360,20 @@ def _probe_join(
                 i, j = y_idx, x_idx
             oa, ob = oids_a[i], oids_b[j]
             if oa in matched_a and ob in matched_b:
+                if reg is not None:
+                    n_skip += 1
                 continue
             dx = xs_a[i] - xs_b[j]
             dy = ys_a[i] - ys_b[j]
             if dx * dx + dy * dy > eps_sq:
+                if reg is not None:
+                    n_spatial += 1
                 continue
             if predicate is not None and not predicate(
                 pack_a.objs[i], pack_b.objs[j]
             ):
+                if reg is not None:
+                    n_predicate += 1
                 continue
             if reg is not None:
                 n_verified += 1
@@ -264,10 +386,20 @@ def _probe_join(
                     n_matches += 1
 
     if reg is not None:
-        reg.counter("ppjoin.candidates").inc(n_candidates)
-        reg.counter("ppjoin.pruned").inc(n_pruned)
-        reg.counter("ppjoin.verified").inc(n_verified)
-        reg.counter("ppjoin.matches").inc(n_matches)
+        flush_funnel(
+            reg,
+            len(probe_docs) * n_idx,
+            skip=n_skip,
+            empty=n_empty,
+            spatial=n_spatial,
+            length=n_length,
+            prefix=n_prefix,
+            positional=n_positional,
+            predicate=n_predicate,
+            verified=n_verified,
+            matched=n_matches,
+            cell_pairs=1,
+        )
 
 
 def _join_cell_packs(

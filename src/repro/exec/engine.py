@@ -119,6 +119,10 @@ _WORKER_STATE: Dict[int, dict] = {}
 #: of the counter but never allocate, so collisions cannot happen).
 _RUN_TOKENS = itertools.count(1)
 
+#: Run-id sequence for untraced runs (``ExecutionReport.run_id`` when no
+#: telemetry supplies a traced span id).
+_RUN_SEQ = itertools.count(1)
+
 
 def _execute_chunk(
     plan: Plan,
@@ -457,6 +461,12 @@ class JoinExecutor:
                     "workers": self.workers,
                 },
             )
+        # The run id is deterministic either way: the traced span id when
+        # telemetry is active, an engine-local sequence number otherwise.
+        report.run_id = (
+            run_span.run_id if run_span is not None
+            else f"{plan.kind}-{next(_RUN_SEQ):04d}"
+        )
         start = time.perf_counter()
         try:
             n_units = plan.num_units(dataset)

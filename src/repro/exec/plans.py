@@ -317,6 +317,7 @@ class NaiveJoinPlan(_PairwisePlan):
                 )
                 if score >= query.eps_user:
                     out.append(UserPair(users[i], users[j], score))
+        _obs.count("pairs.evaluated", sum(j1 - j0 for _i, j0, j1 in chunk))
         _obs.count("pairs.emitted", len(out))
         return out
 
@@ -350,6 +351,7 @@ class SPPJCPlan(_PairwisePlan):
                 score = matched / total
                 if score >= query.eps_user:
                     out.append(UserPair(users[i], users[j], score))
+        _obs.count("pairs.evaluated", sum(j1 - j0 for _i, j0, j1 in chunk))
         _obs.count("pairs.emitted", len(out))
         return out
 
@@ -387,6 +389,7 @@ class SPPJBPlan(_PairwisePlan):
                 )
                 if score >= query.eps_user:
                     out.append(UserPair(users[i], users[j], score))
+        _obs.count("pairs.evaluated", sum(j1 - j0 for _i, j0, j1 in chunk))
         _obs.count("pairs.emitted", len(out))
         return out
 
@@ -420,6 +423,7 @@ class SPPJFPlan(_UserShardPlan):
         refine: str = state["refine"]
         reg = _obs.active()
         cand_seconds = 0.0
+        n_evaluated = 0
         out: List[UserPair] = []
         for pos in chunk:
             user = users_list[pos]
@@ -441,6 +445,7 @@ class SPPJFPlan(_UserShardPlan):
             }
             if reg is not None:
                 cand_seconds += time.perf_counter() - started
+                n_evaluated += len(candidates)
             if stats is not None:
                 stats.candidates += len(candidates)
             for cand, (own_cells, cand_cells) in candidates.items():
@@ -481,6 +486,7 @@ class SPPJFPlan(_UserShardPlan):
                 if score >= query.eps_user:
                     out.append(UserPair(cand, user, score))
         if reg is not None:
+            reg.counter("pairs.evaluated").inc(n_evaluated)
             reg.counter("pairs.emitted").inc(len(out))
             reg.histogram("phase.candidates").observe(cand_seconds)
         return out
@@ -520,6 +526,7 @@ class SPPJDPlan(_UserShardPlan):
         query: STPSJoinQuery = state["query"]
         reg = _obs.active()
         cand_seconds = 0.0
+        n_evaluated = 0
         out: List[UserPair] = []
         for pos in chunk:
             user = users_list[pos]
@@ -529,6 +536,7 @@ class SPPJDPlan(_UserShardPlan):
             candidates = _leaf_candidates(index, user, rank, lambda r: r > my_rank)
             if reg is not None:
                 cand_seconds += time.perf_counter() - started
+                n_evaluated += len(candidates)
             size_u = sizes[user]
             if stats is not None:
                 stats.candidates += len(candidates)
@@ -558,6 +566,7 @@ class SPPJDPlan(_UserShardPlan):
                 if score >= query.eps_user:
                     out.append(UserPair(user, cand, score))
         if reg is not None:
+            reg.counter("pairs.evaluated").inc(n_evaluated)
             reg.counter("pairs.emitted").inc(len(out))
             reg.histogram("phase.candidates").observe(cand_seconds)
         return out
@@ -618,6 +627,7 @@ class NaiveTopKPlan(_PairwisePlan):
                 if score > 0.0:
                     heap.offer(UserPair(users[i], users[j], score))
         results = heap.results()
+        _obs.count("pairs.evaluated", sum(j1 - j0 for _i, j0, j1 in chunk))
         _obs.count("pairs.emitted", len(results))
         return results
 
@@ -653,6 +663,7 @@ class TopKGridPlan(_UserShardPlan):
         query: TopKQuery = state["query"]
         reg = _obs.active()
         cand_seconds = 0.0
+        n_evaluated = 0
         heap = _TopKHeap(query.k)
         for pos in chunk:
             user = users_list[pos]
@@ -670,6 +681,7 @@ class TopKGridPlan(_UserShardPlan):
             }
             if reg is not None:
                 cand_seconds += time.perf_counter() - started
+                n_evaluated += len(candidates)
             if stats is not None:
                 stats.candidates += len(candidates)
             for cand, (own_cells, cand_cells) in candidates.items():
@@ -705,6 +717,7 @@ class TopKGridPlan(_UserShardPlan):
                     heap.offer(UserPair(cand, user, score))
         results = heap.results()
         if reg is not None:
+            reg.counter("pairs.evaluated").inc(n_evaluated)
             reg.counter("pairs.emitted").inc(len(results))
             reg.histogram("phase.candidates").observe(cand_seconds)
         return results
@@ -742,6 +755,7 @@ class TopKLeafPlan(_UserShardPlan):
         query: TopKQuery = state["query"]
         reg = _obs.active()
         cand_seconds = 0.0
+        n_evaluated = 0
         heap = _TopKHeap(query.k)
         for pos in chunk:
             user = users_list[pos]
@@ -751,6 +765,7 @@ class TopKLeafPlan(_UserShardPlan):
             candidates = _leaf_candidates(index, user, rank, lambda r: r < my_rank)
             if reg is not None:
                 cand_seconds += time.perf_counter() - started
+                n_evaluated += len(candidates)
             size_u = sizes[user]
             if stats is not None:
                 stats.candidates += len(candidates)
@@ -782,6 +797,7 @@ class TopKLeafPlan(_UserShardPlan):
                     heap.offer(UserPair(cand, user, score))
         results = heap.results()
         if reg is not None:
+            reg.counter("pairs.evaluated").inc(n_evaluated)
             reg.counter("pairs.emitted").inc(len(results))
             reg.histogram("phase.candidates").observe(cand_seconds)
         return results

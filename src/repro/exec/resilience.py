@@ -174,11 +174,19 @@ class ExecutionReport:
     ran, worker-side for pooled backends); ``chunk_attempts`` maps it to
     how many attempts that chunk consumed before acceptance (1 for a
     clean first-try run).  Skipped chunks appear in neither.
+
+    ``run_id`` is the deterministic run identifier (the traced run span's
+    id when telemetry is active, an engine-local sequence otherwise), and
+    ``artifacts`` maps each written artifact kind (``trace``, ``metrics``,
+    ``explain``) to its filesystem path — the CLI records everything it
+    writes here so :meth:`summary` can point at it.
     """
 
     backend: str = "sequential"
     start_method: Optional[str] = None
     algorithm: str = ""
+    run_id: Optional[str] = None
+    artifacts: Dict[str, str] = field(default_factory=dict)
     chunks_total: int = 0
     chunks_completed: int = 0
     chunks_retried: int = 0
@@ -216,6 +224,8 @@ class ExecutionReport:
             f"{self.chunks_completed}/{self.chunks_total} chunks",
             f"completeness {self.completeness:.3f}",
         ]
+        if self.run_id:
+            parts.insert(1, f"run {self.run_id}")
         if self.chunks_retried:
             parts.append(f"{self.chunks_retried} retried")
         if self.chunks_degraded:
@@ -240,4 +250,6 @@ class ExecutionReport:
             if worst > 1:
                 parts.append(f"max {worst} attempts/chunk")
         parts.append(f"{self.elapsed:.3f}s")
+        for kind in sorted(self.artifacts):
+            parts.append(f"{kind} -> {self.artifacts[kind]}")
         return " ".join((parts[0], ", ".join(parts[1:])))

@@ -12,10 +12,19 @@ near-zero cost when disabled:
   emitted as JSONL;
 * :mod:`repro.obs.export` — JSONL / Prometheus / summary-table renderers;
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade the public
-  API hands out (``with_telemetry=True``).
+  API hands out (``with_telemetry=True``);
+* :mod:`repro.obs.funnel` — the filter-funnel counter taxonomy the join
+  kernels flush;
+* :mod:`repro.obs.explain` — the :class:`ExplainReport` diagnosis of one
+  observed run (``explain=True`` / ``--explain``);
+* :mod:`repro.obs.diff` — run-diff tooling over explain/BENCH artifacts
+  (``repro obs diff``).
 """
 
+from .diff import diff_artifacts, diff_files, load_artifact, render_diff
+from .explain import EXPLAIN_SCHEMA_VERSION, ExplainReport, build_explain, render_explain
 from .export import METRICS_FORMATS, render_metrics, to_jsonl, to_prometheus, to_summary
+from .funnel import PRUNE_STAGES, flush_funnel
 from .metrics import HISTOGRAM_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
 from .telemetry import Telemetry
 from .trace import Span, Tracer
@@ -34,4 +43,14 @@ __all__ = [
     "to_jsonl",
     "to_prometheus",
     "to_summary",
+    "PRUNE_STAGES",
+    "flush_funnel",
+    "EXPLAIN_SCHEMA_VERSION",
+    "ExplainReport",
+    "build_explain",
+    "render_explain",
+    "diff_artifacts",
+    "diff_files",
+    "load_artifact",
+    "render_diff",
 ]

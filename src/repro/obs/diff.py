@@ -1,0 +1,173 @@
+"""Run-diff tooling: compare two explain or BENCH artifacts.
+
+The comparison separates what *must not* change from what merely *may*:
+
+* **Work counters** are deterministic for a fixed (dataset, query,
+  algorithm, chunk size) — see the determinism contract in
+  ``docs/observability.md`` — so *any* delta is a counter drift: the
+  change altered how much logical work the join does.  Deltas on the
+  result-affecting counters (``pairs.emitted``, ``funnel.matched``) are
+  flagged as **severe** — the join's output itself changed.
+* **Wall-clock timings** are advisory: they move with the host, so only
+  relative changes beyond a tolerance are reported, and never as
+  failures by themselves.
+
+Artifacts are the JSON files the rest of the stack writes: explain
+reports (``repro ... --explain-out``, tagged ``"kind": "explain"``) and
+benchmark payloads (``BENCH_<name>.json`` from
+:mod:`repro.bench.reporting`, recognized by their ``phases`` section).
+``repro obs diff A.json B.json`` renders the narrative and exits
+non-zero exactly when counters drifted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+__all__ = [
+    "RESULT_COUNTERS",
+    "load_artifact",
+    "diff_artifacts",
+    "diff_files",
+    "render_diff",
+]
+
+#: Counters whose drift means the join *result* changed, not just the
+#: amount of work done to compute it.
+RESULT_COUNTERS = ("pairs.emitted", "funnel.matched")
+
+#: Relative wall-clock change below which a timing delta is not worth
+#: reporting (hosts jitter; see ``docs/performance.md``).
+DEFAULT_TOLERANCE = 0.2
+
+
+def load_artifact(path) -> dict:
+    """Load and normalize one artifact to ``{label, counters, timings}``.
+
+    Recognizes explain reports (``kind == "explain"``) and BENCH
+    payloads (a ``phases`` mapping); anything else raises ``ValueError``
+    naming the path.
+    """
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if payload.get("kind") == "explain":
+        timings = {
+            row["name"]: row["seconds"]
+            for row in payload.get("phases", [])
+            if isinstance(row, dict) and "name" in row
+        }
+        label = payload.get("algorithm") or "explain"
+        if payload.get("run_id"):
+            label += f" ({payload['run_id']})"
+        return {
+            "path": path,
+            "label": label,
+            "counters": dict(payload.get("counters") or {}),
+            "timings": timings,
+        }
+    if isinstance(payload.get("phases"), dict):
+        return {
+            "path": path,
+            "label": payload.get("name") or "bench",
+            "counters": dict(payload.get("counters") or {}),
+            "timings": dict(payload["phases"]),
+        }
+    raise ValueError(
+        f"{path}: neither an explain report (kind='explain') "
+        f"nor a BENCH payload (phases mapping)"
+    )
+
+
+def diff_artifacts(
+    before: dict, after: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> dict:
+    """Structured diff of two normalized artifacts.
+
+    Returns counter deltas (every differing counter, severe ones
+    flagged), timing deltas beyond ``tolerance``, and the overall
+    ``counter_drift`` verdict.
+    """
+    counter_deltas: List[dict] = []
+    names = sorted(set(before["counters"]) | set(after["counters"]))
+    for name in names:
+        a = before["counters"].get(name, 0)
+        b = after["counters"].get(name, 0)
+        if a != b:
+            counter_deltas.append(
+                {
+                    "name": name,
+                    "before": a,
+                    "after": b,
+                    "delta": b - a,
+                    "severe": name in RESULT_COUNTERS,
+                }
+            )
+    timing_deltas: List[dict] = []
+    for name in sorted(set(before["timings"]) & set(after["timings"])):
+        a = before["timings"][name]
+        b = after["timings"][name]
+        if a <= 0.0:
+            continue
+        ratio = b / a - 1.0
+        if abs(ratio) > tolerance:
+            timing_deltas.append(
+                {"name": name, "before": a, "after": b, "ratio": ratio}
+            )
+    return {
+        "before": before.get("path", before["label"]),
+        "after": after.get("path", after["label"]),
+        "counter_deltas": counter_deltas,
+        "timing_deltas": timing_deltas,
+        "counter_drift": bool(counter_deltas),
+        "severe": any(d["severe"] for d in counter_deltas),
+        "tolerance": tolerance,
+    }
+
+
+def diff_files(path_a, path_b, tolerance: float = DEFAULT_TOLERANCE) -> dict:
+    """Convenience: :func:`load_artifact` both paths and diff them."""
+    return diff_artifacts(
+        load_artifact(path_a), load_artifact(path_b), tolerance
+    )
+
+
+def render_diff(diff: dict) -> str:
+    """The regression narrative ``repro obs diff`` prints."""
+    lines = [f"diff {diff['before']} -> {diff['after']}"]
+    deltas = diff["counter_deltas"]
+    if deltas:
+        lines.append(
+            f"COUNTER DRIFT: {len(deltas)} deterministic work counter(s) "
+            f"changed — the run is doing different work:"
+        )
+        width = max(len(d["name"]) for d in deltas)
+        for d in deltas:
+            marker = "  ** result changed **" if d["severe"] else ""
+            lines.append(
+                f"  {d['name']:<{width}}  {d['before']} -> {d['after']} "
+                f"({d['delta']:+d}){marker}"
+            )
+    else:
+        lines.append("work counters: identical (no drift)")
+    timings = diff["timing_deltas"]
+    if timings:
+        lines.append(
+            f"wall-clock (advisory, >{diff['tolerance']:.0%} change only):"
+        )
+        width = max(len(t["name"]) for t in timings)
+        for t in timings:
+            lines.append(
+                f"  {t['name']:<{width}}  {t['before']:.4f}s -> "
+                f"{t['after']:.4f}s ({t['ratio']:+.1%})"
+            )
+    else:
+        lines.append(
+            f"wall-clock: no change beyond {diff['tolerance']:.0%} "
+            f"(advisory either way)"
+        )
+    return "\n".join(lines)

@@ -29,9 +29,28 @@ METRICS_FORMATS = ("jsonl", "prom", "summary")
 
 _PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
 
+#: The exposition-format metric-name grammar (text format 0.0.4):
+#: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.  Sanitizing and prefixing should always
+#: land inside it; the check guards against a sanitizer regression ever
+#: emitting a file ``promtool check metrics`` would reject.
+_PROM_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
 
 def _prom_name(name: str) -> str:
-    return "repro_" + _PROM_SANITIZE.sub("_", name)
+    prom = "repro_" + _PROM_SANITIZE.sub("_", name)
+    if not _PROM_NAME_RE.match(prom):
+        raise ValueError(
+            f"metric name {name!r} cannot be expressed in the Prometheus "
+            f"exposition grammar (got {prom!r})"
+        )
+    return prom
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def render_metrics(registry: MetricsRegistry, fmt: str) -> str:
@@ -64,7 +83,13 @@ def _dump(record: dict) -> str:
 
 
 def to_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition (counters, gauges, cumulative buckets)."""
+    """Prometheus text exposition (counters, gauges, cumulative buckets).
+
+    Metric names are validated against the exposition grammar, label
+    values escaped per the format, and the rendering always ends with a
+    newline when non-empty (the format requires the final line be
+    newline-terminated).
+    """
     out: List[str] = []
     for name, value in registry.counter_values().items():
         prom = _prom_name(name)
@@ -84,11 +109,12 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         cumulative = 0
         for bound, count in zip(HISTOGRAM_BUCKETS, hist.counts):
             cumulative += count
-            out.append(f'{prom}_bucket{{le="{_fmt_float(bound)}"}} {cumulative}')
+            le = _escape_label_value(_fmt_float(bound))
+            out.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
         out.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
         out.append(f"{prom}_sum {_fmt_float(hist.total)}")
         out.append(f"{prom}_count {hist.count}")
-    return "\n".join(out) + ("\n" if out else "")
+    return "".join(line + "\n" for line in out)
 
 
 def _fmt_float(value: float) -> str:

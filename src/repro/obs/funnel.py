@@ -1,0 +1,112 @@
+"""The filter-funnel counter taxonomy shared by the join kernels.
+
+Every textual/spatial kernel (``core/pair_eval.py`` and
+``textual/ppjoin.py``) accounts for each candidate *object pair* exactly
+once: either one pruning stage dismissed it, or it reached exact
+verification.  The counters below encode that as two conservation
+invariants that hold for every algorithm and every backend:
+
+* ``funnel.object_pairs`` ``=`` |sum| of the ``funnel.pruned.*`` stages
+  ``+ funnel.verified``;
+* ``funnel.verified = funnel.verify_failed + funnel.matched``.
+
+Stages (a pair is charged to the *first* filter that dismissed it, in
+each kernel's own evaluation order):
+
+``skip``
+    Both objects already matched (PPJ's both-matched skip) or an
+    explicit ``skip_pair`` hook fired.
+``empty``
+    One side's document is empty — empty documents never join.
+``spatial``
+    The spatial distance test failed.
+``length``
+    The Jaccard size filter (``t·|x| <= |y| <= |x|/t``) failed.
+``prefix``
+    No shared prefix token under the global frequency order (including
+    pairs an inverted prefix index never surfaced, and the nested-loop
+    kernel's token-id-range disjointness test).
+``positional``
+    The PPJOIN positional filter bound the achievable overlap below the
+    required one.
+``suffix``
+    The PPJOIN+ suffix filter pruned the pair.
+``predicate``
+    The extra ``pair_predicate`` hook (e.g. a temporal check) failed.
+
+The tallies are batched per kernel invocation and flushed through
+:func:`flush_funnel` — a handful of counter increments per *cell pair*,
+nothing per object pair — so the overhead discipline of
+``docs/observability.md`` holds.  All ``funnel.*`` counters are part of
+the deterministic :meth:`repro.obs.telemetry.Telemetry.work_counters`
+contract.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PRUNE_STAGES", "flush_funnel"]
+
+#: Pruning stages in the canonical (cheapest-first) presentation order
+#: used by :mod:`repro.obs.explain`.  The *accounting* is order-free —
+#: each pair is charged to exactly one stage — so presenting survivors
+#: cumulatively in this order is always consistent.
+PRUNE_STAGES = (
+    "skip",
+    "empty",
+    "length",
+    "prefix",
+    "positional",
+    "suffix",
+    "spatial",
+    "predicate",
+)
+
+
+def flush_funnel(
+    reg,
+    object_pairs: int,
+    skip: int = 0,
+    empty: int = 0,
+    spatial: int = 0,
+    length: int = 0,
+    prefix: int = 0,
+    positional: int = 0,
+    suffix: int = 0,
+    predicate: int = 0,
+    verified: int = 0,
+    matched: int = 0,
+    cell_pairs: int = 0,
+) -> None:
+    """Flush one kernel invocation's funnel tallies into ``reg``.
+
+    Zero-valued stages are not materialized (totals stay deterministic:
+    a stage that pruned nothing anywhere simply has no counter), and
+    ``funnel.verify_failed`` is derived as ``verified - matched``.
+    """
+    counter = reg.counter
+    if cell_pairs:
+        counter("funnel.cell_pairs").inc(cell_pairs)
+    counter("funnel.object_pairs").inc(object_pairs)
+    if skip:
+        counter("funnel.pruned.skip").inc(skip)
+    if empty:
+        counter("funnel.pruned.empty").inc(empty)
+    if spatial:
+        counter("funnel.pruned.spatial").inc(spatial)
+    if length:
+        counter("funnel.pruned.length").inc(length)
+    if prefix:
+        counter("funnel.pruned.prefix").inc(prefix)
+    if positional:
+        counter("funnel.pruned.positional").inc(positional)
+    if suffix:
+        counter("funnel.pruned.suffix").inc(suffix)
+    if predicate:
+        counter("funnel.pruned.predicate").inc(predicate)
+    if verified:
+        counter("funnel.verified").inc(verified)
+        failed = verified - matched
+        if failed:
+            counter("funnel.verify_failed").inc(failed)
+    if matched:
+        counter("funnel.matched").inc(matched)

@@ -68,14 +68,17 @@ class Telemetry:
         """Counters describing *logical work* — the deterministic subset.
 
         Excludes the ``engine.*`` scheduling counters, which legitimately
-        differ under retries, degrades and respawns; everything else is
-        byte-identical across backends for a fixed (dataset, query,
-        algorithm, chunk size) — see ``tests/obs/test_determinism.py``.
+        differ under retries, degrades and respawns, and the ``cache.*``
+        lazy-build counters, which depend on how workers share (or do not
+        share) the process-local pack and prefix-index caches; everything
+        else is byte-identical across backends for a fixed (dataset,
+        query, algorithm, chunk size) — see
+        ``tests/obs/test_determinism.py``.
         """
         return {
             name: value
             for name, value in self.metrics.counter_values().items()
-            if not name.startswith("engine.")
+            if not name.startswith(("engine.", "cache."))
         }
 
     def summary(self) -> str:

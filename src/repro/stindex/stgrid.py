@@ -166,6 +166,7 @@ class STGridIndex:
                 return None
             pack = CellPack(objs)
             self._packs[key] = pack
+            _obs.count("cache.pack_builds")
         return pack
 
     def user_packs(self, user: UserId) -> Dict[CellCoord, CellPack]:
@@ -187,6 +188,7 @@ class STGridIndex:
                     pack = self._packs[key] = CellPack(
                         self._cell_objects[cell][user]
                     )
+                    _obs.count("cache.pack_builds")
                 packs[cell] = pack
             self._user_packs[user] = packs
         return packs
@@ -211,6 +213,7 @@ class STGridIndex:
             pack = self.cell_pack(cell, user)
             docs = pack.docs if pack is not None else []
             index = per_threshold[threshold] = build_prefix_index(docs, threshold)
+            _obs.count("cache.prefix_index_builds")
         return index
 
     def cell_user_count(self, cell: CellCoord, user: UserId) -> int:

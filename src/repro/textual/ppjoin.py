@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import runtime as _obs
+from ..obs.funnel import flush_funnel
 from .measures import JACCARD, SimilarityMeasure
 from .verify import overlap_exact_or_pruned, suffix_filter
 
@@ -42,8 +43,11 @@ __all__ = [
 Doc = Tuple[int, ...]
 PairPredicate = Callable[[int, int], bool]
 
-#: Sentinel marking a candidate eliminated by the positional filter.
-_PRUNED = -1
+#: Sentinels marking pruned candidates.  Two distinct negative values let
+#: the post-hoc candidate-map scan attribute each prune to the size or
+#: the positional filter while the hot loop only ever tests ``acc < 0``.
+_PRUNED_LEN = -1
+_PRUNED_POS = -2
 
 #: Slack keeping float size-filter bounds loose-safe.
 _EPS = 1e-9
@@ -145,10 +149,16 @@ def similarity_self_join(
     # Inverted index over indexed prefixes: token -> [(doc idx, position)].
     index: Dict[int, List[Tuple[int, int]]] = {}
     results: List[Tuple[int, int]] = []
-    # Telemetry tallies, kept out of the probe loop: counted post hoc from
+    # Funnel tallies, kept out of the probe loop: counted post hoc from
     # each record's candidate map, at zero cost when no registry is active.
+    # Pairs the inverted index never surfaced for a probing record are
+    # charged to the prefix stage (each nonempty probe sees exactly the
+    # nonempty records indexed before it); pairs with an empty side are
+    # computed arithmetically at the end.
     reg = _obs.active()
-    n_candidates = n_pruned = n_verified = 0
+    n_skip = n_length = n_prefix = n_positional = n_suffix = 0
+    n_predicate = n_verified = 0
+    indexed_so_far = 0
 
     for x_idx in order:
         x = docs[x_idx]
@@ -165,37 +175,44 @@ def similarity_self_join(
                 continue
             for y_idx, pos_y in postings:
                 acc = candidates.get(y_idx, 0)
-                if acc == _PRUNED:
+                if acc < 0:
                     continue
                 ly = len(docs[y_idx])
                 if ly < min_len:
-                    candidates[y_idx] = _PRUNED
+                    candidates[y_idx] = _PRUNED_LEN
                     continue
                 if positional:
                     alpha = measure.required_overlap(threshold, lx, ly)
                     ubound = acc + 1 + min(lx - pos_x - 1, ly - pos_y - 1)
                     if ubound < alpha:
-                        candidates[y_idx] = _PRUNED
+                        candidates[y_idx] = _PRUNED_POS
                         continue
                 candidates[y_idx] = acc + 1
 
         if reg is not None:
+            n_prefix += indexed_so_far - len(candidates)
             for acc in candidates.values():
-                if acc == _PRUNED:
-                    n_pruned += 1
-                elif acc > 0:
-                    n_candidates += 1
+                if acc == _PRUNED_LEN:
+                    n_length += 1
+                elif acc == _PRUNED_POS:
+                    n_positional += 1
 
         for y_idx, acc in candidates.items():
             if acc <= 0:
                 continue
             if skip_pair is not None and skip_pair(x_idx, y_idx):
+                if reg is not None:
+                    n_skip += 1
                 continue
             if pair_predicate is not None and not pair_predicate(x_idx, y_idx):
+                if reg is not None:
+                    n_predicate += 1
                 continue
             y = docs[y_idx]
             alpha = measure.required_overlap(threshold, lx, len(y))
             if suffix and not _passes_suffix_filter(x, y, alpha):
+                if reg is not None:
+                    n_suffix += 1
                 continue
             if reg is not None:
                 n_verified += 1
@@ -212,11 +229,25 @@ def similarity_self_join(
         )
         for pos_x in range(idx_len):
             index.setdefault(x[pos_x], []).append((x_idx, pos_x))
+        indexed_so_far += 1
     if reg is not None:
-        reg.counter("ppjoin.candidates").inc(n_candidates)
-        reg.counter("ppjoin.pruned").inc(n_pruned)
-        reg.counter("ppjoin.verified").inc(n_verified)
-        reg.counter("ppjoin.matches").inc(len(results))
+        n = len(docs)
+        n_filled = indexed_so_far
+        total_pairs = n * (n - 1) // 2
+        n_empty = total_pairs - n_filled * (n_filled - 1) // 2
+        flush_funnel(
+            reg,
+            total_pairs,
+            skip=n_skip,
+            empty=n_empty,
+            length=n_length,
+            prefix=n_prefix,
+            positional=n_positional,
+            suffix=n_suffix,
+            predicate=n_predicate,
+            verified=n_verified,
+            matched=len(results),
+        )
     return results
 
 
@@ -250,10 +281,16 @@ def similarity_rs_join(
 
     results: List[Tuple[int, int]] = []
     reg = _obs.active()
-    n_candidates = n_pruned = n_verified = 0
+    n_idx = len(index_docs)
+    if reg is not None:
+        n_idx_empty = sum(1 for y in index_docs if len(y) == 0)
+        n_idx_filled = n_idx - n_idx_empty
+    n_empty = n_skip = n_length = n_prefix = n_positional = n_suffix = 0
+    n_predicate = n_verified = 0
     for x_idx, x in enumerate(probe_docs):
         lx = len(x)
         if lx == 0:
+            n_empty += n_idx
             continue
         min_len = measure.min_partner_size(threshold, lx) - _EPS
         max_len = measure.max_partner_size(threshold, lx) + _EPS
@@ -264,48 +301,68 @@ def similarity_rs_join(
                 continue
             for y_idx, pos_y in postings:
                 acc = candidates.get(y_idx, 0)
-                if acc == _PRUNED:
+                if acc < 0:
                     continue
                 ly = len(index_docs[y_idx])
                 if ly < min_len or ly > max_len:
-                    candidates[y_idx] = _PRUNED
+                    candidates[y_idx] = _PRUNED_LEN
                     continue
                 if positional:
                     alpha = measure.required_overlap(threshold, lx, ly)
                     ubound = acc + 1 + min(lx - pos_x - 1, ly - pos_y - 1)
                     if ubound < alpha:
-                        candidates[y_idx] = _PRUNED
+                        candidates[y_idx] = _PRUNED_POS
                         continue
                 candidates[y_idx] = acc + 1
 
         if reg is not None:
+            # Only non-empty indexed records appear in postings, so the
+            # pairs this probe never surfaced split into empty partners
+            # and prefix-disjoint partners.
+            n_empty += n_idx_empty
+            n_prefix += n_idx_filled - len(candidates)
             for acc in candidates.values():
-                if acc == _PRUNED:
-                    n_pruned += 1
-                elif acc > 0:
-                    n_candidates += 1
+                if acc == _PRUNED_LEN:
+                    n_length += 1
+                elif acc == _PRUNED_POS:
+                    n_positional += 1
 
         for y_idx, acc in candidates.items():
             if acc <= 0:
                 continue
             r_idx, s_idx = (y_idx, x_idx) if swap else (x_idx, y_idx)
             if skip_pair is not None and skip_pair(r_idx, s_idx):
+                if reg is not None:
+                    n_skip += 1
                 continue
             if pair_predicate is not None and not pair_predicate(r_idx, s_idx):
+                if reg is not None:
+                    n_predicate += 1
                 continue
             y = index_docs[y_idx]
             alpha = measure.required_overlap(threshold, lx, len(y))
             if suffix and not _passes_suffix_filter(x, y, alpha):
+                if reg is not None:
+                    n_suffix += 1
                 continue
             if reg is not None:
                 n_verified += 1
             if _verify(measure, x, y, threshold, alpha):
                 results.append((r_idx, s_idx))
     if reg is not None:
-        reg.counter("ppjoin.candidates").inc(n_candidates)
-        reg.counter("ppjoin.pruned").inc(n_pruned)
-        reg.counter("ppjoin.verified").inc(n_verified)
-        reg.counter("ppjoin.matches").inc(len(results))
+        flush_funnel(
+            reg,
+            len(probe_docs) * n_idx,
+            skip=n_skip,
+            empty=n_empty,
+            length=n_length,
+            prefix=n_prefix,
+            positional=n_positional,
+            suffix=n_suffix,
+            predicate=n_predicate,
+            verified=n_verified,
+            matched=len(results),
+        )
     return results
 
 

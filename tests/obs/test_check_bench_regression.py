@@ -1,0 +1,126 @@
+"""The bench regression checker gates work counters exactly.
+
+Wall-clock phases get a tolerance; the deterministic ``counters``
+section does not — any drift must fail the check even when every phase
+is comfortably within bounds, and a fresh run silently dropping the
+counters a baseline has must fail too.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+def _run_checker(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def _payload(counters=None, phases=None):
+    payload = {
+        "schema_version": 1,
+        "name": "demo",
+        "config": {"preset": "twitter", "num_users": 10},
+        "phases": phases or {"join": 1.0},
+        "results": {},
+    }
+    if counters is not None:
+        payload["counters"] = counters
+    return payload
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    baselines = tmp_path / "baselines"
+    baselines.mkdir()
+
+    def write(payload, fresh=True):
+        target = tmp_path if fresh else baselines
+        path = target / "BENCH_demo.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    return tmp_path, baselines, write
+
+
+COUNTERS = {"funnel.object_pairs": 215, "funnel.matched": 11}
+
+
+class TestCounterGate:
+    def test_identical_counters_pass(self, workdir):
+        _, baselines, write = workdir
+        write(_payload(COUNTERS), fresh=False)
+        fresh = write(_payload(COUNTERS))
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "counter(s) identical" in proc.stdout
+
+    def test_counter_drift_fails_even_with_good_timings(self, workdir):
+        """Phases identical (0% slowdown) — only the counters moved."""
+        _, baselines, write = workdir
+        write(_payload(COUNTERS), fresh=False)
+        drifted = dict(COUNTERS, **{"funnel.matched": 10})
+        fresh = write(_payload(drifted))
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 1
+        assert "work counters drifted" in proc.stdout
+        assert "funnel.matched: baseline=11 fresh=10" in proc.stdout
+
+    def test_counter_present_on_one_side_only_is_drift(self, workdir):
+        _, baselines, write = workdir
+        write(_payload(COUNTERS), fresh=False)
+        extra = dict(COUNTERS, **{"funnel.pruned.spatial": 5})
+        fresh = write(_payload(extra))
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 1
+        assert "funnel.pruned.spatial: baseline=None fresh=5" in proc.stdout
+
+    def test_fresh_run_dropping_counters_fails(self, workdir):
+        _, baselines, write = workdir
+        write(_payload(COUNTERS), fresh=False)
+        fresh = write(_payload(counters=None))
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 1
+        assert "cannot be silently dropped" in proc.stdout
+
+    def test_baseline_without_counters_only_notes(self, workdir):
+        """Older baselines keep working until refreshed with --update."""
+        _, baselines, write = workdir
+        write(_payload(counters=None), fresh=False)
+        fresh = write(_payload(COUNTERS))
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "baseline has no counters section" in proc.stdout
+
+    def test_phase_regression_still_fails(self, workdir):
+        _, baselines, write = workdir
+        write(_payload(COUNTERS), fresh=False)
+        fresh = write(_payload(COUNTERS, phases={"join": 2.0}))
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 1
+        assert "regressed" in proc.stdout
+
+    def test_update_refreshes_counter_baseline(self, workdir):
+        tmp_path, baselines, write = workdir
+        fresh = write(_payload(COUNTERS))
+        proc = _run_checker(
+            str(fresh), "--baselines", str(baselines), "--update"
+        )
+        assert proc.returncode == 0
+        stored = json.loads((baselines / "BENCH_demo.json").read_text())
+        assert stored["counters"] == COUNTERS
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 0

@@ -1,0 +1,145 @@
+"""Run-diff tooling: artifact loading, drift verdicts, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Telemetry
+from repro.core.query import STPSJoinQuery
+from repro.exec import JoinExecutor
+from repro.obs import (
+    build_explain,
+    diff_artifacts,
+    diff_files,
+    load_artifact,
+    render_diff,
+)
+from repro.bench.reporting import bench_payload
+from tests.helpers import build_random_dataset
+
+
+@pytest.fixture(scope="module")
+def explain_payload():
+    dataset = build_random_dataset(7, n_users=40)
+    query = STPSJoinQuery(eps_loc=0.05, eps_doc=0.2, eps_user=0.2)
+    tele = Telemetry()
+    executor = JoinExecutor(workers=1, backend="sequential", chunk_size=5)
+    _, report = executor.join(
+        dataset, query, algorithm="s-ppj-b", telemetry=tele, with_report=True
+    )
+    return build_explain(tele, report, dataset=dataset).as_dict()
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadArtifact:
+    def test_explain_artifact(self, tmp_path, explain_payload):
+        path = _write(tmp_path, "explain.json", explain_payload)
+        art = load_artifact(path)
+        assert art["counters"] == explain_payload["counters"]
+        assert explain_payload["run_id"] in art["label"]
+        assert art["timings"]  # phase rows became timings
+
+    def test_bench_artifact(self, tmp_path):
+        payload = bench_payload(
+            "speed", config={}, phases={"join": 1.5},
+            counters={"funnel.matched": 3},
+        )
+        art = load_artifact(_write(tmp_path, "BENCH_speed.json", payload))
+        assert art["label"] == "speed"
+        assert art["counters"] == {"funnel.matched": 3}
+        assert art["timings"] == {"join": 1.5}
+
+    def test_bench_artifact_without_counters(self, tmp_path):
+        payload = bench_payload("speed", config={}, phases={"join": 1.5})
+        art = load_artifact(_write(tmp_path, "BENCH_speed.json", payload))
+        assert art["counters"] == {}
+
+    def test_unrecognized_payload_raises(self, tmp_path):
+        path = _write(tmp_path, "junk.json", {"hello": "world"})
+        with pytest.raises(ValueError, match="neither an explain report"):
+            load_artifact(path)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_artifact(path)
+
+
+class TestDiffVerdicts:
+    def test_identical_artifacts_show_no_drift(self, tmp_path, explain_payload):
+        a = _write(tmp_path, "a.json", explain_payload)
+        b = _write(tmp_path, "b.json", explain_payload)
+        diff = diff_files(a, b)
+        assert not diff["counter_drift"]
+        assert not diff["severe"]
+        assert diff["counter_deltas"] == []
+        assert "identical (no drift)" in render_diff(diff)
+
+    def test_injected_counter_regression_is_flagged(
+        self, tmp_path, explain_payload
+    ):
+        regressed = json.loads(json.dumps(explain_payload))
+        regressed["counters"]["funnel.pruned.spatial"] += 7
+        regressed["counters"]["funnel.matched"] -= 1
+        a = _write(tmp_path, "a.json", explain_payload)
+        b = _write(tmp_path, "b.json", regressed)
+        diff = diff_files(a, b)
+        assert diff["counter_drift"]
+        assert diff["severe"]  # funnel.matched is a result counter
+        names = {d["name"]: d for d in diff["counter_deltas"]}
+        assert names["funnel.matched"]["severe"]
+        assert not names["funnel.pruned.spatial"]["severe"]
+        text = render_diff(diff)
+        assert "COUNTER DRIFT" in text
+        assert "** result changed **" in text
+
+    def test_counter_missing_on_one_side_is_drift(self):
+        before = {"label": "a", "counters": {"x": 1}, "timings": {}}
+        after = {"label": "b", "counters": {}, "timings": {}}
+        diff = diff_artifacts(before, after)
+        assert diff["counter_drift"]
+        assert diff["counter_deltas"][0]["delta"] == -1
+
+    def test_timing_only_change_is_advisory(self):
+        before = {"label": "a", "counters": {"x": 1}, "timings": {"join": 1.0}}
+        after = {"label": "b", "counters": {"x": 1}, "timings": {"join": 2.0}}
+        diff = diff_artifacts(before, after)
+        assert not diff["counter_drift"]
+        assert diff["timing_deltas"] == [
+            {"name": "join", "before": 1.0, "after": 2.0, "ratio": 1.0}
+        ]
+        text = render_diff(diff)
+        assert "advisory" in text
+        assert "COUNTER DRIFT" not in text
+
+    def test_timing_within_tolerance_not_reported(self):
+        before = {"label": "a", "counters": {}, "timings": {"join": 1.0}}
+        after = {"label": "b", "counters": {}, "timings": {"join": 1.1}}
+        assert diff_artifacts(before, after)["timing_deltas"] == []
+
+    def test_tolerance_is_configurable(self):
+        before = {"label": "a", "counters": {}, "timings": {"join": 1.0}}
+        after = {"label": "b", "counters": {}, "timings": {"join": 1.1}}
+        diff = diff_artifacts(before, after, tolerance=0.05)
+        assert len(diff["timing_deltas"]) == 1
+
+    def test_explain_vs_bench_artifacts_diff_cleanly(
+        self, tmp_path, explain_payload
+    ):
+        """Cross-kind diffs work: counters compare, timings intersect."""
+        bench = bench_payload(
+            "speed", config={}, phases={"join": 1.0},
+            counters=explain_payload["counters"],
+        )
+        a = _write(tmp_path, "explain.json", explain_payload)
+        b = _write(tmp_path, "BENCH_speed.json", bench)
+        diff = diff_files(a, b)
+        assert not diff["counter_drift"]

@@ -1,0 +1,169 @@
+"""EXPLAIN report assembly: structure, determinism, API surface."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro import Telemetry, stps_join, topk_stps_join
+from repro.core.query import STPSJoinQuery
+from repro.exec import ExecutionPolicy, JoinExecutor
+from repro.exec import faults
+from repro.obs import ExplainReport, build_explain, render_explain
+from tests.helpers import build_random_dataset
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+CHUNK = 5
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_random_dataset(7, n_users=40)
+
+
+@pytest.fixture(scope="module")
+def join_query():
+    return STPSJoinQuery(eps_loc=0.05, eps_doc=0.2, eps_user=0.2)
+
+
+def _explain(dataset, query, backend="sequential", workers=1, policy=None,
+             **kwargs):
+    tele = Telemetry()
+    executor = JoinExecutor(
+        workers=workers, backend=backend, chunk_size=CHUNK, policy=policy,
+        **kwargs
+    )
+    pairs, report = executor.join(
+        dataset, query, algorithm="s-ppj-b", telemetry=tele, with_report=True
+    )
+    return pairs, build_explain(tele, report, dataset=dataset)
+
+
+class TestReportStructure:
+    def test_fields_populated(self, dataset, join_query):
+        pairs, explain = _explain(dataset, join_query)
+        assert explain.algorithm == "join:s-ppj-b"
+        assert explain.backend == "sequential"
+        assert explain.run_id
+        assert explain.elapsed > 0.0
+        assert explain.object_funnel
+        assert explain.object_funnel[-1]["stage"] == "verify"
+        assert explain.object_funnel[-1]["survivors"] == explain.counters[
+            "funnel.matched"
+        ]
+        assert explain.chunks["count"] > 0
+        assert explain.top_chunks
+        assert explain.top_users
+        assert explain.user_funnel["emitted"] == explain.counters[
+            "pairs.emitted"
+        ]
+
+    def test_funnel_rows_telescope(self, dataset, join_query):
+        """Each stage's survivors are the next stage's input."""
+        _, explain = _explain(dataset, join_query)
+        rows = explain.object_funnel
+        assert rows[0]["input"] == explain.counters["funnel.object_pairs"]
+        for prev, nxt in zip(rows, rows[1:-1]):
+            assert prev["survivors"] == nxt["input"]
+            assert prev["pruned"] > 0  # zero stages have no row
+        # The last pruning row feeds exact verification.
+        assert rows[-2]["survivors"] == rows[-1]["input"]
+
+    def test_as_dict_round_trips_through_json(self, dataset, join_query):
+        _, explain = _explain(dataset, join_query)
+        payload = json.loads(explain.to_json())
+        assert payload["kind"] == "explain"
+        assert payload["schema_version"] == 1
+        assert payload["counters"] == explain.counters
+
+    def test_render_mentions_every_stage(self, dataset, join_query):
+        _, explain = _explain(dataset, join_query)
+        text = explain.summary()
+        for row in explain.object_funnel:
+            assert row["stage"] in text
+        assert "phase attribution" in text
+        assert render_explain(json.loads(explain.to_json())) == text
+
+    def test_build_without_report_or_dataset(self):
+        tele = Telemetry()
+        tele.metrics.counter("funnel.object_pairs").inc(4)
+        tele.metrics.counter("funnel.verified").inc(4)
+        tele.metrics.counter("funnel.matched").inc(1)
+        explain = build_explain(tele)
+        assert isinstance(explain, ExplainReport)
+        assert explain.run_id is None
+        assert explain.chunks == {}
+        assert explain.top_users == []
+        assert explain.object_funnel[-1]["input"] == 4
+
+
+class TestWorkDictDeterminism:
+    def test_identical_across_backends(self, dataset, join_query):
+        _, sequential = _explain(dataset, join_query)
+        _, threaded = _explain(dataset, join_query, "thread", 3)
+        assert sequential.work_dict() == threaded.work_dict()
+
+    @pytest.mark.skipif(not fork_available, reason="fork start method unavailable")
+    def test_identical_on_process_backend(self, dataset, join_query):
+        _, sequential = _explain(dataset, join_query)
+        _, process = _explain(
+            dataset, join_query, "process", 3, start_method="fork"
+        )
+        assert sequential.work_dict() == process.work_dict()
+
+    def test_identical_under_faulty_retries(self, dataset, join_query):
+        _, clean = _explain(dataset, join_query)
+        policy = ExecutionPolicy(
+            max_retries=2, backoff_base=0.0, backoff_jitter=0.0
+        )
+        faults.install_fault_plan(faults.FaultPlan.parse("error@0*2"))
+        try:
+            _, faulty = _explain(dataset, join_query, policy=policy)
+        finally:
+            faults.install_fault_plan(None)
+        assert faulty.work_dict() == clean.work_dict()
+
+    def test_work_dict_has_no_timings(self, dataset, join_query):
+        _, explain = _explain(dataset, join_query)
+        work = explain.work_dict()
+        assert set(work) == {
+            "algorithm", "object_funnel", "user_funnel", "counters"
+        }
+
+
+class TestApiSurface:
+    def test_join_explain_appends_report_last(self, dataset, join_query):
+        q = join_query
+        result = stps_join(
+            dataset, q.eps_loc, q.eps_doc, q.eps_user,
+            algorithm="s-ppj-b", explain=True,
+        )
+        pairs, explain = result
+        assert isinstance(explain, ExplainReport)
+        plain = stps_join(
+            dataset, q.eps_loc, q.eps_doc, q.eps_user, algorithm="s-ppj-b"
+        )
+        assert pairs == plain
+
+    def test_join_explain_composes_with_report_and_telemetry(
+        self, dataset, join_query
+    ):
+        q = join_query
+        pairs, report, tele, explain = stps_join(
+            dataset, q.eps_loc, q.eps_doc, q.eps_user,
+            algorithm="s-ppj-b", with_report=True, with_telemetry=True,
+            explain=True,
+        )
+        assert explain.run_id == report.run_id
+        assert explain.counters == tele.work_counters()
+
+    def test_topk_explain(self, dataset):
+        pairs, explain = topk_stps_join(
+            dataset, 0.05, 0.2, k=7, algorithm="topk-s-ppj-p", explain=True
+        )
+        assert len(pairs) <= 7
+        assert isinstance(explain, ExplainReport)
+        assert explain.counters.get("funnel.matched", 0) >= 0

@@ -75,6 +75,46 @@ class TestPrometheus:
         assert to_prometheus(MetricsRegistry()) == ""
 
 
+class TestPrometheusHardening:
+    """The exposition output must survive ``promtool check metrics``."""
+
+    def test_output_is_newline_terminated(self, registry):
+        assert to_prometheus(registry).endswith("\n")
+
+    def test_every_name_matches_the_exposition_grammar(self, registry):
+        from repro.obs.export import _PROM_NAME_RE
+
+        for line in to_prometheus(registry).splitlines():
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+            else:
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+            assert _PROM_NAME_RE.match(name), line
+
+    def test_hostile_instrument_name_is_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter('weird "name"\nwith spaces').inc(1)
+        text = to_prometheus(reg)
+        assert "\n\n" not in text
+        assert '"' not in text
+        assert "repro_weird__name__with_spaces_total 1" in text
+
+    def test_label_value_escaping(self):
+        from repro.obs.export import _escape_label_value
+
+        assert _escape_label_value('a"b') == 'a\\"b'
+        assert _escape_label_value("a\\b") == "a\\\\b"
+        assert _escape_label_value("a\nb") == "a\\nb"
+
+    def test_bucket_labels_are_quoted_floats(self, registry):
+        lines = to_prometheus(registry).splitlines()
+        buckets = [l for l in lines if "_bucket{" in l]
+        assert buckets
+        for line in buckets:
+            label = line.split('le="', 1)[1].split('"', 1)[0]
+            assert label == "+Inf" or float(label) > 0
+
+
 class TestSummary:
     def test_all_sections_present(self, registry):
         text = to_summary(registry)

@@ -570,6 +570,117 @@ class TestTelemetryFlags:
             )
 
 
+class TestExplainFlags:
+    def _join_args(self, dataset_path):
+        return [
+            "join", str(dataset_path),
+            "--eps-loc", "0.05", "--eps-doc", "0.2", "--eps-user", "0.2",
+        ]
+
+    def test_explain_prints_funnel_to_stderr(self, dataset_path, capsys):
+        code = main(self._join_args(dataset_path) + ["--explain"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "object-pair funnel:" in err
+        assert "verify" in err
+
+    def test_explain_out_writes_artifact(self, dataset_path, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "explain.json"
+        code = main(
+            self._join_args(dataset_path) + ["--explain-out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "explain"
+        assert payload["counters"]
+        err = capsys.readouterr().err
+        assert "explain report" in err
+        # --explain-out alone writes the file without the stderr rendering
+        assert "object-pair funnel:" not in err
+
+    def test_summary_names_run_id_and_artifacts(
+        self, dataset_path, tmp_path, capsys
+    ):
+        out = tmp_path / "explain.json"
+        code = main(
+            self._join_args(dataset_path)
+            + ["--deadline", "60", "--explain-out", str(out)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "run join-" in err
+        assert f"explain -> {out}" in err
+
+    def test_topk_explain(self, dataset_path, capsys):
+        code = main(
+            ["topk", str(dataset_path), "--eps-loc", "0.05",
+             "--eps-doc", "0.2", "-k", "5", "--explain"]
+        )
+        assert code == 0
+        assert "explain [" in capsys.readouterr().err
+
+
+class TestObsCommand:
+    def _write_explain(self, dataset_path, tmp_path, name, args=()):
+        out = tmp_path / name
+        code = main(
+            ["join", str(dataset_path), "--eps-loc", "0.05",
+             "--eps-doc", "0.2", "--eps-user", "0.2",
+             "--explain-out", str(out), *args]
+        )
+        assert code == 0
+        return out
+
+    def test_diff_identical_runs_exits_zero(
+        self, dataset_path, tmp_path, capsys
+    ):
+        a = self._write_explain(dataset_path, tmp_path, "a.json")
+        b = self._write_explain(
+            dataset_path, tmp_path, "b.json",
+            args=("--workers", "2", "--backend", "thread"),
+        )
+        code = main(["obs", "diff", str(a), str(b)])
+        assert code == 0
+        assert "identical (no drift)" in capsys.readouterr().out
+
+    def test_diff_counter_drift_exits_one(
+        self, dataset_path, tmp_path, capsys
+    ):
+        import json
+
+        a = self._write_explain(dataset_path, tmp_path, "a.json")
+        payload = json.loads(a.read_text())
+        payload["counters"]["funnel.matched"] += 1
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(payload))
+        code = main(["obs", "diff", str(a), str(b)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "COUNTER DRIFT" in out
+        assert "** result changed **" in out
+
+    def test_diff_rejects_junk_artifact(self, tmp_path, capsys):
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"hello": 1}')
+        code = main(["obs", "diff", str(junk), str(junk)])
+        assert code == 2
+
+    def test_show_renders_artifact(self, dataset_path, tmp_path, capsys):
+        path = self._write_explain(dataset_path, tmp_path, "a.json")
+        capsys.readouterr()
+        code = main(["obs", "show", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "object-pair funnel:" in out
+
+    def test_show_rejects_non_explain(self, tmp_path, capsys):
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"phases": {"join": 1.0}}')
+        assert main(["obs", "show", str(junk)]) == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
