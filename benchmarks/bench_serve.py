@@ -1,0 +1,220 @@
+"""Resident join server: warm-index and result-cache speedups.
+
+The server's whole reason to exist (``docs/serving.md``) is that a
+one-shot CLI call pays dataset loading and index construction on every
+query, while a resident process pays them once.  This benchmark
+quantifies that on the twitter preset, comparing per-query wall-clock
+of
+
+* **cold one-shot** — direct :func:`repro.stps_join` /
+  :func:`repro.topk_stps_join` calls, each building its own index (what
+  ``stpsjoin join`` does per invocation);
+* **warm repeat** — the same queries through a
+  :class:`repro.serve.JoinService` with the result cache *bypassed*
+  (``no_cache``): the warm shared grid index and its CellPack /
+  prefix-index caches are reused, the join itself re-runs every time;
+* **cached repeat** — the same queries served from the LRU result
+  cache, the steady state for repeated identical dashboards/requests.
+
+Results are asserted identical between the cold and served paths before
+any timing is recorded.  The script writes ``BENCH_serve.json`` at the
+repository root and **fails (exit 1) unless cached repeats are at least
+5x faster than cold one-shot calls** — the acceptance gate of the serve
+subsystem — and additionally records the warm-index (uncached) speedup,
+which must clear 1.0x.  The deterministic work counters of one direct
+join round accompany the payload for
+``scripts/check_bench_regression.py``.
+
+Run directly: ``python benchmarks/bench_serve.py [--users N] [--rounds R]``.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro import Telemetry, stps_join, topk_stps_join
+from repro.serve import JoinService
+
+from _common import REPO_ROOT, dataset_for, thresholds_for
+
+PRESET = "twitter"
+NUM_USERS = 200
+ROUNDS = 3
+CACHED_ROUNDS = 10
+TOPK = 10
+
+#: The acceptance gate: cached repeat queries through the resident
+#: server must beat cold one-shot evaluation by at least this factor.
+MIN_CACHED_SPEEDUP = 5.0
+
+
+def _encode(pairs):
+    return [[p.user_a, p.user_b, p.score] for p in pairs]
+
+
+def _mean_seconds(fn, rounds):
+    """Mean wall-clock of ``fn()`` over ``rounds`` runs (no warmup)."""
+    total = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        total += time.perf_counter() - start
+    return total / rounds
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=NUM_USERS)
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    dataset = dataset_for(PRESET, args.users)
+    eps_loc, eps_doc, eps_user = thresholds_for(PRESET)
+    print(
+        f"resident server vs one-shot on {PRESET} ({args.users} users, "
+        f"{dataset.num_objects} objects), fingerprint {dataset.fingerprint()}"
+    )
+
+    service = JoinService(cache_capacity=64)
+    service.register_dataset(PRESET, dataset)
+
+    def join_request(**extra):
+        return {
+            "type": "join",
+            "dataset": PRESET,
+            "eps_loc": eps_loc,
+            "eps_doc": eps_doc,
+            "eps_user": eps_user,
+            **extra,
+        }
+
+    def topk_request(**extra):
+        return {
+            "type": "topk",
+            "dataset": PRESET,
+            "eps_loc": eps_loc,
+            "eps_doc": eps_doc,
+            "k": TOPK,
+            **extra,
+        }
+
+    # Correctness before speed: the served results must be byte-identical
+    # to the direct calls (this also builds the warm index once, so the
+    # "warm" phases below measure a resident, not a cold, server).
+    direct_join = stps_join(dataset, eps_loc, eps_doc, eps_user)
+    direct_topk = topk_stps_join(dataset, eps_loc, eps_doc, TOPK)
+    served_join = service.query(join_request())
+    served_topk = service.query(topk_request())
+    if json.dumps(served_join["pairs"]) != json.dumps(_encode(direct_join)):
+        print("FAIL: served join diverged from direct stps_join")
+        return 1
+    if json.dumps(served_topk["pairs"]) != json.dumps(_encode(direct_topk)):
+        print("FAIL: served topk diverged from direct topk_stps_join")
+        return 1
+
+    cold_join = _mean_seconds(
+        lambda: stps_join(dataset, eps_loc, eps_doc, eps_user), args.rounds
+    )
+    cold_topk = _mean_seconds(
+        lambda: topk_stps_join(dataset, eps_loc, eps_doc, TOPK), args.rounds
+    )
+    warm_join = _mean_seconds(
+        lambda: service.query(join_request(no_cache=True)), args.rounds
+    )
+    warm_topk = _mean_seconds(
+        lambda: service.query(topk_request(no_cache=True)), args.rounds
+    )
+    cached_join = _mean_seconds(
+        lambda: service.query(join_request()), CACHED_ROUNDS
+    )
+    cached_topk = _mean_seconds(
+        lambda: service.query(topk_request()), CACHED_ROUNDS
+    )
+
+    warm_speedup = cold_join / warm_join if warm_join > 0 else float("inf")
+    cached_speedup = (
+        cold_join / cached_join if cached_join > 0 else float("inf")
+    )
+    print(f"  cold one-shot join   : {cold_join * 1e3:9.2f} ms")
+    print(
+        f"  warm repeat (no cache): {warm_join * 1e3:9.2f} ms  "
+        f"({warm_speedup:5.2f}x)"
+    )
+    print(
+        f"  cached repeat        : {cached_join * 1e3:9.2f} ms  "
+        f"({cached_speedup:7.1f}x)"
+    )
+    print(f"  cold one-shot topk   : {cold_topk * 1e3:9.2f} ms")
+    print(f"  warm repeat topk     : {warm_topk * 1e3:9.2f} ms")
+    print(f"  cached repeat topk   : {cached_topk * 1e3:9.2f} ms")
+
+    # Deterministic work counters of one direct run (fixed-seed preset,
+    # so exact across hosts) for the regression checker.
+    telemetry = Telemetry()
+    stps_join(dataset, eps_loc, eps_doc, eps_user, telemetry=telemetry)
+    cache_stats = service.cache.stats()
+
+    from repro.bench.reporting import write_bench_json
+
+    path = write_bench_json(
+        "serve",
+        config={
+            "preset": PRESET,
+            "num_users": args.users,
+            "eps_loc": eps_loc,
+            "eps_doc": eps_doc,
+            "eps_user": eps_user,
+            "k": TOPK,
+            "rounds": args.rounds,
+            "cached_rounds": CACHED_ROUNDS,
+            "dataset_fingerprint": dataset.fingerprint(),
+        },
+        phases={
+            "cold_join_mean": cold_join,
+            "warm_join_mean": warm_join,
+            "cached_join_mean": cached_join,
+            "cold_topk_mean": cold_topk,
+            "warm_topk_mean": warm_topk,
+            "cached_topk_mean": cached_topk,
+        },
+        results={
+            "warm_join_speedup": warm_speedup,
+            "cached_join_speedup": cached_speedup,
+            "warm_topk_speedup": cold_topk / warm_topk if warm_topk else 0.0,
+            "cached_topk_speedup": (
+                cold_topk / cached_topk if cached_topk else 0.0
+            ),
+            "cache_hits": cache_stats.hits,
+            "cache_misses": cache_stats.misses,
+            "join_pairs": len(direct_join),
+        },
+        directory=REPO_ROOT,
+        counters=telemetry.work_counters(),
+    )
+    print(f"wrote {path}")
+
+    if cached_speedup < MIN_CACHED_SPEEDUP:
+        print(
+            f"FAIL: cached repeat speedup {cached_speedup:.2f}x is below "
+            f"the {MIN_CACHED_SPEEDUP:.0f}x acceptance gate"
+        )
+        return 1
+    if warm_speedup < 1.0:
+        print(
+            f"FAIL: warm-index repeat ({warm_speedup:.2f}x) is slower "
+            f"than cold one-shot evaluation"
+        )
+        return 1
+    print(
+        f"OK: cached repeats {cached_speedup:.1f}x, warm repeats "
+        f"{warm_speedup:.2f}x over cold one-shot"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the resident join server (CI: serve-smoke).
+
+Boots ``python -m repro serve`` on a synthetic dataset as a real
+subprocess, then drives it the way a deployment would:
+
+1. join / top-k / knn queries over HTTP, each checked **byte-identical**
+   against the direct in-process API on the same TSV;
+2. a repeated join must be served from the result cache;
+3. ``/metrics`` must expose the ``serve.*`` series in Prometheus text
+   format and ``/health`` must report ok;
+4. a server-side EXPLAIN artifact is diffed against a direct-API
+   EXPLAIN run with ``repro obs diff`` — the warm shared index must
+   cause **zero work-counter drift** (cache.* counters are excluded by
+   design; see docs/observability.md);
+5. SIGINT must drain and exit 0 — the graceful-shutdown contract.
+
+Exit code 0 when every step holds, 1 with a diagnostic otherwise.
+
+Usage: ``python scripts/serve_smoke.py [--users N] [--keep DIR]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro import stps_join, topk_stps_join  # noqa: E402
+from repro.core.knn import similar_users  # noqa: E402
+from repro.datasets.loaders import load_tsv  # noqa: E402
+from repro.obs import Telemetry, build_explain  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+EPS_LOC, EPS_DOC, EPS_USER, K = 0.01, 0.2, 0.2, 5
+
+
+class SmokeFailure(Exception):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _python_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _boot_server(dataset_path: str) -> "tuple[subprocess.Popen, str]":
+    """Start ``repro serve`` on a free port; returns (process, base_url)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", dataset_path, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_python_env(),
+        cwd=REPO_ROOT,
+    )
+    deadline = time.time() + 30
+    url = None
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(f"[serve] {line}")
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            url = match.group(1)
+            break
+    _check(url is not None, "server never printed its listening URL")
+    return process, url
+
+
+def _encode_pairs(pairs):
+    return [[p.user_a, p.user_b, p.score] for p in pairs]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=40)
+    parser.add_argument(
+        "--keep",
+        default=None,
+        metavar="DIR",
+        help="write artifacts (dataset, explains) here instead of a tempdir",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = args.keep or tempfile.mkdtemp(prefix="serve_smoke_")
+    os.makedirs(workdir, exist_ok=True)
+    dataset_path = os.path.join(workdir, "smoke.tsv")
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "generate",
+            "--preset", "twitter", "--users", str(args.users),
+            "--out", dataset_path,
+        ],
+        check=True,
+        env=_python_env(),
+        cwd=REPO_ROOT,
+    )
+    dataset = load_tsv(dataset_path)
+    probe = dataset.users[0]
+
+    process, url = _boot_server(dataset_path)
+    client = ServeClient(url, timeout=60.0)
+    try:
+        health = client.health()
+        _check(health["status"] == "ok", f"unhealthy at boot: {health}")
+
+        # 1. Differential checks over HTTP vs the direct API.
+        served = client.join("smoke", EPS_LOC, EPS_DOC, EPS_USER)
+        direct = stps_join(dataset, EPS_LOC, EPS_DOC, EPS_USER)
+        _check(
+            json.dumps(served["pairs"]) == json.dumps(_encode_pairs(direct)),
+            "served join diverged from direct stps_join",
+        )
+        _check(
+            served["fingerprint"] == dataset.fingerprint(),
+            "served fingerprint does not match the dataset content hash",
+        )
+        served_topk = client.topk("smoke", EPS_LOC, EPS_DOC, K)
+        direct_topk = topk_stps_join(dataset, EPS_LOC, EPS_DOC, K)
+        _check(
+            json.dumps(served_topk["pairs"])
+            == json.dumps(_encode_pairs(direct_topk)),
+            "served topk diverged from direct topk_stps_join",
+        )
+        served_knn = client.knn("smoke", probe, EPS_LOC, EPS_DOC, K)
+        direct_knn = similar_users(dataset, probe, EPS_LOC, EPS_DOC, K)
+        _check(
+            json.dumps(served_knn["neighbours"])
+            == json.dumps([[u, s] for u, s in direct_knn]),
+            "served knn diverged from direct similar_users",
+        )
+        print("differential: join/topk/knn byte-identical to the direct API")
+
+        # 2. The repeat must come from the result cache.
+        repeat = client.join("smoke", EPS_LOC, EPS_DOC, EPS_USER)
+        _check(repeat["cached"], "repeated join was not served from cache")
+        _check(
+            repeat["pairs"] == served["pairs"],
+            "cached join payload differs from the computed one",
+        )
+        print("cache: repeated join served from the LRU result cache")
+
+        # 3. Metrics exposition.
+        metrics = client.metrics()
+        for needle in (
+            "# TYPE repro_serve_requests_total counter",
+            "repro_serve_cache_size",
+            "repro_serve_request_seconds_bucket",
+        ):
+            _check(needle in metrics, f"/metrics lacks {needle!r}")
+        print("metrics: Prometheus exposition includes the serve.* series")
+
+        # 4. Server-side EXPLAIN vs a direct-API EXPLAIN run: the warm
+        # index must not change any deterministic work counter.
+        explained = client.join(
+            "smoke", EPS_LOC, EPS_DOC, EPS_USER, explain=True
+        )
+        server_explain = os.path.join(workdir, "explain_server.json")
+        with open(server_explain, "w", encoding="utf-8") as handle:
+            json.dump(explained["explain"], handle, indent=2, sort_keys=True)
+        telemetry = Telemetry()
+        _, report = stps_join(
+            dataset, EPS_LOC, EPS_DOC, EPS_USER,
+            telemetry=telemetry, with_report=True,
+        )
+        direct_explain = os.path.join(workdir, "explain_direct.json")
+        with open(direct_explain, "w", encoding="utf-8") as handle:
+            handle.write(build_explain(telemetry, report, dataset).to_json())
+        diff = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "obs", "diff",
+                direct_explain, server_explain,
+            ],
+            env=_python_env(),
+            cwd=REPO_ROOT,
+        )
+        _check(
+            diff.returncode == 0,
+            "obs diff found work-counter drift between the server EXPLAIN "
+            "and the direct-API run",
+        )
+        print("explain: no work-counter drift between server and direct runs")
+    except Exception:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+        raise
+    finally:
+        artifacts = "kept" if args.keep else "tempdir"
+        print(f"artifacts in {workdir} ({artifacts})")
+
+    # 5. Graceful shutdown: SIGINT drains and exits 0.
+    process.send_signal(signal.SIGINT)
+    try:
+        code = process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SmokeFailure("server did not exit within 30s of SIGINT")
+    for line in process.stdout:
+        sys.stdout.write(f"[serve] {line}")
+    _check(code == 0, f"server exited {code} on SIGINT, expected 0")
+    print("shutdown: SIGINT drained and exited 0")
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SmokeFailure as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        sys.exit(1)

@@ -9,6 +9,9 @@ Installed as ``stpsjoin`` (or run as ``python -m repro``).  Subcommands::
     stpsjoin tune data.tsv --target 25 --eps-loc 0.02 --eps-doc 0.2 --eps-user 0.2
     stpsjoin bench --fast
     stpsjoin bench --experiment figure4
+    stpsjoin serve data.tsv --port 8199
+    stpsjoin query http://127.0.0.1:8199 --dataset data \\
+        --eps-loc 0.004 --eps-doc 0.4 --eps-user 0.4
 """
 
 from __future__ import annotations
@@ -339,6 +342,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_show.add_argument("path", help="explain JSON written by --explain-out")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the resident join server (see docs/serving.md)",
+    )
+    p_serve.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="TSV dataset(s) to register at startup (named by file stem)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8199, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="result-cache capacity in entries (0 disables caching)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="queries evaluated concurrently",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="queries allowed to wait; beyond this the server returns 429",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-query deadline in seconds",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight queries on shutdown",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    p_query = sub.add_parser(
+        "query", help="query a running join server (stpsjoin serve)"
+    )
+    p_query.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8199")
+    p_query.add_argument(
+        "--type",
+        choices=("join", "topk", "knn"),
+        default="join",
+        dest="query_type",
+    )
+    p_query.add_argument("--dataset", required=True, help="registered dataset name")
+    p_query.add_argument("--eps-loc", type=float, required=True)
+    p_query.add_argument("--eps-doc", type=float, required=True)
+    p_query.add_argument("--eps-user", type=float, default=None, help="join only")
+    p_query.add_argument("-k", type=int, default=None, help="topk / knn only")
+    p_query.add_argument("--user", default=None, help="knn probe user")
+    p_query.add_argument(
+        "--algorithm", default=None, help="override the server's default algorithm"
+    )
+    p_query.add_argument(
+        "--deadline", type=float, default=None, help="per-query deadline in seconds"
+    )
+    p_query.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the server's result cache for this query",
+    )
+    p_query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the server-side EXPLAIN report to stderr",
+    )
+    p_query.add_argument(
+        "--explain-out",
+        metavar="PATH",
+        default=None,
+        help="write the server-side EXPLAIN report to PATH as JSON",
+    )
+    p_query.add_argument("--limit", type=int, default=20, help="max pairs to print")
+    p_query.add_argument("--out", default=None, help="write result pairs to a TSV file")
+    p_query.add_argument(
+        "--timeout", type=float, default=60.0, help="HTTP client timeout"
+    )
+
     p_bench = sub.add_parser("bench", help="regenerate the paper's experiments")
     p_bench.add_argument("--fast", action="store_true", help="smaller workloads")
     p_bench.add_argument(
@@ -560,6 +655,123 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the resident join server and block until shutdown.
+
+    Startup lines go to stdout (flushed) so wrappers — the CI smoke
+    script among them — can parse the chosen port; SIGINT/SIGTERM and
+    ``POST /admin/shutdown`` all drain in-flight queries and exit 0.
+    """
+    import os
+
+    from .serve import JoinHTTPServer, JoinService, serve_forever
+
+    service = JoinService(
+        cache_capacity=args.cache_size,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline=args.deadline,
+    )
+    for path in args.paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        prepared = service.register_path(name, path)
+        print(
+            f"registered {name} ({prepared.dataset.num_users} users, "
+            f"fingerprint {prepared.fingerprint}) from {path}",
+            flush=True,
+        )
+    server = JoinHTTPServer(
+        (args.host, args.port),
+        service,
+        verbose=args.verbose,
+        drain_timeout=args.drain_timeout,
+    )
+    print(f"serving on http://{args.host}:{server.port}", flush=True)
+    code = serve_forever(server)
+    print("server stopped", flush=True)
+    return code
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Send one query to a running server and print the result pairs."""
+    from .core.query import UserPair
+    from .serve import ServeClient, ServerError
+
+    request = {
+        "type": args.query_type,
+        "dataset": args.dataset,
+        "eps_loc": args.eps_loc,
+        "eps_doc": args.eps_doc,
+    }
+    if args.query_type == "join":
+        if args.eps_user is None:
+            print("error: --eps-user is required for join queries", file=sys.stderr)
+            return 2
+        request["eps_user"] = args.eps_user
+    else:
+        if args.k is None:
+            print("error: -k is required for topk/knn queries", file=sys.stderr)
+            return 2
+        request["k"] = args.k
+    if args.query_type == "knn":
+        if args.user is None:
+            print("error: --user is required for knn queries", file=sys.stderr)
+            return 2
+        request["user"] = args.user
+    if args.algorithm is not None:
+        request["algorithm"] = args.algorithm
+    if args.deadline is not None:
+        request["deadline"] = args.deadline
+    if args.no_cache:
+        request["no_cache"] = True
+    explain_requested = args.explain or args.explain_out is not None
+    if explain_requested:
+        request["explain"] = True
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        response = client.query(request)
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE if exc.status == 504 else 2
+
+    explain_payload = response.get("explain")
+    if explain_payload is not None and args.explain:
+        print(render_explain(explain_payload), file=sys.stderr)
+    if explain_payload is not None and args.explain_out is not None:
+        import json
+
+        with open(args.explain_out, "w", encoding="utf-8") as handle:
+            json.dump(explain_payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote explain report to {args.explain_out}", file=sys.stderr)
+
+    source = "cache" if response.get("cached") else "server"
+    elapsed = format_seconds(response.get("elapsed", 0.0))
+    if args.query_type == "knn":
+        neighbours = response.get("neighbours", [])
+        print(
+            f"{len(neighbours)} similar users for {response.get('user')} "
+            f"({source}, {elapsed}, dataset {response.get('fingerprint')})"
+        )
+        for other, score in neighbours:
+            print(f"  {other}\t{score:.4f}")
+        return 0
+    pairs = [UserPair(a, b, score) for a, b, score in response.get("pairs", [])]
+    print(
+        f"{len(pairs)} pairs (algorithm {response.get('algorithm')}, {source}, "
+        f"{elapsed}, dataset {response.get('fingerprint')})"
+    )
+    for pair in pairs[: args.limit]:
+        print(f"  {pair.user_a}\t{pair.user_b}\t{pair.score:.4f}")
+    if len(pairs) > args.limit:
+        print(f"  ... {len(pairs) - args.limit} more")
+    if args.out:
+        save_pairs(pairs, args.out)
+        print(f"wrote {len(pairs)} pairs to {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment is None:
         if args.csv:
@@ -606,6 +818,8 @@ _COMMANDS = {
     "knn": _cmd_knn,
     "tune": _cmd_tune,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "bench": _cmd_bench,
 }
 
@@ -623,12 +837,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     ``2`` — usage / generic error, ``3`` — input data failed validation,
     ``4`` — the execution deadline elapsed, ``5`` — chunks failed
-    terminally (retries and degraded re-execution exhausted).
+    terminally (retries and degraded re-execution exhausted), ``130`` —
+    interrupted (Ctrl-C outside the server's graceful-shutdown path).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # `stpsjoin serve` converts SIGINT into a graceful drain; for
+        # every other command an interrupt is an interrupt — exit with
+        # the conventional 128+SIGINT code instead of a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except DatasetValidationError as exc:
         print(f"error: invalid dataset: {exc}", file=sys.stderr)
         for problem in exc.problems[1:5]:

@@ -170,6 +170,16 @@ def stps_join(
         ``docs/observability.md``) from the run and append it to the
         return value, always last.  Implies routing through the engine
         and constructs an internal ``Telemetry`` when none was given.
+    index:
+        (keyword-only, via ``**kwargs``) A pre-built warm index to reuse
+        instead of rebuilding per call — an
+        :class:`~repro.stindex.stgrid.STGridIndex` for the grid
+        algorithms or an :class:`~repro.stindex.leaf_index.STLeafIndex`
+        for ``"s-ppj-d"``.  Must match the query's ``eps_loc`` (and for
+        the token-probing algorithms carry token lists); routes through
+        the engine, which validates it.  This is the prepared-dataset
+        entry point the resident join server (``docs/serving.md``) is
+        built on — results are byte-identical to a cold call.
     """
     query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
     telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
@@ -183,6 +193,7 @@ def stps_join(
         or policy is not None
         or telemetry is not None
         or with_report
+        or kwargs.get("index") is not None
     ):
         executor = _make_executor(
             workers, backend, start_method, chunk_size, policy
@@ -234,6 +245,7 @@ def topk_stps_join(
     telemetry=None,
     with_telemetry: bool = False,
     explain: bool = False,
+    **kwargs,
 ):
     """Evaluate a top-k STPSJoin query (Definition 2).
 
@@ -241,8 +253,10 @@ def topk_stps_join(
     execution engine, exactly as in :func:`stps_join`; the returned k
     best pairs are byte-identical to the sequential algorithms (ties are
     broken canonically everywhere).  ``policy``, ``with_report``,
-    ``telemetry``, ``with_telemetry`` and ``explain`` also behave as in
-    :func:`stps_join`.
+    ``telemetry``, ``with_telemetry``, ``explain`` and ``index`` (a
+    pre-built warm index, which also routes through the engine) behave
+    as in :func:`stps_join`; ``"topk-s-ppj-d"`` additionally accepts
+    ``fanout=`` on the engine path.
     """
     query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
     telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
@@ -256,6 +270,7 @@ def topk_stps_join(
         or policy is not None
         or telemetry is not None
         or with_report
+        or kwargs
     ):
         executor = _make_executor(
             workers, backend, start_method, chunk_size, policy
@@ -263,6 +278,7 @@ def topk_stps_join(
         result = executor.topk(
             dataset, query, algorithm=algorithm, stats=stats,
             with_report=with_report or explain, telemetry=telemetry,
+            **{k_: v for k_, v in kwargs.items() if v is not None},
         )
         explain_report = None
         if explain:

@@ -31,13 +31,23 @@ def similar_users(
     eps_doc: float,
     k: int,
     stats: Optional[PairEvalStats] = None,
+    index: Optional[STGridIndex] = None,
 ) -> List[Tuple[UserId, float]]:
     """The ``k`` users most similar to ``user``, with their sigma scores.
 
     Zero-similarity users never qualify; fewer than ``k`` results are
     returned when fewer users share any matching object with the probe.
 
-    Raises ``ValueError`` for an unknown probe user or non-positive ``k``.
+    ``index`` may supply a pre-built *full* grid index over the whole
+    dataset (every user, probe included, ``with_tokens=True``, matching
+    ``eps_loc``) — the warm-index path of the resident join server.  The
+    probe itself is filtered out of the candidate set; both the candidate
+    bound and the PPJ-B refinement depend only on the two users involved,
+    so results are byte-identical to the cold path, which builds the
+    index here.
+
+    Raises ``ValueError`` for an unknown probe user, non-positive ``k``,
+    or a prebuilt index that does not match ``eps_loc``.
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -45,14 +55,29 @@ def similar_users(
     if not probe_objects:
         raise ValueError(f"unknown user (or user without objects): {user!r}")
 
-    index = STGridIndex(dataset.bounds, eps_loc, with_tokens=True)
-    sizes = {}
-    for other in dataset.users:
-        if other == user:
-            continue
-        objs = dataset.user_objects(other)
-        sizes[other] = len(objs)
-        index.add_user(other, objs)
+    prebuilt = index is not None
+    if prebuilt:
+        if index.eps_loc != float(eps_loc):
+            raise ValueError("prebuilt index eps_loc does not match the query")
+        if not index.with_tokens:
+            raise ValueError(
+                "prebuilt grid index was built with with_tokens=False; "
+                "knn needs the per-cell token lists"
+            )
+        sizes = {
+            other: len(dataset.user_objects(other))
+            for other in dataset.users
+            if other != user
+        }
+    else:
+        index = STGridIndex(dataset.bounds, eps_loc, with_tokens=True)
+        sizes = {}
+        for other in dataset.users:
+            if other == user:
+                continue
+            objs = dataset.user_objects(other)
+            sizes[other] = len(objs)
+            index.add_user(other, objs)
 
     own_counts = {}
     for obj in probe_objects:
@@ -60,6 +85,9 @@ def similar_users(
         own_counts[cell] = own_counts.get(cell, 0) + 1
 
     candidates = collect_candidates(index, dataset, user)
+    # A full index contains the probe itself; it is never its own
+    # neighbour.  Everyone else's candidacy is index-content independent.
+    candidates.pop(user, None)
     if stats is not None:
         stats.candidates += len(candidates)
 
@@ -82,7 +110,10 @@ def similar_users(
     heap = _TopKHeap(k)
     size_probe = len(probe_objects)
     # Add the probe user to the index so PPJ-B sees both users' cells.
-    index.add_user(user, probe_objects)
+    # A prebuilt full index contains the probe already; inserting again
+    # would double its objects and corrupt the scores.
+    if not prebuilt:
+        index.add_user(user, probe_objects)
 
     for pos, (bound, cand) in enumerate(scored):
         threshold = heap.threshold

@@ -14,6 +14,7 @@ PPJOIN-family joins need — and as a frozen set for O(1) membership tests.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import (
@@ -88,6 +89,7 @@ class STDataset:
         self.users = users
         self._by_user = by_user
         self._bounds: Optional[Rect] = None
+        self._fingerprint: Optional[str] = None
 
     # -- construction ------------------------------------------------------------
 
@@ -214,6 +216,31 @@ class STDataset:
         """Iterate ``(user, Du)`` in the user total order."""
         for user in self.users:
             yield user, self._by_user[user]
+
+    def fingerprint(self) -> str:
+        """A stable content hash identifying this dataset (cached).
+
+        Two datasets with the same logical content — the same multiset of
+        ``(user, x, y, keywords)`` records — share a fingerprint, whatever
+        the record order or token-id assignment; any insert, delete or
+        edit changes it.  The hash covers ``repr``-exact coordinates and
+        keyword/user reprs (so ``1`` and ``"1"`` differ), making the
+        fingerprint a sound cache key for result and index caches: equal
+        fingerprints imply byte-identical join results for equal queries.
+        """
+        if self._fingerprint is None:
+            lines = sorted(
+                "{!r}\t{!r}\t{!r}\t{}".format(
+                    obj.user,
+                    obj.x,
+                    obj.y,
+                    ",".join(sorted(repr(k) for k in self.vocab.decode(obj.doc))),
+                )
+                for obj in self.objects
+            )
+            digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
     @property
     def bounds(self) -> Rect:

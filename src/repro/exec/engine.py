@@ -449,6 +449,7 @@ class JoinExecutor:
             backend=self.backend,
             start_method=self.start_method,
             algorithm=f"{plan.kind}:{plan.name}",
+            dataset_fingerprint=dataset.fingerprint(),
         )
         run_span = None
         if tele is not None:

@@ -122,6 +122,28 @@ class Plan:
         raise NotImplementedError
 
 
+def _check_grid_index(
+    index: STGridIndex, eps_loc: float, need_tokens: bool
+) -> STGridIndex:
+    """Validate a caller-supplied (warm) grid index against the query.
+
+    The grid's cell extent *is* ``eps_loc`` — an index built for another
+    threshold would generate wrong candidate sets — and the token-probing
+    plans need the per-cell inverted lists.  A ``with_tokens=True`` index
+    is accepted by the plans that do not need tokens: the extra lists are
+    simply unused, which is what lets a resident server share one warm
+    index per ``eps_loc`` across all grid algorithms.
+    """
+    if index.eps_loc != eps_loc:
+        raise ValueError("prebuilt index eps_loc does not match the query")
+    if need_tokens and not index.with_tokens:
+        raise ValueError(
+            "prebuilt grid index was built with with_tokens=False; this "
+            "algorithm needs the per-cell token lists"
+        )
+    return index
+
+
 def _triangular_chunks(
     n_users: int, chunk_size: int
 ) -> Iterator[List[Tuple[int, int, int]]]:
@@ -327,12 +349,21 @@ class SPPJCPlan(_PairwisePlan):
 
     name = "s-ppj-c"
 
-    def build_state(self, dataset: STDataset, query: STPSJoinQuery):
+    def build_state(
+        self,
+        dataset: STDataset,
+        query: STPSJoinQuery,
+        index: Optional[STGridIndex] = None,
+    ):
+        if index is None:
+            index = STGridIndex.build(dataset, query.eps_loc, with_tokens=False)
+        else:
+            _check_grid_index(index, query.eps_loc, need_tokens=False)
         users = list(dataset.users)
         return {
             "users": users,
             "sizes": [len(dataset.user_objects(u)) for u in users],
-            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=False),
+            "index": index,
             "query": query,
         }
 
@@ -361,12 +392,21 @@ class SPPJBPlan(_PairwisePlan):
 
     name = "s-ppj-b"
 
-    def build_state(self, dataset: STDataset, query: STPSJoinQuery):
+    def build_state(
+        self,
+        dataset: STDataset,
+        query: STPSJoinQuery,
+        index: Optional[STGridIndex] = None,
+    ):
+        if index is None:
+            index = STGridIndex.build(dataset, query.eps_loc, with_tokens=False)
+        else:
+            _check_grid_index(index, query.eps_loc, need_tokens=False)
         users = list(dataset.users)
         return {
             "users": users,
             "sizes": [len(dataset.user_objects(u)) for u in users],
-            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=False),
+            "index": index,
             "query": query,
         }
 
@@ -400,14 +440,22 @@ class SPPJFPlan(_UserShardPlan):
     name = "s-ppj-f"
 
     def build_state(
-        self, dataset: STDataset, query: STPSJoinQuery, refine: str = "ppj-b"
+        self,
+        dataset: STDataset,
+        query: STPSJoinQuery,
+        refine: str = "ppj-b",
+        index: Optional[STGridIndex] = None,
     ):
         if refine not in ("ppj-b", "ppj-c"):
             raise ValueError(f"unknown refine strategy: {refine!r}")
+        if index is None:
+            index = STGridIndex.build(dataset, query.eps_loc, with_tokens=True)
+        else:
+            _check_grid_index(index, query.eps_loc, need_tokens=True)
         return {
             "dataset": dataset,
             "users": list(dataset.users),
-            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=True),
+            "index": index,
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,
@@ -645,11 +693,20 @@ class TopKGridPlan(_UserShardPlan):
     kind = "topk"
     name = "topk-s-ppj-f"
 
-    def build_state(self, dataset: STDataset, query: TopKQuery):
+    def build_state(
+        self,
+        dataset: STDataset,
+        query: TopKQuery,
+        index: Optional[STGridIndex] = None,
+    ):
+        if index is None:
+            index = STGridIndex.build(dataset, query.eps_loc, with_tokens=True)
+        else:
+            _check_grid_index(index, query.eps_loc, need_tokens=True)
         return {
             "dataset": dataset,
             "users": list(dataset.users),
-            "index": STGridIndex.build(dataset, query.eps_loc, with_tokens=True),
+            "index": index,
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,

@@ -176,16 +176,19 @@ class ExecutionReport:
     clean first-try run).  Skipped chunks appear in neither.
 
     ``run_id`` is the deterministic run identifier (the traced run span's
-    id when telemetry is active, an engine-local sequence otherwise), and
-    ``artifacts`` maps each written artifact kind (``trace``, ``metrics``,
-    ``explain``) to its filesystem path — the CLI records everything it
-    writes here so :meth:`summary` can point at it.
+    id when telemetry is active, an engine-local sequence otherwise),
+    ``dataset_fingerprint`` the stable content hash of the joined dataset
+    (:meth:`repro.core.model.STDataset.fingerprint`), and ``artifacts``
+    maps each written artifact kind (``trace``, ``metrics``, ``explain``)
+    to its filesystem path — the CLI records everything it writes here so
+    :meth:`summary` can point at it.
     """
 
     backend: str = "sequential"
     start_method: Optional[str] = None
     algorithm: str = ""
     run_id: Optional[str] = None
+    dataset_fingerprint: Optional[str] = None
     artifacts: Dict[str, str] = field(default_factory=dict)
     chunks_total: int = 0
     chunks_completed: int = 0
@@ -224,6 +227,8 @@ class ExecutionReport:
             f"{self.chunks_completed}/{self.chunks_total} chunks",
             f"completeness {self.completeness:.3f}",
         ]
+        if self.dataset_fingerprint:
+            parts.insert(1, f"dataset {self.dataset_fingerprint}")
         if self.run_id:
             parts.insert(1, f"run {self.run_id}")
         if self.chunks_retried:

@@ -178,6 +178,7 @@ class ExplainReport:
     run_id: Optional[str] = None
     backend: str = ""
     start_method: Optional[str] = None
+    dataset_fingerprint: Optional[str] = None
     elapsed: float = 0.0
     object_funnel: List[dict] = field(default_factory=list)
     user_funnel: dict = field(default_factory=dict)
@@ -198,6 +199,7 @@ class ExplainReport:
             "run_id": self.run_id,
             "backend": self.backend,
             "start_method": self.start_method,
+            "dataset_fingerprint": self.dataset_fingerprint,
             "elapsed": self.elapsed,
             "object_funnel": self.object_funnel,
             "user_funnel": self.user_funnel,
@@ -259,11 +261,14 @@ def build_explain(
         explain.run_id = report.run_id
         explain.backend = report.backend
         explain.start_method = report.start_method
+        explain.dataset_fingerprint = report.dataset_fingerprint
         explain.elapsed = report.elapsed
         explain.chunks = _chunk_stats(report)
         explain.top_chunks = _top_chunks(report, top_n)
     if dataset is not None:
         explain.top_users = _top_users(dataset, top_n)
+        if explain.dataset_fingerprint is None:
+            explain.dataset_fingerprint = dataset.fingerprint()
     return explain
 
 
@@ -278,6 +283,9 @@ def render_explain(payload: dict) -> str:
     run_id = payload.get("run_id")
     if run_id:
         head += f" run {run_id}"
+    fingerprint = payload.get("dataset_fingerprint")
+    if fingerprint:
+        head += f" dataset {fingerprint}"
     backend = payload.get("backend")
     if backend:
         transport = backend

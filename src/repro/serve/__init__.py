@@ -1,0 +1,50 @@
+"""Resident join server: warm indexes, concurrent query API, result cache.
+
+One-shot CLI invocations pay the dominant cost — loading the dataset and
+building the spatio-textual index — on every query.  This subsystem keeps
+a long-lived process around instead (``stpsjoin serve``): datasets are
+registered once, their grid / leaf indexes are built once and kept warm,
+and concurrent join / top-k / knn requests are answered over a small
+HTTP/JSON API with an LRU result cache in front.  Results are
+byte-identical to the direct :func:`repro.stps_join` /
+:func:`repro.topk_stps_join` / :func:`repro.core.knn.similar_users`
+calls — the differential tests and the CI serve-smoke job pin exactly
+that.  See ``docs/serving.md`` for the narrative version.
+
+* :mod:`repro.serve.registry` — datasets prepared for serving: stable
+  content fingerprints, lazily built per-``eps_loc`` warm indexes;
+* :mod:`repro.serve.cache` — the bounded LRU result cache keyed by
+  (dataset fingerprint, query shape);
+* :mod:`repro.serve.admission` — bounded in-flight + queue admission
+  control with overload rejection;
+* :mod:`repro.serve.service` — :class:`JoinService`, the transport-free
+  query dispatcher the HTTP layer and the tests drive;
+* :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` front end
+  (zero new dependencies) with ``/metrics`` Prometheus exposition and
+  signal-driven graceful shutdown;
+* :mod:`repro.serve.client` — a ``urllib``-based client, used by the
+  ``stpsjoin query`` command and the smoke tests.
+"""
+
+from .admission import AdmissionController, AdmissionRejected
+from .cache import CacheStats, ResultCache
+from .client import ServeClient, ServerError
+from .http import JoinHTTPServer, serve_forever
+from .registry import DatasetRegistry, PreparedDataset
+from .service import JoinService, QueryError, UnknownDatasetError
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "CacheStats",
+    "DatasetRegistry",
+    "JoinHTTPServer",
+    "JoinService",
+    "PreparedDataset",
+    "QueryError",
+    "ResultCache",
+    "ServeClient",
+    "ServerError",
+    "UnknownDatasetError",
+    "serve_forever",
+]

@@ -1,0 +1,141 @@
+"""Admission control: bounded concurrency with overload rejection.
+
+A resident server must stay responsive under bursts.  The controller
+admits at most ``max_inflight`` queries into evaluation; up to
+``max_queue`` more may wait (bounded, so memory stays bounded too);
+anything beyond that is rejected immediately with
+:class:`AdmissionRejected` — the HTTP layer maps it to ``429`` with a
+``Retry-After`` hint.  Draining (graceful shutdown) flips a flag that
+rejects *new* arrivals while admitted queries run to completion.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(Exception):
+    """The server is saturated (or draining); the caller should back off.
+
+    ``retry_after`` is an advisory delay in seconds — ``None`` when the
+    server is draining and will not come back.
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded in-flight + bounded queue; excess is rejected, not queued.
+
+    Use as a context manager around query evaluation::
+
+        with controller.admit():
+            ... evaluate ...
+    """
+
+    def __init__(self, max_inflight: int = 4, max_queue: int = 16) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        self._draining = False
+        self._rejected = 0
+        self._admitted = 0
+
+    def admit(self) -> "_Admission":
+        """Block until admitted (bounded queue) or raise immediately.
+
+        Raises :class:`AdmissionRejected` when the queue is full or the
+        controller is draining.
+        """
+        with self._cond:
+            if self._draining:
+                raise AdmissionRejected(
+                    "server is shutting down", retry_after=None
+                )
+            if (
+                self._inflight >= self.max_inflight
+                and self._waiting >= self.max_queue
+            ):
+                self._rejected += 1
+                raise AdmissionRejected(
+                    f"server saturated ({self._inflight} in flight, "
+                    f"{self._waiting} queued)"
+                )
+            self._waiting += 1
+            try:
+                while self._inflight >= self.max_inflight:
+                    self._cond.wait()
+                    if self._draining:
+                        raise AdmissionRejected(
+                            "server is shutting down", retry_after=None
+                        )
+            finally:
+                self._waiting -= 1
+            self._inflight += 1
+            self._admitted += 1
+        return _Admission(self)
+
+    def _release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def drain(self) -> None:
+        """Reject new arrivals; wake queued waiters so they reject too."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is in flight; ``False`` on timeout."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "inflight": self._inflight,
+                "waiting": self._waiting,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "draining": self._draining,
+            }
+
+
+class _Admission:
+    """The held admission slot; releasing is idempotent."""
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()

@@ -1,0 +1,101 @@
+"""The bounded LRU result cache in front of the join algorithms.
+
+Keys are full query identities —
+``(dataset_fingerprint, kind, algorithm, thresholds..., extras)`` — so a
+hit can only ever return the byte-identical payload the algorithms would
+recompute: fingerprints change when data changes, and every parameter
+that affects the result is part of the key.  Values are the JSON-ready
+response payloads the service builds, stored as-is (they are never
+mutated after insertion).
+
+Hit / miss / eviction counts feed the server's ``serve.cache.*`` metrics
+(:mod:`repro.obs`) and the ``/metrics`` Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of the cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+        }
+
+
+class ResultCache:
+    """A thread-safe LRU mapping of query keys to response payloads.
+
+    ``capacity=0`` disables caching (every lookup is a miss and ``put``
+    is a no-op) without the callers needing their own flag.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)`` — a tuple, so ``None`` values stay cacheable."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return True, self._entries[key]
+            self._misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,138 @@
+"""A small ``urllib``-based client for the resident join server.
+
+Used by the ``stpsjoin query`` command, the differential tests and the
+CI smoke script — anything that talks to a running server without
+wanting to hand-roll HTTP.  Errors come back as :class:`ServerError`
+carrying the HTTP status and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+__all__ = ["ServeClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """A non-2xx response from the join server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talk to a :class:`~repro.serve.http.JoinHTTPServer` over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as response:
+                raw = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urlerror.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", "")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                message = raw.decode("utf-8", "replace").strip()
+            raise ServerError(exc.code, message) from None
+        text = raw.decode("utf-8")
+        if content_type.startswith("application/json"):
+            return json.loads(text)
+        return text
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition, verbatim."""
+        return self._request("GET", "/metrics")
+
+    def datasets(self) -> list:
+        return self._request("GET", "/datasets")["datasets"]
+
+    def register(self, name: str, path: str) -> dict:
+        return self._request(
+            "POST", "/datasets", {"name": name, "path": path}
+        )
+
+    def query(self, request: Dict[str, Any]) -> dict:
+        return self._request("POST", "/query", request)
+
+    def join(
+        self,
+        dataset: str,
+        eps_loc: float,
+        eps_doc: float,
+        eps_user: float,
+        **extra: Any,
+    ) -> dict:
+        return self.query(
+            {
+                "type": "join",
+                "dataset": dataset,
+                "eps_loc": eps_loc,
+                "eps_doc": eps_doc,
+                "eps_user": eps_user,
+                **extra,
+            }
+        )
+
+    def topk(
+        self, dataset: str, eps_loc: float, eps_doc: float, k: int, **extra: Any
+    ) -> dict:
+        return self.query(
+            {
+                "type": "topk",
+                "dataset": dataset,
+                "eps_loc": eps_loc,
+                "eps_doc": eps_doc,
+                "k": k,
+                **extra,
+            }
+        )
+
+    def knn(
+        self,
+        dataset: str,
+        user: str,
+        eps_loc: float,
+        eps_doc: float,
+        k: int,
+        **extra: Any,
+    ) -> dict:
+        return self.query(
+            {
+                "type": "knn",
+                "dataset": dataset,
+                "user": user,
+                "eps_loc": eps_loc,
+                "eps_doc": eps_doc,
+                "k": k,
+                **extra,
+            }
+        )
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/admin/shutdown", {})

@@ -1,0 +1,217 @@
+"""The stdlib HTTP/JSON front end of the resident join server.
+
+Built on ``http.server.ThreadingHTTPServer`` — one thread per connection,
+zero dependencies beyond the standard library.  Concurrency inside the
+process is governed by the service's admission controller, not by the
+socket layer.  Endpoints:
+
+===========================  =====================================================
+``GET /health``              service status, admission + cache snapshot
+``GET /metrics``             Prometheus text exposition of the ``serve.*`` metrics
+``GET /datasets``            registered datasets with fingerprints
+``POST /datasets``           register ``{"name": ..., "path": ...}``
+``POST /query``              evaluate ``{"type": "join"|"topk"|"knn", ...}``
+``POST /admin/shutdown``     start a graceful drain-and-exit
+===========================  =====================================================
+
+Error mapping: bad request → ``400``, unknown dataset → ``404``,
+saturated → ``429`` with ``Retry-After``, draining → ``503``, per-query
+deadline elapsed → ``504``.  :func:`serve_forever` installs
+SIGINT/SIGTERM handlers, so ``Ctrl-C`` drains in-flight queries and
+exits cleanly instead of dumping a ``KeyboardInterrupt`` traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..errors import DatasetValidationError
+from ..exec import DeadlineExceeded
+from .admission import AdmissionRejected
+from .service import JoinService, QueryError, UnknownDatasetError
+
+__all__ = ["JoinHTTPServer", "serve_forever"]
+
+#: Largest accepted request body; a join request is a small JSON object,
+#: anything bigger is a mistake or abuse.
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the :class:`JoinService`; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server: "JoinHTTPServer"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(
+        self,
+        status: int,
+        payload,
+        content_type: str = "application/json",
+        extra_headers: Optional[dict] = None,
+    ) -> None:
+        if content_type == "application/json":
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+        else:
+            body = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(
+        self, status: int, message: str, extra_headers: Optional[dict] = None
+    ) -> None:
+        self._send(status, {"error": message}, extra_headers=extra_headers)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise QueryError("request body too large")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise QueryError("request body must be a JSON object")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise QueryError(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise QueryError("request body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        service = self.server.service
+        if self.path == "/health":
+            stats = service.stats()
+            status = 503 if stats["status"] == "draining" else 200
+            self._send(status, stats)
+        elif self.path == "/metrics":
+            self._send(
+                200,
+                service.metrics_text(),
+                content_type="text/plain; version=0.0.4",
+            )
+        elif self.path == "/datasets":
+            self._send(200, {"datasets": service.registry.describe()})
+        else:
+            self._error(404, f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        service = self.server.service
+        try:
+            if self.path == "/query":
+                self._send(200, service.query(self._read_json()))
+            elif self.path == "/datasets":
+                body = self._read_json()
+                name, path = body.get("name"), body.get("path")
+                if not isinstance(name, str) or not isinstance(path, str):
+                    raise QueryError(
+                        "register body needs string fields 'name' and 'path'"
+                    )
+                prepared = service.register_path(name, path)
+                self._send(200, prepared.describe())
+            elif self.path == "/admin/shutdown":
+                self._send(200, {"status": "draining"})
+                self.server.initiate_shutdown()
+            else:
+                self._error(404, f"no such endpoint: {self.path}")
+        except QueryError as exc:
+            self._error(400, str(exc))
+        except UnknownDatasetError as exc:
+            self._error(404, str(exc))
+        except AdmissionRejected as exc:
+            if exc.retry_after is None:
+                self._error(503, str(exc))
+            else:
+                self._error(
+                    429, str(exc), {"Retry-After": str(int(exc.retry_after))}
+                )
+        except DeadlineExceeded as exc:
+            self._error(504, str(exc))
+        except (DatasetValidationError, OSError, ValueError) as exc:
+            self._error(400, str(exc))
+
+
+class JoinHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`JoinService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: JoinService,
+        verbose: bool = False,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+        self.drain_timeout = drain_timeout
+        self._shutdown_started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def initiate_shutdown(self) -> None:
+        """Start a graceful drain-and-exit; idempotent, non-blocking.
+
+        New queries are rejected immediately; a background thread waits
+        for in-flight queries (bounded by ``drain_timeout``), then stops
+        the accept loop — ``serve_forever()`` returns and the process
+        can exit cleanly.
+        """
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+        self.service.admission.drain()
+
+        def _drain_and_stop() -> None:
+            self.service.admission.wait_idle(timeout=self.drain_timeout)
+            self.shutdown()
+
+        threading.Thread(
+            target=_drain_and_stop, name="serve-shutdown", daemon=True
+        ).start()
+
+
+def serve_forever(
+    server: JoinHTTPServer, install_signal_handlers: bool = True
+) -> int:
+    """Run the accept loop until shutdown; returns a process exit code.
+
+    With ``install_signal_handlers`` (main thread only) SIGINT and
+    SIGTERM trigger the same graceful drain as ``POST /admin/shutdown``.
+    """
+    if install_signal_handlers:
+        previous = {}
+
+        def _on_signal(signum, frame) -> None:
+            server.initiate_shutdown()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _on_signal)
+    try:
+        server.serve_forever()
+    finally:
+        if install_signal_handlers:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        server.server_close()
+    return 0

@@ -1,0 +1,340 @@
+"""The transport-free query service the HTTP layer and the tests drive.
+
+:class:`JoinService` owns the pieces of the resident server that do not
+care about HTTP: the dataset registry with its warm indexes, the LRU
+result cache, the admission controller and the server-level metrics
+registry.  ``query()`` takes a JSON-ready request dict and returns a
+JSON-ready response dict — the HTTP layer only serializes.
+
+Correctness contract: a served result is byte-identical to the direct
+API call (:func:`repro.stps_join` / :func:`repro.topk_stps_join` /
+:func:`repro.core.knn.similar_users`) on the same dataset.  Warm-index
+reuse preserves this (the index content seen at evaluation time is the
+same either way), and the cache key contains every parameter that
+affects the result, fingerprint included.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.api import JOIN_ALGORITHMS, TOPK_ALGORITHMS, stps_join, topk_stps_join
+from ..core.knn import similar_users
+from ..datasets.loaders import load_tsv
+from ..exec import ExecutionPolicy
+from ..obs import MetricsRegistry, Telemetry
+from .admission import AdmissionController
+from .cache import ResultCache
+from .registry import DatasetRegistry, PreparedDataset
+
+__all__ = ["JoinService", "QueryError", "UnknownDatasetError"]
+
+#: Algorithms evaluated on the shared per-``eps_loc`` grid index.  One
+#: ``with_tokens=True`` grid serves them all: S-PPJ-C/B simply ignore
+#: the token lists, S-PPJ-F / top-k / knn probe them.
+_GRID_ALGORITHMS = frozenset(
+    {"s-ppj-c", "s-ppj-b", "s-ppj-f", "topk-s-ppj-f", "topk-s-ppj-s", "topk-s-ppj-p"}
+)
+
+#: Algorithms evaluated on the leaf-partitioned index.
+_LEAF_ALGORITHMS = frozenset({"s-ppj-d", "topk-s-ppj-d"})
+
+_QUERY_KINDS = ("join", "topk", "knn")
+
+
+class QueryError(ValueError):
+    """A malformed or unsupported query (HTTP 400)."""
+
+
+class UnknownDatasetError(KeyError):
+    """The named dataset is not registered (HTTP 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its message otherwise
+        return self.args[0] if self.args else ""
+
+
+def _require_number(request: Dict[str, Any], key: str) -> float:
+    value = request.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise QueryError(f"{key} must be a number")
+    return float(value)
+
+
+def _require_int(request: Dict[str, Any], key: str) -> int:
+    value = request.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise QueryError(f"{key} must be an integer")
+    return value
+
+
+class JoinService:
+    """Warm-index query evaluation behind admission control and a cache."""
+
+    def __init__(
+        self,
+        registry: Optional[DatasetRegistry] = None,
+        cache_capacity: int = 256,
+        max_inflight: int = 4,
+        max_queue: int = 16,
+        default_deadline: Optional[float] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else DatasetRegistry()
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, max_queue=max_queue
+        )
+        self.default_deadline = default_deadline
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # dataset management
+
+    def register_dataset(self, name: str, dataset) -> PreparedDataset:
+        prepared = self.registry.register(name, dataset)
+        self.metrics.counter("serve.datasets.registered").inc()
+        return prepared
+
+    def register_path(self, name: str, path: str) -> PreparedDataset:
+        """Load a TSV dataset from disk and register it under ``name``."""
+        return self.register_dataset(name, load_tsv(path))
+
+    def _prepared(self, name: Any) -> PreparedDataset:
+        if not isinstance(name, str) or not name:
+            raise QueryError("dataset must be a non-empty string")
+        prepared = self.registry.get(name)
+        if prepared is None:
+            raise UnknownDatasetError(f"unknown dataset: {name!r}")
+        return prepared
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def query(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Evaluate one join / topk / knn request dict.
+
+        Raises :class:`QueryError` (bad request),
+        :class:`UnknownDatasetError`, :class:`.AdmissionRejected`
+        (saturated / draining) or
+        :class:`~repro.exec.DeadlineExceeded` (per-query deadline).
+        """
+        start = time.perf_counter()
+        if not isinstance(request, dict):
+            raise QueryError("request body must be a JSON object")
+        kind = request.get("type", "join")
+        if kind not in _QUERY_KINDS:
+            raise QueryError(
+                f"unknown query type {kind!r}; choose from {_QUERY_KINDS}"
+            )
+        self.metrics.counter(f"serve.query.{kind}").inc()
+
+        prepared, key, explain = self._parse(kind, request)
+        use_cache = not explain and not request.get("no_cache", False)
+        if use_cache:
+            hit, payload = self.cache.get(key)
+            self._record_cache()
+            if hit:
+                self.metrics.histogram("serve.request.seconds").observe(
+                    time.perf_counter() - start
+                )
+                return self._respond(payload, cached=True, start=start)
+
+        with self.admission.admit():
+            payload = self._evaluate(kind, prepared, request, explain)
+        if use_cache:
+            self.cache.put(key, payload)
+            self._record_cache()
+        self.metrics.histogram("serve.request.seconds").observe(
+            time.perf_counter() - start
+        )
+        return self._respond(payload, cached=False, start=start)
+
+    def _parse(
+        self, kind: str, request: Dict[str, Any]
+    ) -> Tuple[PreparedDataset, tuple, bool]:
+        """Validate the request; return (dataset, cache key, explain?)."""
+        prepared = self._prepared(request.get("dataset"))
+        algorithm = request.get(
+            "algorithm", "topk-s-ppj-p" if kind == "topk" else "s-ppj-f"
+        )
+        eps_loc = _require_number(request, "eps_loc")
+        eps_doc = _require_number(request, "eps_doc")
+        if kind == "join":
+            if algorithm not in JOIN_ALGORITHMS:
+                raise QueryError(
+                    f"unknown join algorithm {algorithm!r}; "
+                    f"choose from {sorted(JOIN_ALGORITHMS)}"
+                )
+            third: Any = _require_number(request, "eps_user")
+        elif kind == "topk":
+            if algorithm not in TOPK_ALGORITHMS:
+                raise QueryError(
+                    f"unknown topk algorithm {algorithm!r}; "
+                    f"choose from {sorted(TOPK_ALGORITHMS)}"
+                )
+            third = _require_int(request, "k")
+        else:  # knn
+            algorithm = "knn"
+            third = _require_int(request, "k")
+            user = request.get("user")
+            if user is None or user == "":
+                raise QueryError("user must be provided")
+        explain = bool(request.get("explain", False))
+        if explain and kind == "knn":
+            raise QueryError("explain is not supported for knn queries")
+        key = (
+            prepared.fingerprint,
+            kind,
+            algorithm,
+            eps_loc,
+            eps_doc,
+            third,
+            request.get("user"),
+            request.get("fanout"),
+            request.get("partitioner"),
+        )
+        return prepared, key, explain
+
+    def _policy(self, request: Dict[str, Any]) -> Optional[ExecutionPolicy]:
+        deadline = request.get("deadline", self.default_deadline)
+        if deadline is None:
+            return None
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+            raise QueryError("deadline must be a number of seconds")
+        return ExecutionPolicy(deadline=float(deadline))
+
+    def _index_kwargs(
+        self, prepared: PreparedDataset, algorithm: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The warm-index kwargs for ``algorithm`` (empty for naive)."""
+        eps_loc = float(request["eps_loc"])
+        if algorithm in _GRID_ALGORITHMS:
+            return {"index": prepared.grid_index(eps_loc)}
+        if algorithm in _LEAF_ALGORITHMS:
+            fanout = request.get("fanout", 100)
+            partitioner = request.get("partitioner", "rtree")
+            if not isinstance(fanout, int) or isinstance(fanout, bool):
+                raise QueryError("fanout must be an integer")
+            if partitioner not in ("rtree", "quadtree"):
+                raise QueryError(f"unknown partitioner: {partitioner!r}")
+            return {
+                "index": prepared.leaf_index(
+                    eps_loc, fanout=fanout, partitioner=partitioner
+                )
+            }
+        return {}
+
+    def _evaluate(
+        self,
+        kind: str,
+        prepared: PreparedDataset,
+        request: Dict[str, Any],
+        explain: bool,
+    ) -> Dict[str, Any]:
+        algorithm = request.get(
+            "algorithm", "topk-s-ppj-p" if kind == "topk" else "s-ppj-f"
+        )
+        payload: Dict[str, Any] = {
+            "dataset": prepared.name,
+            "fingerprint": prepared.fingerprint,
+            "type": kind,
+        }
+        if kind == "knn":
+            neighbours = similar_users(
+                prepared.dataset,
+                request["user"],
+                float(request["eps_loc"]),
+                float(request["eps_doc"]),
+                int(request["k"]),
+                index=prepared.grid_index(float(request["eps_loc"])),
+            )
+            payload["user"] = request["user"]
+            payload["neighbours"] = [[u, score] for u, score in neighbours]
+            payload["count"] = len(neighbours)
+            return payload
+
+        payload["algorithm"] = algorithm
+        kwargs = self._index_kwargs(prepared, algorithm, request)
+        policy = self._policy(request)
+        if policy is not None:
+            kwargs["policy"] = policy
+        telemetry = Telemetry() if explain else None
+        if telemetry is not None:
+            kwargs["telemetry"] = telemetry
+            kwargs["explain"] = True
+        if kind == "join":
+            result = stps_join(
+                prepared.dataset,
+                float(request["eps_loc"]),
+                float(request["eps_doc"]),
+                float(request["eps_user"]),
+                algorithm=algorithm,
+                **kwargs,
+            )
+        else:
+            result = topk_stps_join(
+                prepared.dataset,
+                float(request["eps_loc"]),
+                float(request["eps_doc"]),
+                int(request["k"]),
+                algorithm=algorithm,
+                **kwargs,
+            )
+        if explain:
+            pairs, explain_report = result
+            payload["explain"] = explain_report.as_dict()
+        else:
+            pairs = result
+        payload["pairs"] = [[p.user_a, p.user_b, p.score] for p in pairs]
+        payload["count"] = len(pairs)
+        return payload
+
+    # ------------------------------------------------------------------
+    # responses, metrics, lifecycle
+
+    def _respond(
+        self, payload: Dict[str, Any], cached: bool, start: float
+    ) -> Dict[str, Any]:
+        self.metrics.counter("serve.requests").inc()
+        if cached:
+            self.metrics.counter("serve.cache.served").inc()
+        response = dict(payload)
+        response["cached"] = cached
+        response["elapsed"] = time.perf_counter() - start
+        return response
+
+    def _record_cache(self) -> None:
+        """Mirror the cache counters into gauges the exporter can render."""
+        stats = self.cache.stats()
+        self.metrics.gauge("serve.cache.hits").set(stats.hits)
+        self.metrics.gauge("serve.cache.misses").set(stats.misses)
+        self.metrics.gauge("serve.cache.evictions").set(stats.evictions)
+        self.metrics.gauge("serve.cache.size").set(stats.size)
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: Prometheus text exposition (0.0.4)."""
+        from ..obs import to_prometheus
+
+        admission = self.admission.stats()
+        self.metrics.gauge("serve.inflight").set(admission["inflight"])
+        self.metrics.gauge("serve.waiting").set(admission["waiting"])
+        self.metrics.gauge("serve.admitted").set(admission["admitted"])
+        self.metrics.gauge("serve.rejected").set(admission["rejected"])
+        self._record_cache()
+        return to_prometheus(self.metrics)
+
+    def stats(self) -> dict:
+        """JSON-ready service health snapshot (the ``/health`` body)."""
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "uptime": time.time() - self.started_at,
+            "datasets": self.registry.names(),
+            "admission": self.admission.stats(),
+            "cache": self.cache.stats().as_dict(),
+        }
+
+    def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Reject new queries and wait for in-flight ones to finish."""
+        self.admission.drain()
+        return self.admission.wait_idle(timeout=timeout)

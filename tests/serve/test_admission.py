@@ -1,0 +1,155 @@
+"""Admission control: bounded concurrency, overload rejection, draining."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import AdmissionController, AdmissionRejected
+
+
+def _hold_slots(controller: AdmissionController, n: int):
+    """Occupy ``n`` in-flight slots from worker threads; returns
+    (release_event, started_barrier-joined threads)."""
+    release = threading.Event()
+    holding = threading.Barrier(n + 1)
+
+    def hold() -> None:
+        with controller.admit():
+            holding.wait()
+            release.wait(timeout=10)
+
+    threads = [threading.Thread(target=hold) for _ in range(n)]
+    for t in threads:
+        t.start()
+    holding.wait(timeout=10)
+    return release, threads
+
+
+class TestAdmissionController:
+    def test_admits_up_to_max_inflight(self):
+        controller = AdmissionController(max_inflight=3, max_queue=0)
+        release, threads = _hold_slots(controller, 3)
+        assert controller.stats()["inflight"] == 3
+        release.set()
+        for t in threads:
+            t.join()
+        assert controller.stats()["inflight"] == 0
+
+    def test_rejects_beyond_queue(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        release, threads = _hold_slots(controller, 1)
+        with pytest.raises(AdmissionRejected) as exc_info:
+            controller.admit()
+        assert exc_info.value.retry_after is not None
+        assert controller.stats()["rejected"] == 1
+        release.set()
+        for t in threads:
+            t.join()
+
+    def test_queued_request_runs_after_release(self):
+        controller = AdmissionController(max_inflight=1, max_queue=1)
+        release, threads = _hold_slots(controller, 1)
+        ran = threading.Event()
+
+        def queued() -> None:
+            with controller.admit():
+                ran.set()
+
+        waiter = threading.Thread(target=queued)
+        waiter.start()
+        # The waiter is queued, not rejected, and not yet running.
+        for _ in range(100):
+            if controller.stats()["waiting"] == 1:
+                break
+            threading.Event().wait(0.01)
+        assert not ran.is_set()
+        release.set()
+        waiter.join(timeout=10)
+        assert ran.is_set()
+        for t in threads:
+            t.join()
+
+    def test_rejection_under_concurrent_load(self):
+        """With 2 slots, no queue and 12 threads, exactly the excess is
+        rejected and the in-flight bound is never violated."""
+        controller = AdmissionController(max_inflight=2, max_queue=0)
+        peak = []
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(12)
+
+        def worker() -> None:
+            barrier.wait()
+            try:
+                with controller.admit():
+                    with lock:
+                        peak.append(controller.stats()["inflight"])
+                    threading.Event().wait(0.05)
+                outcome = "ok"
+            except AdmissionRejected:
+                outcome = "rejected"
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert max(peak) <= 2
+        assert outcomes.count("ok") >= 2
+        assert outcomes.count("rejected") >= 1
+        assert len(outcomes) == 12
+        stats = controller.stats()
+        assert stats["admitted"] == outcomes.count("ok")
+        assert stats["rejected"] == outcomes.count("rejected")
+
+    def test_drain_rejects_new_arrivals(self):
+        controller = AdmissionController(max_inflight=2, max_queue=4)
+        controller.drain()
+        with pytest.raises(AdmissionRejected) as exc_info:
+            controller.admit()
+        assert exc_info.value.retry_after is None
+        assert controller.draining
+
+    def test_drain_wakes_queued_waiters(self):
+        controller = AdmissionController(max_inflight=1, max_queue=2)
+        release, threads = _hold_slots(controller, 1)
+        result = {}
+
+        def queued() -> None:
+            try:
+                with controller.admit():
+                    result["outcome"] = "admitted"
+            except AdmissionRejected:
+                result["outcome"] = "rejected"
+
+        waiter = threading.Thread(target=queued)
+        waiter.start()
+        for _ in range(100):
+            if controller.stats()["waiting"] == 1:
+                break
+            threading.Event().wait(0.01)
+        controller.drain()
+        waiter.join(timeout=10)
+        assert result["outcome"] == "rejected"
+        release.set()
+        for t in threads:
+            t.join()
+
+    def test_wait_idle(self):
+        controller = AdmissionController(max_inflight=2, max_queue=0)
+        release, threads = _hold_slots(controller, 2)
+        assert not controller.wait_idle(timeout=0.05)
+        release.set()
+        assert controller.wait_idle(timeout=10)
+        for t in threads:
+            t.join()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=1, max_queue=-1)

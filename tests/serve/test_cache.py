@@ -1,0 +1,92 @@
+"""LRU result-cache semantics, including concurrent correctness."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        hit, value = cache.get("a")
+        assert not hit and value is None
+        cache.put("a", {"pairs": [1, 2]})
+        hit, value = cache.get("a")
+        assert hit and value == {"pairs": [1, 2]}
+
+    def test_none_values_are_cacheable(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", None)
+        hit, value = cache.get("a")
+        assert hit and value is None
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a")[0]
+        assert not cache.get("b")[0]
+        assert cache.get("c")[0]
+        assert cache.stats().evictions == 1
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.get("a") == (True, 10)
+        assert cache.stats().evictions == 0
+        assert len(cache) == 2
+
+    def test_capacity_zero_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") == (False, None)
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_stats_counts(self):
+        cache = ResultCache(capacity=2)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.as_dict()["capacity"] == 2
+
+    def test_concurrent_hit_miss_correctness(self):
+        """Hammered from many threads, a hit only ever sees the value
+        stored under exactly that key — no torn or cross-key reads."""
+        cache = ResultCache(capacity=8)
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for i in range(500):
+                key = i % 16
+                hit, value = cache.get(key)
+                if hit and value != ("payload", key):
+                    errors.append((worker_id, key, value))
+                cache.put(key, ("payload", key))
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 6 * 500
+        assert len(cache) <= 8

@@ -151,15 +151,23 @@ class TestRectDistances:
 
     @given(rects, st.floats(0, 5, allow_nan=False), rects)
     def test_extension_intersection_vs_distance(self, a, eps, b):
-        # Two rects extended by eps/2 each intersect iff distance <= eps
-        # (checked away from the float boundary, where the two formulations
-        # can legitimately round differently).
+        # Extending each rect by eps/2 relaxes each *axis* gap by eps, so
+        # the extended rects intersect iff both axis gaps are <= eps — a
+        # Chebyshev condition.  Euclidean distance < eps is strictly
+        # stronger (it bounds the hypotenuse), so it implies intersection
+        # but the converse fails near corners.  Checked away from the
+        # float boundary, where the formulations can round differently.
         from hypothesis import assume
 
         distance = a.min_distance(b)
-        assume(abs(distance - eps) > 1e-9 * max(1.0, eps))
         extended = a.extend(eps / 2).intersects(b.extend(eps / 2))
-        assert extended == (distance < eps)
+        if distance < eps * (1.0 - 1e-9):
+            assert extended
+        gap_x = max(a.min_x - b.max_x, b.min_x - a.max_x, 0.0)
+        gap_y = max(a.min_y - b.max_y, b.min_y - a.max_y, 0.0)
+        chebyshev = max(gap_x, gap_y)
+        assume(abs(chebyshev - eps) > 1e-9 * max(1.0, eps))
+        assert extended == (chebyshev <= eps)
 
 
 class TestBoundingRect:
