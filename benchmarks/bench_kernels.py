@@ -1,0 +1,207 @@
+"""Numpy vs Python kernel backends on the sequential join hot path.
+
+Times S-PPJ-C and S-PPJ-B — the two algorithms whose whole partner rows
+the fused batch kernel of :mod:`repro.core.kernels` evaluates — with
+``kernel="numpy"`` against ``kernel="python"`` on the same grown
+workload ``bench_parallel_speedup.py`` uses, and verifies the two
+backends are interchangeable where it counts:
+
+* the result lists must be byte-identical (user pairs *and* the float
+  scores, compared via ``float.hex`` so not even a last-bit drift
+  passes);
+* the deterministic work counters
+  (:meth:`repro.obs.Telemetry.work_counters`) must match exactly — the
+  vectorized filters are the same admissible filters, so both backends
+  prune the same pairs at the same stages ("zero counter drift", the
+  same invariant ``repro obs diff`` gates on).
+
+The direct run writes ``BENCH_kernels.json``; CI's perf-smoke job gates
+``results.speedup_sppj_c`` and ``results.speedup_sppj_b`` at >= 1.5 and
+the parity flags at 1.0 via ``scripts/check_bench_regression.py``.
+
+Run under pytest (``pytest benchmarks/bench_kernels.py
+--benchmark-only``) for harness timings, or directly (``python
+benchmarks/bench_kernels.py [--users N]``) for the table + JSON.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+import pytest
+
+from repro import Telemetry, stps_join
+from repro.bench.reporting import write_bench_json
+from repro.core.kernels import numpy_available
+
+from _common import REPO_ROOT, dataset_for, thresholds_for
+
+PRESET = "twitter"
+#: The grown speedup workload (matches bench_parallel_speedup.py).
+MAIN_USERS = 400
+#: Counter-parity workload: telemetry runs use the counted scalar-shape
+#: kernels, which are slower than the fused batch tier, so parity is
+#: checked at the legacy size.
+PARITY_USERS = 150
+ALGORITHMS = ("s-ppj-c", "s-ppj-b")
+
+#: The acceptance floor CI enforces via --min-result.
+MIN_SPEEDUP = 1.5
+
+numpy_missing = not numpy_available()
+
+
+def _thresholds():
+    return thresholds_for(PRESET)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kernel", ["python", "numpy"])
+def test_kernel_backend(run_once, algorithm, kernel):
+    if kernel == "numpy" and numpy_missing:
+        pytest.skip("numpy unavailable")
+    dataset = dataset_for(PRESET, PARITY_USERS)
+    eps_loc, eps_doc, eps_user = _thresholds()
+    result = run_once(
+        stps_join, dataset, eps_loc, eps_doc, eps_user,
+        algorithm=algorithm, kernel=kernel,
+    )
+    assert isinstance(result, list)
+
+
+def _identical(a, b) -> bool:
+    """Byte-level equality: pair identity and exact float scores."""
+    if len(a) != len(b):
+        return False
+    return all(
+        pa.user_a == pb.user_a
+        and pa.user_b == pb.user_b
+        and pa.score.hex() == pb.score.hex()
+        for pa, pb in zip(a, b)
+    )
+
+
+def _work_counters(dataset, algorithm, kernel):
+    eps_loc, eps_doc, eps_user = _thresholds()
+    tele = Telemetry()
+    stps_join(
+        dataset, eps_loc, eps_doc, eps_user,
+        algorithm=algorithm, kernel=kernel, telemetry=tele,
+    )
+    return tele.work_counters()
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="numpy vs python kernel backend benchmark"
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=MAIN_USERS,
+        help="users in the timed workload (default: %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    if numpy_missing:
+        print("numpy unavailable; nothing to compare")
+        return 0
+    dataset = dataset_for(PRESET, args.users)
+    parity_dataset = dataset_for(PRESET, PARITY_USERS)
+    eps_loc, eps_doc, eps_user = _thresholds()
+    cpus = os.cpu_count() or 1
+    print(
+        f"kernel backends on {PRESET} ({args.users} users, "
+        f"{dataset.num_objects} objects), {cpus} CPUs"
+    )
+
+    phases = {}
+    results = {}
+    failures = []
+    for algorithm in ALGORITHMS:
+        runs = {}
+        for kernel in ("python", "numpy"):
+            start = time.perf_counter()
+            runs[kernel] = stps_join(
+                dataset, eps_loc, eps_doc, eps_user,
+                algorithm=algorithm, kernel=kernel,
+            )
+            phases[f"{algorithm.replace('-', '_')}_{kernel}"] = (
+                time.perf_counter() - start
+            )
+        key = algorithm.replace("-", "_").replace("s_ppj", "sppj")
+        python_s = phases[f"{algorithm.replace('-', '_')}_python"]
+        numpy_s = phases[f"{algorithm.replace('-', '_')}_numpy"]
+        speedup = python_s / numpy_s
+        results[f"speedup_{key}"] = speedup
+        identical = _identical(runs["python"], runs["numpy"])
+        results[f"identical_{key}"] = 1.0 if identical else 0.0
+        print(
+            f"  {algorithm}: python {python_s:8.3f}s  numpy {numpy_s:8.3f}s  "
+            f"speedup {speedup:4.2f}x  results "
+            f"{'identical' if identical else 'DIVERGED'}"
+        )
+        if not identical:
+            failures.append(f"{algorithm}: numpy results diverged from python")
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                f"{algorithm}: speedup {speedup:.2f}x below {MIN_SPEEDUP}x"
+            )
+
+    # Counter parity: both backends must report the identical funnel —
+    # the exact invariant `repro obs diff` gates on across runs.
+    parity_counters = None
+    for algorithm in ALGORITHMS:
+        base = _work_counters(parity_dataset, algorithm, "python")
+        fresh = _work_counters(parity_dataset, algorithm, "numpy")
+        drift = sorted(
+            key for key in set(base) | set(fresh)
+            if base.get(key) != fresh.get(key)
+        )
+        key = algorithm.replace("-", "_").replace("s_ppj", "sppj")
+        results[f"counter_drift_{key}"] = float(len(drift))
+        if drift:
+            failures.append(
+                f"{algorithm}: work counters drifted between backends "
+                f"({', '.join(drift)})"
+            )
+            print(f"  {algorithm}: counter DRIFT: {drift}")
+        else:
+            print(
+                f"  {algorithm}: {len(base)} work counters identical "
+                f"across backends ({PARITY_USERS} users)"
+            )
+        if algorithm == ALGORITHMS[0]:
+            parity_counters = base
+
+    path = write_bench_json(
+        "kernels",
+        config={
+            "preset": PRESET,
+            "num_users": args.users,
+            "parity_num_users": PARITY_USERS,
+            "algorithms": list(ALGORITHMS),
+            "cpus": cpus,
+        },
+        phases=phases,
+        results=results,
+        counters=parity_counters,
+        directory=REPO_ROOT,
+    )
+    print(f"wrote {path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: numpy kernels byte-identical, zero counter drift, "
+          f">= {MIN_SPEEDUP}x on both algorithms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

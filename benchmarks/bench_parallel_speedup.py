@@ -46,6 +46,7 @@ import pytest
 
 from repro import Telemetry, stps_join
 from repro.bench.reporting import write_bench_json
+from repro.core.kernels import resolve_kernel
 from repro.core.query import STPSJoinQuery
 from repro.exec import JoinExecutor
 
@@ -111,7 +112,8 @@ def _explain_run(executor, dataset, query):
 
     tele = Telemetry()
     _pairs, report = executor.join(
-        dataset, query, algorithm="s-ppj-b", telemetry=tele, with_report=True
+        dataset, query, algorithm="s-ppj-b", telemetry=tele, with_report=True,
+        kernel="python",
     )
     build_explain(tele, report, dataset=dataset)
 
@@ -133,16 +135,27 @@ def _telemetry_overhead(dataset, query):
     indistinguishable from none at all (the engine short-circuits it);
     the explain configuration additionally assembles the
     :class:`repro.obs.ExplainReport` after the run.
+
+    All four configurations pin ``kernel="python"`` so they time the
+    *same* evaluation path: under the auto backend an uninstrumented run
+    takes the fused numpy batch tier while an instrumented run must take
+    the counted per-cell-pair kernels (batching is incompatible with
+    per-stage attribution), and that gap is a kernel-tier difference,
+    not instrumentation overhead — ``bench_kernels.py`` measures it
+    directly.
     """
     executor = JoinExecutor(workers=1, backend="sequential")
     configs = {
-        "none": lambda: executor.join(dataset, query, algorithm="s-ppj-b"),
+        "none": lambda: executor.join(
+            dataset, query, algorithm="s-ppj-b", kernel="python"
+        ),
         "disabled": lambda: executor.join(
             dataset, query, algorithm="s-ppj-b",
-            telemetry=Telemetry(enabled=False),
+            telemetry=Telemetry(enabled=False), kernel="python",
         ),
         "enabled": lambda: executor.join(
-            dataset, query, algorithm="s-ppj-b", telemetry=Telemetry()
+            dataset, query, algorithm="s-ppj-b", telemetry=Telemetry(),
+            kernel="python",
         ),
         "explain": lambda: _explain_run(executor, dataset, query),
     }
@@ -270,6 +283,7 @@ def main(argv=None) -> int:
             "num_users": args.users,
             "legacy_num_users": NUM_USERS,
             "algorithm": "s-ppj-b",
+            "kernel": resolve_kernel(),
             "worker_counts": list(worker_counts),
             "cpus": cpus,
             "telemetry_rounds": TELEMETRY_ROUNDS,

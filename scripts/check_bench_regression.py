@@ -27,7 +27,18 @@ the fresh file's workload config drifted from the baseline's: a timing
 comparison across different workloads is noise, so the baseline must be
 refreshed in the same change that alters the workload.  The ``cpus``
 config key is exempt — the host sizing legitimately differs between a
-laptop and CI.
+laptop and CI.  The ``kernel`` config key is *not* exempt: comparing a
+numpy-kernel run against a python-kernel baseline is a cross-backend
+comparison, which must be flagged as drift, not silently timed.
+
+Payloads also carry a ``host`` section (``cpu_count`` plus a load-average
+note, written by :func:`repro.bench.reporting.host_info`).  When the
+baseline and the fresh run were recorded on hosts with different
+``cpu_count`` — or exactly one side carries host info — wall-clock phase
+gates are downgraded to *advisory*: regressions are printed but do not
+fail the check, because cross-host wall-clock is noise.  Legacy payloads
+with no host info on either side keep the hard gate.  Work-counter
+gates stay exact regardless; they are host-independent by construction.
 
 Payloads carrying a ``counters`` section (deterministic work counters,
 see ``docs/observability.md``) are gated *exactly*: any counter whose
@@ -105,6 +116,14 @@ def _config_drift(fresh: dict, baseline: dict) -> List[str]:
     return drifted
 
 
+def _host_cpus(payload: dict):
+    """The recording host's cpu count (``host`` section, config fallback)."""
+    cpus = (payload.get("host") or {}).get("cpu_count")
+    if cpus is None:
+        cpus = payload.get("config", {}).get("cpus")
+    return cpus
+
+
 def check_counters(fresh: dict, baseline: dict, failures: List[str]) -> None:
     """Exact-equality gate on the deterministic ``counters`` section.
 
@@ -163,6 +182,24 @@ def check_file(
         )
         return
     check_counters(fresh, baseline, failures)
+    base_cpus = _host_cpus(baseline)
+    fresh_cpus = _host_cpus(fresh)
+    # Advisory only when the hosts demonstrably (or plausibly) differ:
+    # a mismatch, or host info on exactly one side.  Legacy payloads
+    # with no host info on either side keep the hard gate — anything
+    # else would silently disable wall-clock gating for every baseline
+    # recorded before the host section existed.
+    advisory = (
+        (base_cpus is None) != (fresh_cpus is None)
+        or (base_cpus is not None and base_cpus != fresh_cpus)
+    )
+    if advisory:
+        base_note = (baseline.get("host") or {}).get("load_note")
+        print(
+            f"  {name}: baseline host cpu_count={base_cpus} "
+            f"(load at record: {base_note or 'unknown'}) vs fresh "
+            f"cpu_count={fresh_cpus} — wall-clock gates advisory"
+        )
     for phase, base_seconds in sorted(baseline["phases"].items()):
         fresh_seconds = fresh["phases"].get(phase)
         if fresh_seconds is None:
@@ -179,12 +216,15 @@ def check_file(
         ratio = fresh_seconds / base_seconds
         status = "ok"
         if ratio > 1.0 + tolerance:
-            status = "REGRESSION"
-            failures.append(
-                f"{name}: phase {phase!r} regressed {ratio:.2f}x "
-                f"({base_seconds:.3f}s -> {fresh_seconds:.3f}s, "
-                f"tolerance {tolerance:.0%})"
-            )
+            if advisory:
+                status = "SLOWER (advisory: cross-host)"
+            else:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: phase {phase!r} regressed {ratio:.2f}x "
+                    f"({base_seconds:.3f}s -> {fresh_seconds:.3f}s, "
+                    f"tolerance {tolerance:.0%})"
+                )
         print(
             f"  {name}.{phase}: {base_seconds:.3f}s -> {fresh_seconds:.3f}s "
             f"({ratio:.2f}x) {status}"

@@ -52,6 +52,24 @@ def git_sha(cwd: Optional[Union[str, os.PathLike]] = None) -> Optional[str]:
     return proc.stdout.strip() or None
 
 
+def host_info() -> Dict[str, Any]:
+    """Recording-host facts the regression checker reads.
+
+    ``cpu_count`` lets ``scripts/check_bench_regression.py`` downgrade
+    wall-clock gates to advisory when baseline and fresh runs came from
+    differently-sized hosts; ``load_note`` records the 1/5/15-minute
+    load averages at write time — a human-readable hint that a baseline
+    was captured on a busy (or cgroup-throttled) box, not a gate input.
+    """
+    info: Dict[str, Any] = {"cpu_count": os.cpu_count()}
+    try:
+        one, five, fifteen = os.getloadavg()
+        info["load_note"] = f"loadavg {one:.2f}/{five:.2f}/{fifteen:.2f}"
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX hosts
+        info["load_note"] = "loadavg unavailable"
+    return info
+
+
 def bench_payload(
     name: str,
     config: Mapping[str, Any],
@@ -75,6 +93,7 @@ def bench_payload(
         "name": name,
         "git_sha": git_sha(cwd),
         "created_unix": time.time(),
+        "host": host_info(),
         "config": dict(config),
         "phases": {key: float(value) for key, value in phases.items()},
         "results": dict(results) if results else {},

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from . import kernels as _kernels
 from .model import STDataset
 from .naive import naive_stps_join, naive_topk_stps_join
 from .pair_eval import PairEvalStats
@@ -36,11 +37,13 @@ __all__ = [
 ]
 
 #: Threshold-join algorithms by name.  "s-ppj-f" is the paper's best.
+#: All forward ``kernel=`` (the vectorized-kernel backend selector, see
+#: ``docs/performance.md``) to the evaluators that dispatch on it.
 JOIN_ALGORITHMS: Dict[str, Callable[..., List[UserPair]]] = {
-    "naive": lambda ds, q, stats=None, **kw: naive_stps_join(ds, q),
-    "s-ppj-c": lambda ds, q, stats=None, **kw: sppj_c(ds, q, stats=stats),
-    "s-ppj-b": lambda ds, q, stats=None, **kw: sppj_b(ds, q, stats=stats),
-    "s-ppj-f": lambda ds, q, stats=None, **kw: sppj_f(ds, q, stats=stats),
+    "naive": lambda ds, q, stats=None, kernel=None, **kw: naive_stps_join(ds, q),
+    "s-ppj-c": lambda ds, q, stats=None, **kw: sppj_c(ds, q, stats=stats, **kw),
+    "s-ppj-b": lambda ds, q, stats=None, **kw: sppj_b(ds, q, stats=stats, **kw),
+    "s-ppj-f": lambda ds, q, stats=None, **kw: sppj_f(ds, q, stats=stats, **kw),
     "s-ppj-d": lambda ds, q, stats=None, **kw: sppj_d(ds, q, stats=stats, **kw),
 }
 
@@ -180,7 +183,20 @@ def stps_join(
         the engine, which validates it.  This is the prepared-dataset
         entry point the resident join server (``docs/serving.md``) is
         built on — results are byte-identical to a cold call.
+    kernel:
+        (keyword-only, via ``**kwargs``) Kernel backend selector:
+        ``"auto"`` (default; numpy when importable), ``"numpy"`` or
+        ``"python"`` — see the vectorization section of
+        ``docs/performance.md``.  Overrides the ``REPRO_KERNEL``
+        environment variable.  Results and deterministic work counters
+        are byte-identical across backends; the resolved choice is
+        recorded on the :class:`~repro.exec.ExecutionReport` and in
+        EXPLAIN artifacts.
     """
+    # Validate the backend selection up front: a bogus kernel= or
+    # REPRO_KERNEL must fail loudly on every algorithm and path, not
+    # only on the ones that dispatch on it.
+    _kernels.resolve_kernel(kwargs.get("kernel"))
     query = STPSJoinQuery(eps_loc=eps_loc, eps_doc=eps_doc, eps_user=eps_user)
     telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
     if explain and telemetry is None:
@@ -256,8 +272,10 @@ def topk_stps_join(
     ``telemetry``, ``with_telemetry``, ``explain`` and ``index`` (a
     pre-built warm index, which also routes through the engine) behave
     as in :func:`stps_join`; ``"topk-s-ppj-d"`` additionally accepts
-    ``fanout=`` on the engine path.
+    ``fanout=`` on the engine path, and ``kernel=`` selects the kernel
+    backend exactly as in :func:`stps_join`.
     """
+    _kernels.resolve_kernel(kwargs.get("kernel"))
     query = TopKQuery(eps_loc=eps_loc, eps_doc=eps_doc, k=k)
     telemetry, with_telemetry = _resolve_telemetry(telemetry, with_telemetry)
     if explain and telemetry is None:

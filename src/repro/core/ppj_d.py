@@ -40,6 +40,7 @@ def ppj_d_pair(
     size_a: int,
     size_b: int,
     stats: Optional[PairEvalStats] = None,
+    kernel: Optional[str] = None,
 ) -> float:
     """Exact ``sigma`` of a user pair, or ``0.0`` once it provably misses
     ``eps_user``."""
@@ -81,6 +82,7 @@ def ppj_d_pair(
                         matched_a,
                         matched_b,
                         stats,
+                        kernel=kernel,
                     )
             decided += len(objs_a)
 
@@ -99,6 +101,7 @@ def ppj_d_pair(
                         matched_a,
                         matched_b,
                         stats,
+                        kernel=kernel,
                     )
             decided += len(objs_b)
 

@@ -31,6 +31,7 @@ def sppj_d(
     stats: Optional[PairEvalStats] = None,
     index: Optional[STLeafIndex] = None,
     partitioner: str = "rtree",
+    kernel: Optional[str] = None,
 ) -> List[UserPair]:
     """Evaluate an STPSJoin query with S-PPJ-D.
 
@@ -104,6 +105,7 @@ def sppj_d(
                 size_u,
                 sizes[cand],
                 stats,
+                kernel=kernel,
             )
             if score >= query.eps_user:
                 results.append(UserPair(user, cand, score))

@@ -86,6 +86,7 @@ def sppj_f(
     query: STPSJoinQuery,
     stats: Optional[PairEvalStats] = None,
     refine: str = "ppj-b",
+    kernel: Optional[str] = None,
 ) -> List[UserPair]:
     """Evaluate an STPSJoin query with S-PPJ-F.
 
@@ -147,11 +148,13 @@ def sppj_f(
                     sizes[cand],
                     sizes[user],
                     stats,
+                    kernel=kernel,
                 )
             else:
                 total = sizes[cand] + sizes[user]
                 matched = ppj_c_pair(
-                    index, cand, user, query.eps_loc, query.eps_doc, stats
+                    index, cand, user, query.eps_loc, query.eps_doc, stats,
+                    kernel=kernel,
                 )
                 score = matched / total if total else 0.0
             if score >= query.eps_user:

@@ -90,6 +90,7 @@ import time
 import warnings
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..core import kernels as _kernels
 from ..core.model import STDataset
 from ..core.pair_eval import PairEvalStats
 from ..core.query import STPSJoinQuery, TopKQuery, UserPair, pair_sort_key
@@ -201,9 +202,11 @@ def _init_spawn_worker(
         _faults.install_fault_plan(_faults.FaultPlan.parse(fault_plan_text))
     dataset = snapshot.restore()
     plan = get_plan(kind, algorithm)
+    state = plan.build_state(dataset, query, **kwargs)
+    plan.warm(state, with_stats, with_metrics)
     _WORKER_STATE[token] = {
         "plan": plan,
-        "state": plan.build_state(dataset, query, **kwargs),
+        "state": state,
         "with_stats": with_stats,
         "with_metrics": with_metrics,
     }
@@ -450,6 +453,7 @@ class JoinExecutor:
             start_method=self.start_method,
             algorithm=f"{plan.kind}:{plan.name}",
             dataset_fingerprint=dataset.fingerprint(),
+            kernel=_kernels.resolve_kernel(kwargs.get("kernel")),
         )
         run_span = None
         if tele is not None:
@@ -606,6 +610,7 @@ class JoinExecutor:
         run_span,
     ) -> List[UserPair]:
         state = self._build_state(plan, dataset, query, kwargs, tele, run_span)
+        plan.warm(state, stats is not None or tele is not None, tele is not None)
         if policy is None:
             if tele is None:
                 # The exact fail-fast fast path: no per-chunk stats detour,
@@ -821,6 +826,12 @@ class JoinExecutor:
                     "with_stats": with_stats,
                     "with_metrics": with_metrics,
                 }
+                # Pre-fork warm-up: fork/thread workers inherit (or share)
+                # the built batch kernel instead of each rebuilding it
+                # inside their first timed chunk.
+                plan.warm(
+                    _WORKER_STATE[token]["state"], with_stats, with_metrics
+                )
             if policy is None:
                 results: List[UserPair] = []
                 with pool_factory() as pool:

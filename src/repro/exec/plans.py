@@ -41,6 +41,7 @@ import heapq
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..core import kernels as _kernels
 from ..core.model import STDataset, UserId
 from ..obs import runtime as _obs
 from ..core.pair_eval import PairEvalStats, ppj_b_pair, ppj_c_pair
@@ -115,6 +116,15 @@ class Plan:
 
     def build_state(self, dataset: STDataset, query, **kwargs):
         raise NotImplementedError
+
+    def warm(self, state, with_stats: bool, with_metrics: bool) -> None:
+        """One-time state warm-up the engine runs outside chunk timing.
+
+        Plans with a fused numpy tier build the batch kernel here so its
+        construction cost is charged to setup, not to whichever chunk
+        happens to run first (per-chunk wall-clock feeds the chunk
+        imbalance gate).  Idempotent; the base plan has nothing to warm.
+        """
 
     def run_chunk(
         self, state, chunk: Sequence, stats: Optional[PairEvalStats]
@@ -320,7 +330,15 @@ class NaiveJoinPlan(_PairwisePlan):
 
     name = "naive"
 
-    def build_state(self, dataset: STDataset, query: STPSJoinQuery):
+    def build_state(
+        self,
+        dataset: STDataset,
+        query: STPSJoinQuery,
+        kernel: Optional[str] = None,
+    ):
+        # The oracle has no grid kernels; `kernel` is accepted (and
+        # resolved, for the report) so the kwarg is uniform across plans.
+        _kernels.resolve_kernel(kernel)
         users = list(dataset.users)
         return {
             "users": users,
@@ -354,6 +372,7 @@ class SPPJCPlan(_PairwisePlan):
         dataset: STDataset,
         query: STPSJoinQuery,
         index: Optional[STGridIndex] = None,
+        kernel: Optional[str] = None,
     ):
         if index is None:
             index = STGridIndex.build(dataset, query.eps_loc, with_tokens=False)
@@ -365,16 +384,38 @@ class SPPJCPlan(_PairwisePlan):
             "sizes": [len(dataset.user_objects(u)) for u in users],
             "index": index,
             "query": query,
+            "kernel": _kernels.resolve_kernel(kernel),
         }
+
+    def warm(self, state, with_stats: bool, with_metrics: bool) -> None:
+        if state["kernel"] == "numpy" and not with_stats and not with_metrics:
+            _kernels.batch_kernel_for(state["index"], state["users"])
 
     def run_chunk(self, state, chunk, stats):
         users, sizes = state["users"], state["sizes"]
         index, query = state["index"], state["query"]
         out: List[UserPair] = []
+        batch = None
+        if state["kernel"] == "numpy" and stats is None and _obs.active() is None:
+            # Fused numpy tier: whole (i, j0, j1) partner ranges per call
+            # (cached on the index, so warm serve indexes amortize it).
+            batch = _kernels.batch_kernel_for(index, users)
+        eps_sq = query.eps_loc * query.eps_loc
         for i, j0, j1 in chunk:
+            if batch is not None:
+                counts = batch.row_counts(i, j0, j1, eps_sq, query.eps_doc)
+                for j in range(j0, j1):
+                    total = sizes[i] + sizes[j]
+                    if total == 0:
+                        continue
+                    score = int(counts[j - j0]) / total
+                    if score >= query.eps_user:
+                        out.append(UserPair(users[i], users[j], score))
+                continue
             for j in range(j0, j1):
                 matched = ppj_c_pair(
-                    index, users[i], users[j], query.eps_loc, query.eps_doc, stats
+                    index, users[i], users[j], query.eps_loc, query.eps_doc, stats,
+                    kernel=state["kernel"],
                 )
                 total = sizes[i] + sizes[j]
                 if total == 0:
@@ -397,6 +438,7 @@ class SPPJBPlan(_PairwisePlan):
         dataset: STDataset,
         query: STPSJoinQuery,
         index: Optional[STGridIndex] = None,
+        kernel: Optional[str] = None,
     ):
         if index is None:
             index = STGridIndex.build(dataset, query.eps_loc, with_tokens=False)
@@ -408,13 +450,33 @@ class SPPJBPlan(_PairwisePlan):
             "sizes": [len(dataset.user_objects(u)) for u in users],
             "index": index,
             "query": query,
+            "kernel": _kernels.resolve_kernel(kernel),
         }
+
+    def warm(self, state, with_stats: bool, with_metrics: bool) -> None:
+        if state["kernel"] == "numpy" and not with_stats and not with_metrics:
+            _kernels.batch_kernel_for(state["index"], state["users"])
 
     def run_chunk(self, state, chunk, stats):
         users, sizes = state["users"], state["sizes"]
         index, query = state["index"], state["query"]
         out: List[UserPair] = []
+        batch = None
+        if state["kernel"] == "numpy" and stats is None and _obs.active() is None:
+            # Lemma 1 early termination is admissible (it only zeroes
+            # pairs whose exact score misses eps_user), so the fused
+            # batch scores select the identical result set.
+            batch = _kernels.batch_kernel_for(index, users)
+        eps_sq = query.eps_loc * query.eps_loc
         for i, j0, j1 in chunk:
+            if batch is not None:
+                counts = batch.row_counts(i, j0, j1, eps_sq, query.eps_doc)
+                for j in range(j0, j1):
+                    total = sizes[i] + sizes[j]
+                    score = int(counts[j - j0]) / total if total else 0.0
+                    if score >= query.eps_user:
+                        out.append(UserPair(users[i], users[j], score))
+                continue
             for j in range(j0, j1):
                 score = ppj_b_pair(
                     index,
@@ -426,6 +488,7 @@ class SPPJBPlan(_PairwisePlan):
                     sizes[i],
                     sizes[j],
                     stats,
+                    kernel=state["kernel"],
                 )
                 if score >= query.eps_user:
                     out.append(UserPair(users[i], users[j], score))
@@ -445,6 +508,7 @@ class SPPJFPlan(_UserShardPlan):
         query: STPSJoinQuery,
         refine: str = "ppj-b",
         index: Optional[STGridIndex] = None,
+        kernel: Optional[str] = None,
     ):
         if refine not in ("ppj-b", "ppj-c"):
             raise ValueError(f"unknown refine strategy: {refine!r}")
@@ -460,6 +524,7 @@ class SPPJFPlan(_UserShardPlan):
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,
             "refine": refine,
+            "kernel": _kernels.resolve_kernel(kernel),
         }
 
     def run_chunk(self, state, chunk, stats):
@@ -524,11 +589,13 @@ class SPPJFPlan(_UserShardPlan):
                         sizes[cand],
                         sizes[user],
                         stats,
+                        kernel=state["kernel"],
                     )
                 else:
                     total = sizes[cand] + sizes[user]
                     matched = ppj_c_pair(
-                        index, cand, user, query.eps_loc, query.eps_doc, stats
+                        index, cand, user, query.eps_loc, query.eps_doc, stats,
+                        kernel=state["kernel"],
                     )
                     score = matched / total if total else 0.0
                 if score >= query.eps_user:
@@ -552,6 +619,7 @@ class SPPJDPlan(_UserShardPlan):
         fanout: int = 100,
         partitioner: str = "rtree",
         index: Optional[STLeafIndex] = None,
+        kernel: Optional[str] = None,
     ):
         if index is None:
             index = STLeafIndex(
@@ -565,6 +633,7 @@ class SPPJDPlan(_UserShardPlan):
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,
+            "kernel": _kernels.resolve_kernel(kernel),
         }
 
     def run_chunk(self, state, chunk, stats):
@@ -610,6 +679,7 @@ class SPPJDPlan(_UserShardPlan):
                     size_u,
                     sizes[cand],
                     stats,
+                    kernel=state["kernel"],
                 )
                 if score >= query.eps_user:
                     out.append(UserPair(user, cand, score))
@@ -655,7 +725,13 @@ class NaiveTopKPlan(_PairwisePlan):
     kind = "topk"
     name = "naive"
 
-    def build_state(self, dataset: STDataset, query: TopKQuery):
+    def build_state(
+        self,
+        dataset: STDataset,
+        query: TopKQuery,
+        kernel: Optional[str] = None,
+    ):
+        _kernels.resolve_kernel(kernel)
         users = list(dataset.users)
         return {
             "users": users,
@@ -698,6 +774,7 @@ class TopKGridPlan(_UserShardPlan):
         dataset: STDataset,
         query: TopKQuery,
         index: Optional[STGridIndex] = None,
+        kernel: Optional[str] = None,
     ):
         if index is None:
             index = STGridIndex.build(dataset, query.eps_loc, with_tokens=True)
@@ -710,6 +787,7 @@ class TopKGridPlan(_UserShardPlan):
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,
+            "kernel": _kernels.resolve_kernel(kernel),
         }
 
     def run_chunk(self, state, chunk, stats):
@@ -769,6 +847,7 @@ class TopKGridPlan(_UserShardPlan):
                     sizes[cand],
                     sizes[user],
                     stats,
+                    kernel=state["kernel"],
                 )
                 if score > 0.0:
                     heap.offer(UserPair(cand, user, score))
@@ -792,6 +871,7 @@ class TopKLeafPlan(_UserShardPlan):
         query: TopKQuery,
         fanout: int = 100,
         index: Optional[STLeafIndex] = None,
+        kernel: Optional[str] = None,
     ):
         if index is None:
             index = STLeafIndex(dataset, query.eps_loc, fanout=fanout)
@@ -803,6 +883,7 @@ class TopKLeafPlan(_UserShardPlan):
             "sizes": {u: len(dataset.user_objects(u)) for u in dataset.users},
             "rank": {u: i for i, u in enumerate(dataset.users)},
             "query": query,
+            "kernel": _kernels.resolve_kernel(kernel),
         }
 
     def run_chunk(self, state, chunk, stats):
@@ -849,6 +930,7 @@ class TopKLeafPlan(_UserShardPlan):
                     size_u,
                     sizes[cand],
                     stats,
+                    kernel=state["kernel"],
                 )
                 if score > 0.0:
                     heap.offer(UserPair(cand, user, score))

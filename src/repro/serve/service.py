@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from ..core import kernels as _kernels
 from ..core.api import JOIN_ALGORITHMS, TOPK_ALGORITHMS, stps_join, topk_stps_join
 from ..core.knn import similar_users
 from ..datasets.loaders import load_tsv
@@ -193,8 +194,25 @@ class JoinService:
             request.get("user"),
             request.get("fanout"),
             request.get("partitioner"),
+            self._kernel(request),
         )
         return prepared, key, explain
+
+    def _kernel(self, request: Dict[str, Any]) -> str:
+        """Resolve the request's kernel backend (``auto`` when absent).
+
+        Results are byte-identical across backends, but the resolved
+        backend is part of the cache key anyway so a cached payload's
+        ``kernel`` field always tells the truth about how it was (or
+        would be) computed.
+        """
+        choice = request.get("kernel")
+        if choice is not None and not isinstance(choice, str):
+            raise QueryError("kernel must be a string")
+        try:
+            return _kernels.resolve_kernel(choice)
+        except (ValueError, RuntimeError) as exc:
+            raise QueryError(str(exc)) from None
 
     def _policy(self, request: Dict[str, Any]) -> Optional[ExecutionPolicy]:
         deadline = request.get("deadline", self.default_deadline)
@@ -255,7 +273,11 @@ class JoinService:
             return payload
 
         payload["algorithm"] = algorithm
+        kernel = self._kernel(request)
+        payload["kernel"] = kernel
+        self.metrics.counter(f"serve.kernel.{kernel}").inc()
         kwargs = self._index_kwargs(prepared, algorithm, request)
+        kwargs["kernel"] = request.get("kernel")
         policy = self._policy(request)
         if policy is not None:
             kwargs["policy"] = policy

@@ -29,7 +29,7 @@ def _run_checker(*args):
     )
 
 
-def _payload(counters=None, phases=None):
+def _payload(counters=None, phases=None, host=None):
     payload = {
         "schema_version": 1,
         "name": "demo",
@@ -39,6 +39,8 @@ def _payload(counters=None, phases=None):
     }
     if counters is not None:
         payload["counters"] = counters
+    if host is not None:
+        payload["host"] = host
     return payload
 
 
@@ -112,6 +114,66 @@ class TestCounterGate:
         proc = _run_checker(str(fresh), "--baselines", str(baselines))
         assert proc.returncode == 1
         assert "regressed" in proc.stdout
+
+    def test_cross_host_regression_is_advisory(self, workdir):
+        """Different cpu_count between baseline and fresh hosts: the
+        wall-clock regression prints but does not fail the check."""
+        _, baselines, write = workdir
+        write(
+            _payload(COUNTERS, host={"cpu_count": 8, "load_note": "quiet"}),
+            fresh=False,
+        )
+        fresh = write(
+            _payload(
+                COUNTERS, phases={"join": 2.0}, host={"cpu_count": 1}
+            )
+        )
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "advisory" in proc.stdout
+        assert "SLOWER" in proc.stdout
+
+    def test_one_sided_host_info_is_advisory(self, workdir):
+        """Baseline predating the host section vs a fresh run carrying
+        one cannot be assumed same-host."""
+        _, baselines, write = workdir
+        write(_payload(COUNTERS), fresh=False)
+        fresh = write(
+            _payload(
+                COUNTERS, phases={"join": 2.0}, host={"cpu_count": 4}
+            )
+        )
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "advisory" in proc.stdout
+
+    def test_same_host_regression_still_fails(self, workdir):
+        _, baselines, write = workdir
+        write(
+            _payload(COUNTERS, host={"cpu_count": 4, "load_note": "x"}),
+            fresh=False,
+        )
+        fresh = write(
+            _payload(
+                COUNTERS, phases={"join": 2.0}, host={"cpu_count": 4}
+            )
+        )
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 1
+        assert "regressed" in proc.stdout
+
+    def test_counter_drift_fails_even_cross_host(self, workdir):
+        """The exact counter gate is host-independent by construction —
+        advisory mode must never weaken it."""
+        _, baselines, write = workdir
+        write(
+            _payload(COUNTERS, host={"cpu_count": 8}), fresh=False
+        )
+        drifted = dict(COUNTERS, **{"funnel.matched": 10})
+        fresh = write(_payload(drifted, host={"cpu_count": 1}))
+        proc = _run_checker(str(fresh), "--baselines", str(baselines))
+        assert proc.returncode == 1
+        assert "work counters drifted" in proc.stdout
 
     def test_update_refreshes_counter_baseline(self, workdir):
         tmp_path, baselines, write = workdir
