@@ -21,15 +21,19 @@ any timing is recorded.  The script writes ``BENCH_serve.json`` at the
 repository root and **fails (exit 1) unless cached repeats are at least
 5x faster than cold one-shot calls** — the acceptance gate of the serve
 subsystem — and additionally records the warm-index (uncached) speedup,
-which must clear 1.0x.  The deterministic work counters of one direct
-join round accompany the payload for
-``scripts/check_bench_regression.py``.
+which must clear 1.0x.  A second gate covers the live-analytics layer:
+uncached queries through an analytics-on service (audit record, sliding
+window, with_report engine round trip) are interleaved against an
+analytics-off service and the **median overhead must stay under 3%**.
+The deterministic work counters of one direct join round accompany the
+payload for ``scripts/check_bench_regression.py``.
 
 Run directly: ``python benchmarks/bench_serve.py [--users N] [--rounds R]``.
 """
 
 import argparse
 import json
+import statistics
 import sys
 import time
 
@@ -47,6 +51,11 @@ TOPK = 10
 #: The acceptance gate: cached repeat queries through the resident
 #: server must beat cold one-shot evaluation by at least this factor.
 MIN_CACHED_SPEEDUP = 5.0
+
+#: Analytics must be opt-out cheap: the median uncached query through an
+#: analytics-on service may cost at most this fraction more than through
+#: an analytics-off one.
+MAX_ANALYTICS_OVERHEAD = 0.03
 
 
 def _encode(pairs):
@@ -79,7 +88,10 @@ def main(argv=None) -> int:
         f"{dataset.num_objects} objects), fingerprint {dataset.fingerprint()}"
     )
 
-    service = JoinService(cache_capacity=64)
+    # slow_threshold high enough that no bench query triggers the
+    # synchronous slow-query EXPLAIN recapture, which would distort the
+    # warm timings (it re-runs the query).
+    service = JoinService(cache_capacity=64, slow_threshold=1e9)
     service.register_dataset(PRESET, dataset)
 
     def join_request(**extra):
@@ -152,6 +164,33 @@ def main(argv=None) -> int:
     print(f"  warm repeat topk     : {warm_topk * 1e3:9.2f} ms")
     print(f"  cached repeat topk   : {cached_topk * 1e3:9.2f} ms")
 
+    # Analytics overhead: interleave uncached joins through the
+    # analytics-on service against an analytics-off one (A/B in the same
+    # loop so machine drift hits both sides) and compare medians.
+    service_off = JoinService(cache_capacity=64, analytics=False)
+    service_off.register_dataset(PRESET, dataset)
+    service_off.query(join_request(no_cache=True))  # warm the index
+    overhead_rounds = max(4 * args.rounds, 12)
+    on_times, off_times = [], []
+    for _ in range(overhead_rounds):
+        start = time.perf_counter()
+        service.query(join_request(no_cache=True))
+        on_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        service_off.query(join_request(no_cache=True))
+        off_times.append(time.perf_counter() - start)
+    analytics_on = statistics.median(on_times)
+    analytics_off = statistics.median(off_times)
+    analytics_overhead = (
+        analytics_on / analytics_off - 1.0 if analytics_off > 0 else 0.0
+    )
+    print(
+        f"  analytics on / off   : {analytics_on * 1e3:9.2f} / "
+        f"{analytics_off * 1e3:.2f} ms  "
+        f"({100 * analytics_overhead:+.2f}% overhead, "
+        f"{overhead_rounds} rounds)"
+    )
+
     # Deterministic work counters of one direct run (fixed-seed preset,
     # so exact across hosts) for the regression checker.
     telemetry = Telemetry()
@@ -180,6 +219,8 @@ def main(argv=None) -> int:
             "cold_topk_mean": cold_topk,
             "warm_topk_mean": warm_topk,
             "cached_topk_mean": cached_topk,
+            "analytics_on_median": analytics_on,
+            "analytics_off_median": analytics_off,
         },
         results={
             "warm_join_speedup": warm_speedup,
@@ -191,6 +232,7 @@ def main(argv=None) -> int:
             "cache_hits": cache_stats.hits,
             "cache_misses": cache_stats.misses,
             "join_pairs": len(direct_join),
+            "analytics_overhead": analytics_overhead,
         },
         directory=REPO_ROOT,
         counters=telemetry.work_counters(),
@@ -209,9 +251,16 @@ def main(argv=None) -> int:
             f"than cold one-shot evaluation"
         )
         return 1
+    if analytics_overhead > MAX_ANALYTICS_OVERHEAD:
+        print(
+            f"FAIL: analytics overhead {100 * analytics_overhead:.2f}% "
+            f"exceeds the {100 * MAX_ANALYTICS_OVERHEAD:.0f}% gate"
+        )
+        return 1
     print(
         f"OK: cached repeats {cached_speedup:.1f}x, warm repeats "
-        f"{warm_speedup:.2f}x over cold one-shot"
+        f"{warm_speedup:.2f}x over cold one-shot, analytics overhead "
+        f"{100 * analytics_overhead:+.2f}%"
     )
     return 0
 

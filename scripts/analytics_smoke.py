@@ -1,0 +1,295 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of live query analytics (CI: analytics-smoke).
+
+Boots ``python -m repro serve`` with an audit log, an aggressive slow
+threshold and an SLO policy, drives a representative query mix (success,
+cache hit, 404, tiny-deadline 504) and then checks the whole analytics
+surface:
+
+1. ``/audit/tail`` holds one record per query with the right outcomes,
+   cache flags and a queue/setup/execute/serialize breakdown;
+2. the audit JSONL file and the ``/stats`` payload validate against
+   ``scripts/check_telemetry.py --audit/--stats``;
+3. the 504'd query appears in the slow-query log with a **complete
+   recaptured EXPLAIN** (schema-versioned, with a funnel and cost
+   calibration);
+4. ``/datasets/<name>/stats`` reports the dataset profile with grid
+   occupancy for the warm index;
+5. ``repro obs tail`` and ``repro obs top --once`` render without error;
+6. a served query with analytics on is byte-identical to one from an
+   analytics-off server (the opt-out contract).
+
+Exit code 0 when every step holds, 1 with a diagnostic otherwise.
+
+Usage: ``python scripts/analytics_smoke.py [--users N] [--keep DIR]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.serve import ServeClient, ServerError  # noqa: E402
+
+EPS_LOC, EPS_DOC, EPS_USER = 0.01, 0.2, 0.2
+
+
+class SmokeFailure(Exception):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _python_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _boot_server(dataset_path: str, extra_args: list) -> "tuple[subprocess.Popen, str]":
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", dataset_path,
+            "--port", "0", *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_python_env(),
+        cwd=REPO_ROOT,
+    )
+    deadline = time.time() + 30
+    url = None
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(f"[serve] {line}")
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            url = match.group(1)
+            break
+    _check(url is not None, "server never printed its listening URL")
+    return process, url
+
+
+def _stop(process: subprocess.Popen) -> int:
+    process.send_signal(signal.SIGINT)
+    try:
+        code = process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SmokeFailure("server did not exit within 30s of SIGINT")
+    for line in process.stdout:
+        sys.stdout.write(f"[serve] {line}")
+    return code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=40)
+    parser.add_argument(
+        "--keep",
+        default=None,
+        metavar="DIR",
+        help="write artifacts (dataset, audit log, stats) here",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = args.keep or tempfile.mkdtemp(prefix="analytics_smoke_")
+    os.makedirs(workdir, exist_ok=True)
+    dataset_path = os.path.join(workdir, "smoke.tsv")
+    audit_path = os.path.join(workdir, "audit.jsonl")
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "generate",
+            "--preset", "twitter", "--users", str(args.users),
+            "--out", dataset_path,
+        ],
+        check=True,
+        env=_python_env(),
+        cwd=REPO_ROOT,
+    )
+
+    process, url = _boot_server(
+        dataset_path,
+        [
+            "--audit-log", audit_path,
+            "--slow-threshold", "0.000001",  # everything is "slow"
+            "--slo-p99", "30",
+        ],
+    )
+    client = ServeClient(url, timeout=60.0)
+    try:
+        # Drive the query mix: ok (miss), ok (hit), 404, tiny-deadline 504.
+        served = client.join("smoke", EPS_LOC, EPS_DOC, EPS_USER)
+        repeat = client.join("smoke", EPS_LOC, EPS_DOC, EPS_USER)
+        _check(repeat["cached"], "repeat was not a cache hit")
+        try:
+            client.join("missing", EPS_LOC, EPS_DOC, EPS_USER)
+            raise SmokeFailure("unknown dataset did not 404")
+        except ServerError as exc:
+            _check(exc.status == 404, f"expected 404, got {exc.status}")
+        try:
+            client.join(
+                "smoke", EPS_LOC, EPS_DOC, EPS_USER,
+                deadline=1e-9, no_cache=True,
+            )
+            raise SmokeFailure("tiny deadline did not 504")
+        except ServerError as exc:
+            _check(exc.status == 504, f"expected 504, got {exc.status}")
+
+        # 1. Audit trail over HTTP.
+        records = client.audit_tail(n=50)
+        _check(len(records) == 4, f"expected 4 audit records, got {len(records)}")
+        outcomes = [r["outcome"] for r in records]
+        _check(
+            outcomes == ["ok", "ok", "unknown_dataset", "deadline"],
+            f"unexpected outcome sequence {outcomes}",
+        )
+        _check(records[0]["cache"] == "miss", "first join should be a miss")
+        _check(records[1]["cache"] == "hit", "second join should be a hit")
+        breakdown = set(records[0]["timings"])
+        _check(
+            breakdown == {"queue", "setup", "execute", "serialize"},
+            f"bad timing breakdown {sorted(breakdown)}",
+        )
+        _check(
+            records[0]["run_id"] is not None,
+            "computed query lacks an engine run_id",
+        )
+        _check(
+            records[0]["fingerprint"] == served["fingerprint"],
+            "audit fingerprint does not match the served payload",
+        )
+        print("audit: 4 records, outcomes/cache/timings as expected")
+
+        # 2. Schema validation of the JSONL file and the /stats payload.
+        stats = client.stats()
+        stats_path = os.path.join(workdir, "stats.json")
+        with open(stats_path, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+        check = subprocess.run(
+            [
+                sys.executable, os.path.join("scripts", "check_telemetry.py"),
+                "--audit", audit_path, "--stats", stats_path,
+            ],
+            env=_python_env(),
+            cwd=REPO_ROOT,
+        )
+        _check(check.returncode == 0, "check_telemetry rejected audit/stats")
+        _check(
+            stats["slo"]["configured"] and stats["slo"]["status"] == "ok",
+            f"SLO should be configured and ok: {stats['slo']}",
+        )
+        print("schemas: audit JSONL and /stats validate")
+
+        # 3. The 504 must be in the slow log with a complete EXPLAIN.
+        slow = client.slow_queries()
+        deadline_entries = [
+            e for e in slow if e["record"]["outcome"] == "deadline"
+        ]
+        _check(deadline_entries, "504'd query missing from the slow log")
+        entry = deadline_entries[-1]
+        _check(entry["recaptured"], "deadline slow entry was not recaptured")
+        explain = entry["explain"]
+        _check(
+            isinstance(explain, dict) and explain.get("kind") == "explain",
+            "slow entry lacks a complete ExplainReport",
+        )
+        for section in (
+            "schema_version", "user_funnel", "phases", "cost_calibration",
+        ):
+            _check(section in explain, f"slow explain lacks {section!r}")
+        _check(
+            explain["cost_calibration"].get("chunks", 0) > 0,
+            "slow explain lacks calibration ratios",
+        )
+        print("slow log: 504 captured with a recaptured complete EXPLAIN")
+
+        # 4. Dataset profile endpoint.
+        profile = client.dataset_stats("smoke")
+        _check(profile["objects"] > 0, "profile reports zero objects")
+        _check(
+            profile["grids"] and profile["grids"][0]["occupied_cells"] > 0,
+            f"profile lacks warm grid occupancy: {profile.get('grids')}",
+        )
+        print("profile: /datasets/smoke/stats reports grid occupancy")
+
+        # 5. The CLI views render.
+        for cmd in (
+            ["obs", "tail", url, "-n", "10"],
+            ["obs", "tail", audit_path, "-n", "10"],
+            ["obs", "top", url, "--once"],
+        ):
+            view = subprocess.run(
+                [sys.executable, "-m", "repro", *cmd],
+                capture_output=True,
+                text=True,
+                env=_python_env(),
+                cwd=REPO_ROOT,
+            )
+            _check(
+                view.returncode == 0 and view.stdout.strip(),
+                f"repro {' '.join(cmd)} failed: {view.stderr}",
+            )
+        print("cli: obs tail (url + file) and obs top render")
+    except Exception:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+        raise
+    code = _stop(process)
+    _check(code == 0, f"server exited {code} on SIGINT, expected 0")
+
+    # 6. Analytics-off server must serve byte-identical payloads.
+    process_off, url_off = _boot_server(dataset_path, ["--no-analytics"])
+    try:
+        client_off = ServeClient(url_off, timeout=60.0)
+        plain = client_off.join("smoke", EPS_LOC, EPS_DOC, EPS_USER)
+        _check(
+            json.dumps(plain["pairs"]) == json.dumps(served["pairs"]),
+            "analytics-off payload differs from analytics-on payload",
+        )
+        stats_off = client_off.stats()
+        _check(
+            stats_off.get("analytics") is False,
+            f"/stats should report analytics disabled: {stats_off}",
+        )
+        _check(
+            client_off.audit_tail(n=5) == [],
+            "analytics-off server returned audit records",
+        )
+        print("opt-out: analytics-off payload byte-identical, surfaces empty")
+    except Exception:
+        process_off.send_signal(signal.SIGTERM)
+        process_off.wait(timeout=30)
+        raise
+    finally:
+        artifacts = "kept" if args.keep else "tempdir"
+        print(f"artifacts in {workdir} ({artifacts})")
+    code = _stop(process_off)
+    _check(code == 0, f"analytics-off server exited {code}, expected 0")
+    print("analytics smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SmokeFailure as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        sys.exit(1)

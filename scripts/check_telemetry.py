@@ -9,13 +9,19 @@ Checks the JSONL trace and metrics files against the schema documented in
   and non-negative durations;
 * every metrics line (``jsonl`` format) is a typed instrument record;
   histogram bucket counts are consistent with the observation count;
-* a ``prom`` metrics file parses as Prometheus text exposition lines.
+* a ``prom`` metrics file parses as Prometheus text exposition lines;
+* every audit-log line (``--audit``) is a schema-versioned
+  :class:`repro.serve.audit.AuditRecord` dict with a known outcome,
+  strictly increasing sequence numbers and sane timings;
+* a saved ``/stats`` payload (``--stats``) carries the window /
+  SLO / audit sections with ordered quantile bounds.
 
-Used by the CI telemetry smoke job; exits non-zero with a message per
-violation.  Usage::
+Used by the CI telemetry and analytics smoke jobs; exits non-zero with
+a message per violation.  Usage::
 
     python scripts/check_telemetry.py --trace trace.jsonl \
-        --metrics metrics.jsonl [--metrics-format jsonl|prom]
+        --metrics metrics.jsonl [--metrics-format jsonl|prom] \
+        [--audit audit.jsonl] [--stats stats.json]
 """
 
 from __future__ import annotations
@@ -170,6 +176,177 @@ def check_metrics_prom(path: str) -> List[str]:
     return problems
 
 
+# Mirrors repro.serve.audit.AUDIT_SCHEMA_VERSION / AuditRecord.as_dict()
+# and repro.obs.analytics.STATS_SCHEMA_VERSION — kept standalone so the
+# script needs no import path setup.
+AUDIT_SCHEMA_VERSION = 1
+STATS_SCHEMA_VERSION = 1
+AUDIT_FIELDS = {
+    "schema_version", "seq", "ts", "dataset", "fingerprint", "type",
+    "algorithm", "kernel", "params", "outcome", "error", "cache",
+    "run_id", "seconds", "timings", "result_count", "funnel",
+    "calibration",
+}
+AUDIT_OUTCOMES = {
+    "ok", "rejected", "deadline", "bad_request", "unknown_dataset", "error",
+}
+TIMING_KEYS = {"queue", "setup", "execute", "serialize"}
+
+
+def check_audit(path: str) -> List[str]:
+    problems: List[str] = []
+    last_seq = 0
+    records = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            if not line.endswith("\n"):
+                break  # torn final line of a live file is fine
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            records += 1
+            if not isinstance(record, dict):
+                problems.append(f"{path}:{lineno}: not a JSON object")
+                continue
+            if record.get("schema_version") != AUDIT_SCHEMA_VERSION:
+                problems.append(
+                    f"{path}:{lineno}: schema_version "
+                    f"{record.get('schema_version')!r} != {AUDIT_SCHEMA_VERSION}"
+                )
+            missing = AUDIT_FIELDS - set(record)
+            if missing:
+                problems.append(
+                    f"{path}:{lineno}: missing fields {sorted(missing)}"
+                )
+                continue
+            seq = record["seq"]
+            if not isinstance(seq, int) or seq <= last_seq:
+                problems.append(
+                    f"{path}:{lineno}: seq {seq!r} not strictly increasing "
+                    f"(previous {last_seq})"
+                )
+            if isinstance(seq, int):
+                last_seq = max(last_seq, seq)
+            if record["outcome"] not in AUDIT_OUTCOMES:
+                problems.append(
+                    f"{path}:{lineno}: unknown outcome {record['outcome']!r}"
+                )
+            if record["outcome"] != "ok" and not record["error"]:
+                problems.append(
+                    f"{path}:{lineno}: outcome {record['outcome']!r} "
+                    "without an error class"
+                )
+            seconds = record["seconds"]
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                problems.append(f"{path}:{lineno}: bad seconds {seconds!r}")
+            timings = record["timings"]
+            if not isinstance(timings, dict):
+                problems.append(f"{path}:{lineno}: timings not an object")
+            else:
+                for key, value in timings.items():
+                    if key not in TIMING_KEYS:
+                        problems.append(
+                            f"{path}:{lineno}: unknown timing {key!r}"
+                        )
+                    if not isinstance(value, (int, float)) or value < 0:
+                        problems.append(
+                            f"{path}:{lineno}: timing {key}={value!r}"
+                        )
+            if record["cache"] not in (None, "hit", "miss"):
+                problems.append(
+                    f"{path}:{lineno}: bad cache flag {record['cache']!r}"
+                )
+            for key in ("params", "funnel", "calibration"):
+                if not isinstance(record[key], dict):
+                    problems.append(f"{path}:{lineno}: {key} not an object")
+            calibration = record["calibration"]
+            if isinstance(calibration, dict) and calibration.get("chunks"):
+                order = (
+                    calibration.get("ratio_min", 0)
+                    <= calibration.get("ratio_median", 0)
+                    <= calibration.get("ratio_max", 0)
+                )
+                if not order or calibration.get("seconds_per_cost", 0) <= 0:
+                    problems.append(
+                        f"{path}:{lineno}: inconsistent calibration "
+                        f"{calibration!r}"
+                    )
+    if not records:
+        problems.append(f"{path}: no audit records")
+    return problems
+
+
+def _check_quantile(problems: List[str], where: str, payload) -> None:
+    if not isinstance(payload, dict):
+        problems.append(f"{where}: quantile is not an object")
+        return
+    missing = {"q", "estimate", "lower", "upper"} - set(payload)
+    if missing:
+        problems.append(f"{where}: quantile missing {sorted(missing)}")
+        return
+    if not payload["lower"] <= payload["estimate"] <= payload["upper"]:
+        problems.append(
+            f"{where}: quantile bounds not ordered "
+            f"({payload['lower']} <= {payload['estimate']} "
+            f"<= {payload['upper']} fails)"
+        )
+
+
+def check_stats(path: str) -> List[str]:
+    problems: List[str] = []
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            return [f"{path}: not JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"{path}: not a JSON object"]
+    if payload.get("schema_version") != STATS_SCHEMA_VERSION:
+        problems.append(
+            f"{path}: schema_version {payload.get('schema_version')!r} "
+            f"!= {STATS_SCHEMA_VERSION}"
+        )
+    if not payload.get("analytics", False):
+        return problems  # disabled server exposes only the version stub
+    for section in ("window", "slo", "audit", "slow"):
+        if section not in payload:
+            problems.append(f"{path}: missing section {section!r}")
+    window = payload.get("window", {})
+    for field in ("window_seconds", "bucket_seconds", "groups", "totals"):
+        if field not in window:
+            problems.append(f"{path}: window missing {field!r}")
+    cells = list(window.get("groups", []))
+    if isinstance(window.get("totals"), dict):
+        cells.append(window["totals"])
+    for i, group in enumerate(cells):
+        where = f"{path}: window cell {i}"
+        for field in (
+            "count", "ok", "errors", "timeouts", "rejected", "qps",
+            "error_rate", "timeout_rate", "cache_hit_ratio", "latency",
+        ):
+            if field not in group:
+                problems.append(f"{where}: missing {field!r}")
+        latency = group.get("latency", {})
+        for q in ("p50", "p95", "p99"):
+            _check_quantile(problems, f"{where} {q}", latency.get(q))
+    slo = payload.get("slo", {})
+    for field in ("policy", "configured", "breaches", "status"):
+        if field not in slo:
+            problems.append(f"{path}: slo missing {field!r}")
+    if slo.get("status") not in ("ok", "degraded", None):
+        problems.append(f"{path}: bad slo status {slo.get('status')!r}")
+    audit = payload.get("audit", {})
+    for field in ("recorded", "ring_size", "ring_maxlen", "evicted"):
+        if field not in audit:
+            problems.append(f"{path}: audit missing {field!r}")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", default=None, help="trace JSONL file")
@@ -180,9 +357,18 @@ def main(argv=None) -> int:
         default="jsonl",
         help="format the metrics file was written in",
     )
+    parser.add_argument("--audit", default=None, help="audit JSONL file")
+    parser.add_argument(
+        "--stats", default=None, help="saved /stats JSON payload"
+    )
     args = parser.parse_args(argv)
-    if args.trace is None and args.metrics is None:
-        parser.error("nothing to check: pass --trace and/or --metrics")
+    if all(
+        value is None
+        for value in (args.trace, args.metrics, args.audit, args.stats)
+    ):
+        parser.error(
+            "nothing to check: pass --trace, --metrics, --audit and/or --stats"
+        )
 
     problems: List[str] = []
     if args.trace is not None:
@@ -192,13 +378,19 @@ def main(argv=None) -> int:
             problems += check_metrics_jsonl(args.metrics)
         else:
             problems += check_metrics_prom(args.metrics)
+    if args.audit is not None:
+        problems += check_audit(args.audit)
+    if args.stats is not None:
+        problems += check_stats(args.stats)
 
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"FAIL: {len(problems)} problem(s)", file=sys.stderr)
         return 1
-    checked = [p for p in (args.trace, args.metrics) if p]
+    checked = [
+        p for p in (args.trace, args.metrics, args.audit, args.stats) if p
+    ]
     print(f"OK: {', '.join(checked)}")
     return 0
 

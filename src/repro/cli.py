@@ -341,6 +341,54 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="render an explain JSON artifact for humans"
     )
     p_show.add_argument("path", help="explain JSON written by --explain-out")
+    p_tail = obs_sub.add_parser(
+        "tail",
+        help="print recent audit records from a JSONL file or a server URL",
+    )
+    p_tail.add_argument(
+        "source",
+        help="audit JSONL path, or a server base URL (http://...) to hit "
+        "its /audit/tail endpoint",
+    )
+    p_tail.add_argument(
+        "-n", type=int, default=20, help="records to print (default: %(default)s)"
+    )
+    p_tail.add_argument(
+        "-f",
+        "--follow",
+        action="store_true",
+        help="keep polling for new records (Ctrl-C to stop)",
+    )
+    p_tail.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="poll interval for --follow in seconds (default: %(default)s)",
+    )
+    p_tail.add_argument("--dataset", default=None, help="filter by dataset name")
+    p_tail.add_argument("--algorithm", default=None, help="filter by algorithm")
+    p_tail.add_argument(
+        "--outcome", default=None, help="filter by outcome class (ok, error, ...)"
+    )
+    p_tail.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw JSON records instead of formatted lines",
+    )
+    p_top = obs_sub.add_parser(
+        "top",
+        help="live per-(dataset, algorithm) rolling stats of a running server",
+    )
+    p_top.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8199")
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh interval in seconds (default: %(default)s)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -388,6 +436,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    analytics = p_serve.add_argument_group("analytics")
+    analytics.add_argument(
+        "--no-analytics",
+        action="store_true",
+        help="disable the audit log, rolling stats and slow-query capture",
+    )
+    analytics.add_argument(
+        "--audit-log",
+        metavar="PATH",
+        default=None,
+        help="append every audit record to a rotating JSONL file",
+    )
+    analytics.add_argument(
+        "--audit-ring",
+        type=int,
+        default=1024,
+        help="audit records kept in memory for /audit/tail (default: %(default)s)",
+    )
+    analytics.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        help="seconds above which a query lands in the slow-query log "
+        "with a recaptured EXPLAIN (default: %(default)s)",
+    )
+    analytics.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        help="rolling p99 latency target in seconds; breaches flip "
+        "/health to degraded",
+    )
+    analytics.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=None,
+        help="rolling error-rate target (0..1)",
+    )
+    analytics.add_argument(
+        "--slo-timeout-rate",
+        type=float,
+        default=None,
+        help="rolling deadline-timeout-rate target (0..1)",
     )
 
     p_query = sub.add_parser(
@@ -630,7 +722,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    """``obs diff`` / ``obs show`` over explain and BENCH artifacts.
+    """``obs diff`` / ``obs show`` over explain and BENCH artifacts, and
+    ``obs tail`` / ``obs top`` over the live analytics of a server.
 
     ``obs diff`` exits ``1`` exactly when deterministic work counters
     drifted — wall-clock changes alone never fail (they are advisory;
@@ -640,6 +733,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         diff = diff_files(args.before, args.after, tolerance=args.tolerance)
         print(render_diff(diff))
         return 1 if diff["counter_drift"] else 0
+    if args.obs_command == "tail":
+        return _cmd_obs_tail(args)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
     import json
 
     with open(args.path, "r", encoding="utf-8") as handle:
@@ -655,6 +752,179 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_audit_record(rec: dict) -> str:
+    """One human line per audit record (``repro obs tail``)."""
+    stamp = time.strftime("%H:%M:%S", time.localtime(rec.get("ts", 0)))
+    parts = [
+        f"#{rec.get('seq', '?')}",
+        stamp,
+        rec.get("dataset") or "?",
+        f"{rec.get('type') or '?'}/{rec.get('algorithm') or '?'}",
+        rec.get("outcome", "?"),
+        format_seconds(rec.get("seconds", 0.0)),
+    ]
+    if rec.get("cache"):
+        parts.append(f"cache={rec['cache']}")
+    timings = rec.get("timings") or {}
+    breakdown = " ".join(
+        f"{name}={format_seconds(timings[name])}"
+        for name in ("queue", "setup", "execute", "serialize")
+        if name in timings
+    )
+    if breakdown:
+        parts.append(f"({breakdown})")
+    if rec.get("result_count") is not None:
+        parts.append(f"n={rec['result_count']}")
+    if rec.get("error"):
+        parts.append(f"error={rec['error']}")
+    calibration = rec.get("calibration") or {}
+    if calibration.get("chunks"):
+        parts.append(
+            f"cal[{calibration['chunks']}ch "
+            f"med x{calibration['ratio_median']:.2f}]"
+        )
+    return "  ".join(parts)
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Print recent audit records from a JSONL file or a running server."""
+    import json
+
+    from .serve import ServerError
+    from .serve.audit import read_audit_lines
+
+    from_url = args.source.startswith(("http://", "https://"))
+
+    def matches(rec: dict) -> bool:
+        return (
+            (args.dataset is None or rec.get("dataset") == args.dataset)
+            and (args.algorithm is None or rec.get("algorithm") == args.algorithm)
+            and (args.outcome is None or rec.get("outcome") == args.outcome)
+        )
+
+    def fetch(since_seq: Optional[int], n: int) -> List[dict]:
+        if from_url:
+            from .serve import ServeClient
+
+            client = ServeClient(args.source)
+            return client.audit_tail(
+                n=n,
+                dataset=args.dataset,
+                algorithm=args.algorithm,
+                outcome=args.outcome,
+                since_seq=since_seq,
+            )
+        records = [r for r in read_audit_lines(args.source) if matches(r)]
+        if since_seq is not None:
+            records = [r for r in records if r.get("seq", 0) > since_seq]
+        return records[-n:] if n >= 0 else records
+
+    def emit(records: List[dict]) -> None:
+        for rec in records:
+            print(
+                json.dumps(rec) if args.json else _format_audit_record(rec),
+                flush=True,
+            )
+
+    try:
+        records = fetch(None, args.n)
+    except (OSError, ServerError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    emit(records)
+    if not args.follow:
+        return 0
+    last_seq = max((r.get("seq", 0) for r in records), default=0)
+    try:
+        while True:
+            time.sleep(args.interval)
+            try:
+                fresh = fetch(last_seq, -1 if not from_url else 1000)
+            except (OSError, ServerError, json.JSONDecodeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            emit(fresh)
+            last_seq = max(
+                (r.get("seq", 0) for r in fresh), default=last_seq
+            )
+    except KeyboardInterrupt:
+        return 0
+
+
+def _render_top(snapshot: dict) -> str:
+    """Render one ``/stats`` snapshot as the ``obs top`` screen."""
+    if not snapshot.get("analytics", True):
+        return "analytics disabled on this server (--no-analytics)"
+    window = snapshot.get("window", {})
+    totals = window.get("totals", {})
+    slo = snapshot.get("slo", {})
+    lines = [
+        f"window {window.get('window_seconds', 0):.0f}s   "
+        f"qps {totals.get('qps', 0.0):.2f}   "
+        f"p99 {format_seconds(totals.get('latency', {}).get('p99', {}).get('estimate', 0.0))}   "
+        f"err {100 * totals.get('error_rate', 0.0):.1f}%   "
+        f"status {slo.get('status', 'ok')}"
+    ]
+    rows = []
+    for group in sorted(
+        window.get("groups", ()), key=lambda g: -g.get("qps", 0.0)
+    ):
+        latency = group.get("latency", {})
+        rows.append(
+            {
+                "dataset": group.get("dataset", "?"),
+                "algorithm": group.get("algorithm", "?"),
+                "count": group.get("count", 0),
+                "qps": f"{group.get('qps', 0.0):.2f}",
+                "p50": format_seconds(latency.get("p50", {}).get("estimate", 0.0)),
+                "p95": format_seconds(latency.get("p95", {}).get("estimate", 0.0)),
+                "p99": format_seconds(latency.get("p99", {}).get("estimate", 0.0)),
+                "err%": f"{100 * group.get('error_rate', 0.0):.1f}",
+                "tmo%": f"{100 * group.get('timeout_rate', 0.0):.1f}",
+                "cache%": f"{100 * group.get('cache_hit_ratio', 0.0):.1f}",
+            }
+        )
+    if rows:
+        lines.append(
+            format_table(
+                rows,
+                [
+                    "dataset", "algorithm", "count", "qps",
+                    "p50", "p95", "p99", "err%", "tmo%", "cache%",
+                ],
+            )
+        )
+    else:
+        lines.append("(no queries in the window)")
+    for breach in slo.get("breaches", ()):
+        lines.append(
+            f"SLO breach: {breach['dataset']}/{breach['algorithm']} "
+            f"{breach['metric']} {breach['value']:.4g} > {breach['target']:.4g}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live rolling stats of a running server (``repro obs top``)."""
+    from .serve import ServeClient, ServerError
+
+    client = ServeClient(args.url)
+    try:
+        while True:
+            try:
+                snapshot = client.stats()
+            except (OSError, ServerError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(_render_top(snapshot), flush=True)
+            if args.once:
+                return 0
+            print("---", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Start the resident join server and block until shutdown.
 
@@ -664,13 +934,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """
     import os
 
+    from .obs.analytics import SLOPolicy
     from .serve import JoinHTTPServer, JoinService, serve_forever
 
+    slo = SLOPolicy(
+        p99_seconds=args.slo_p99,
+        error_rate=args.slo_error_rate,
+        timeout_rate=args.slo_timeout_rate,
+    )
     service = JoinService(
         cache_capacity=args.cache_size,
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         default_deadline=args.deadline,
+        analytics=not args.no_analytics,
+        audit_ring=args.audit_ring,
+        audit_path=args.audit_log,
+        slow_threshold=args.slow_threshold,
+        slo=slo,
     )
     for path in args.paths:
         name = os.path.splitext(os.path.basename(path))[0]

@@ -481,9 +481,12 @@ class JoinExecutor:
             # partition (fault plans and tests key on its chunk indices);
             # otherwise the plan's cost model balances estimated work.
             if self.chunk_size is not None:
-                chunks = plan.chunks(dataset, self.chunk_size)
+                chunks = list(plan.chunks(dataset, self.chunk_size))
             else:
-                chunks = plan.cost_chunks(dataset, max(1, self.workers))
+                chunks = list(plan.cost_chunks(dataset, max(1, self.workers)))
+            costs = plan.chunk_costs(dataset, chunks)
+            if costs is not None:
+                report.chunk_costs = dict(enumerate(costs))
             if self.backend == "sequential" or self.workers == 1:
                 results = self._run_inline(
                     plan, dataset, query, stats, kwargs, chunks, policy,

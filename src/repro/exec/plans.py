@@ -114,6 +114,18 @@ class Plan:
         target = -(-n_units // (max(1, workers) * _TASKS_PER_WORKER))
         return self.chunks(dataset, max(1, min(_MAX_AUTO_CHUNK, target)))
 
+    def chunk_costs(
+        self, dataset: STDataset, chunk_list: Sequence
+    ) -> Optional[List[float]]:
+        """Modeled cost of each chunk, under the same cost model
+        :meth:`cost_chunks` balances on — the engine records these next to
+        the measured ``chunk_seconds`` so EXPLAIN and the serve audit can
+        report how far the model's predictions miss reality (the
+        calibration substrate for the roadmap's cost-based planner).
+        Applies to *any* chunking of this plan (fixed-size included);
+        ``None`` means the plan has no cost model."""
+        return None
+
     def build_state(self, dataset: STDataset, query, **kwargs):
         raise NotImplementedError
 
@@ -308,6 +320,23 @@ class _PairwisePlan(Plan):
     def cost_chunks(self, dataset: STDataset, workers: int):
         return _balanced_pair_chunks(_user_sizes(dataset), workers)
 
+    def chunk_costs(self, dataset: STDataset, chunk_list: Sequence):
+        # Segment (i, j0, j1) costs |Du_i|·Σ_{j0<=j<j1} |Du_j| + (j1-j0),
+        # evaluated via a prefix-sum so a whole chunk list is O(n + segs).
+        sizes = _user_sizes(dataset)
+        prefix = [0]
+        for s in sizes:
+            prefix.append(prefix[-1] + s)
+        return [
+            float(
+                sum(
+                    sizes[i] * (prefix[j1] - prefix[j0]) + (j1 - j0)
+                    for i, j0, j1 in chunk
+                )
+            )
+            for chunk in chunk_list
+        ]
+
 
 class _UserShardPlan(Plan):
     """Shared partitioner for plans whose unit is one user."""
@@ -320,6 +349,20 @@ class _UserShardPlan(Plan):
 
     def cost_chunks(self, dataset: STDataset, workers: int):
         return _balanced_user_shards(_user_sizes(dataset), workers)
+
+    def chunk_costs(self, dataset: STDataset, chunk_list: Sequence):
+        # Position p costs |Du_p|·(Σ_{q<p} |Du_q|) + |Du_p| + 1 — the
+        # per-user cost _balanced_user_shards cuts the cumulative curve on.
+        sizes = _user_sizes(dataset)
+        prefix = [0]
+        for s in sizes:
+            prefix.append(prefix[-1] + s)
+        return [
+            float(
+                sum(sizes[p] * prefix[p] + sizes[p] + 1 for p in chunk)
+            )
+            for chunk in chunk_list
+        ]
 
 
 # -- threshold joins ---------------------------------------------------------------

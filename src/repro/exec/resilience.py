@@ -174,6 +174,11 @@ class ExecutionReport:
     ran, worker-side for pooled backends); ``chunk_attempts`` maps it to
     how many attempts that chunk consumed before acceptance (1 for a
     clean first-try run).  Skipped chunks appear in neither.
+    ``chunk_costs`` maps *every* scheduled chunk's index to the plan's
+    modeled cost (the quantity the cost-model chunker balances on);
+    empty when the plan has no cost model.  Comparing it against
+    ``chunk_seconds`` is the predicted-vs-actual calibration surfaced in
+    EXPLAIN (``cost_calibration``) and the serve audit log.
 
     ``run_id`` is the deterministic run identifier (the traced run span's
     id when telemetry is active, an engine-local sequence otherwise),
@@ -202,6 +207,7 @@ class ExecutionReport:
     failures: List[ChunkFailure] = field(default_factory=list)
     chunk_seconds: Dict[int, float] = field(default_factory=dict)
     chunk_attempts: Dict[int, int] = field(default_factory=dict)
+    chunk_costs: Dict[int, float] = field(default_factory=dict)
 
     @property
     def completeness(self) -> float:

@@ -18,9 +18,18 @@ near-zero cost when disabled:
 * :mod:`repro.obs.explain` — the :class:`ExplainReport` diagnosis of one
   observed run (``explain=True`` / ``--explain``);
 * :mod:`repro.obs.diff` — run-diff tooling over explain/BENCH artifacts
-  (``repro obs diff``).
+  (``repro obs diff``);
+* :mod:`repro.obs.analytics` — sliding-window SLO stats and cost-model
+  calibration for the resident server (``/stats``, ``repro obs top``).
 """
 
+from .analytics import (
+    OUTCOMES,
+    STATS_SCHEMA_VERSION,
+    SLOPolicy,
+    WindowAggregator,
+    calibration_summary,
+)
 from .diff import diff_artifacts, diff_files, load_artifact, render_diff
 from .explain import EXPLAIN_SCHEMA_VERSION, ExplainReport, build_explain, render_explain
 from .export import METRICS_FORMATS, render_metrics, to_jsonl, to_prometheus, to_summary
@@ -53,4 +62,9 @@ __all__ = [
     "diff_files",
     "load_artifact",
     "render_diff",
+    "OUTCOMES",
+    "STATS_SCHEMA_VERSION",
+    "SLOPolicy",
+    "WindowAggregator",
+    "calibration_summary",
 ]

@@ -1,0 +1,342 @@
+"""Live query analytics: sliding-window SLO stats and cost calibration.
+
+The resident server's Prometheus counters are cumulative — they say how
+much happened since boot, never whether p99 latency drifted in the last
+minute.  This module adds the time dimension:
+
+* :class:`WindowAggregator` — a ring of fixed-width time buckets, each
+  holding per-``(dataset, algorithm)`` tallies (outcome counts, cache
+  hits, a latency :class:`~repro.obs.metrics.Histogram`).  A snapshot
+  merges the live buckets into rolling QPS, error/timeout/429 rates,
+  cache hit ratio and p50/p95/p99 latency — every quantile carrying the
+  bucket-induced error bound of :meth:`Histogram.quantile`.
+* :class:`SLOPolicy` — configured targets (p99 latency, error rate,
+  timeout rate) evaluated against a window snapshot; any breach flips
+  the server's ``/health`` to ``degraded``.
+* :func:`calibration_summary` — the predicted-vs-actual chunk-cost
+  distribution of one executor run (modeled LPT chunk costs vs measured
+  ``chunk_seconds``), the data substrate for the roadmap's cost-based
+  planner.  A chunk's *share ratio* is ``actual_share / predicted_share``
+  (1.0 = the cost model predicted this chunk's fraction of the run's
+  wall-clock exactly); the summary reports the ratio distribution and
+  the fitted seconds-per-cost-unit rate.
+
+Everything here is stdlib-only and lock-protected where shared; when a
+server runs with analytics disabled none of it is instantiated.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import Histogram
+
+__all__ = [
+    "OUTCOMES",
+    "STATS_SCHEMA_VERSION",
+    "WindowAggregator",
+    "SLOPolicy",
+    "calibration_summary",
+]
+
+#: Bump when the ``/stats`` payload changes shape.
+STATS_SCHEMA_VERSION = 1
+
+#: Recognized audit/window outcome classes.  ``ok`` is success;
+#: ``rejected`` is admission overload (HTTP 429/503), ``deadline`` a
+#: per-query deadline hit (504), ``bad_request`` / ``unknown_dataset``
+#: client errors (400/404) and ``error`` everything else.
+OUTCOMES = (
+    "ok",
+    "rejected",
+    "deadline",
+    "bad_request",
+    "unknown_dataset",
+    "error",
+)
+
+#: Outcomes counted into the window's ``error_rate`` (client mistakes and
+#: hard failures; rejections and deadline hits have their own rates).
+_ERROR_OUTCOMES = frozenset({"bad_request", "unknown_dataset", "error"})
+
+
+class _Cell:
+    """Per-(dataset, algorithm) tallies inside one time bucket."""
+
+    __slots__ = (
+        "count", "ok", "errors", "timeouts", "rejected",
+        "cache_hits", "cache_misses", "latency",
+    )
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.ok = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.rejected = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.latency = Histogram()
+
+    def add(self, seconds: float, outcome: str, cache: Optional[str]) -> None:
+        self.count += 1
+        if outcome == "ok":
+            self.ok += 1
+        elif outcome == "rejected":
+            self.rejected += 1
+        elif outcome == "deadline":
+            self.timeouts += 1
+        else:
+            self.errors += 1
+        if cache == "hit":
+            self.cache_hits += 1
+        elif cache == "miss":
+            self.cache_misses += 1
+        self.latency.observe(seconds)
+
+    def merge(self, other: "_Cell") -> None:
+        self.count += other.count
+        self.ok += other.ok
+        self.errors += other.errors
+        self.timeouts += other.timeouts
+        self.rejected += other.rejected
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.latency.merge(other.latency.as_dict())
+
+
+def _cell_stats(cell: _Cell, window_seconds: float) -> dict:
+    """JSON-ready rolling statistics of one merged cell."""
+    count = cell.count
+    latency = cell.latency
+    lookups = cell.cache_hits + cell.cache_misses
+    return {
+        "count": count,
+        "ok": cell.ok,
+        "errors": cell.errors,
+        "timeouts": cell.timeouts,
+        "rejected": cell.rejected,
+        "qps": count / window_seconds if window_seconds > 0 else 0.0,
+        "error_rate": cell.errors / count if count else 0.0,
+        "timeout_rate": cell.timeouts / count if count else 0.0,
+        "rejected_rate": cell.rejected / count if count else 0.0,
+        "cache_hits": cell.cache_hits,
+        "cache_misses": cell.cache_misses,
+        "cache_hit_ratio": cell.cache_hits / lookups if lookups else 0.0,
+        "latency": {
+            "count": latency.count,
+            "mean": latency.mean,
+            "min": latency.vmin if latency.count else 0.0,
+            "max": latency.vmax,
+            "p50": latency.quantile(0.50),
+            "p95": latency.quantile(0.95),
+            "p99": latency.quantile(0.99),
+        },
+    }
+
+
+class WindowAggregator:
+    """Sliding-window per-(dataset, algorithm) query statistics.
+
+    Time is cut into ``num_buckets`` buckets of ``bucket_seconds`` each;
+    :meth:`record` lands an observation in the current bucket, buckets
+    older than the window are dropped lazily.  A :meth:`snapshot` merges
+    the live buckets — so the rolling stats cover between
+    ``(num_buckets - 1)`` and ``num_buckets`` bucket-widths of history.
+    QPS divides by the full window width, slightly under-reporting while
+    the window first fills (documented; stable once warm).
+
+    Thread-safe; ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        bucket_seconds: float = 10.0,
+        num_buckets: int = 6,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        self.bucket_seconds = float(bucket_seconds)
+        self.num_buckets = int(num_buckets)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (bucket_index, {(dataset, algorithm): _Cell})
+        self._buckets: deque = deque()
+
+    @property
+    def window_seconds(self) -> float:
+        return self.bucket_seconds * self.num_buckets
+
+    def _bucket_index(self) -> int:
+        return int(self._clock() // self.bucket_seconds)
+
+    def _evict(self, current: int) -> None:
+        floor = current - self.num_buckets + 1
+        while self._buckets and self._buckets[0][0] < floor:
+            self._buckets.popleft()
+
+    def record(
+        self,
+        dataset: str,
+        algorithm: str,
+        seconds: float,
+        outcome: str = "ok",
+        cache: Optional[str] = None,
+    ) -> None:
+        """Land one query observation in the current time bucket."""
+        if outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown outcome {outcome!r}; choose from {OUTCOMES}"
+            )
+        key = (dataset, algorithm)
+        with self._lock:
+            current = self._bucket_index()
+            self._evict(current)
+            if not self._buckets or self._buckets[-1][0] != current:
+                self._buckets.append((current, {}))
+            cells = self._buckets[-1][1]
+            cell = cells.get(key)
+            if cell is None:
+                cell = cells[key] = _Cell()
+            cell.add(seconds, outcome, cache)
+
+    def snapshot(self) -> dict:
+        """Rolling per-group and total statistics over the live window."""
+        with self._lock:
+            self._evict(self._bucket_index())
+            merged: "OrderedDict[Tuple[str, str], _Cell]" = OrderedDict()
+            total = _Cell()
+            for _, cells in self._buckets:
+                for key, cell in cells.items():
+                    into = merged.get(key)
+                    if into is None:
+                        into = merged[key] = _Cell()
+                    into.merge(cell)
+                    total.merge(cell)
+        window = self.window_seconds
+        groups = [
+            {
+                "dataset": dataset,
+                "algorithm": algorithm,
+                **_cell_stats(cell, window),
+            }
+            for (dataset, algorithm), cell in sorted(merged.items())
+        ]
+        return {
+            "window_seconds": window,
+            "bucket_seconds": self.bucket_seconds,
+            "num_buckets": self.num_buckets,
+            "groups": groups,
+            "totals": _cell_stats(total, window),
+        }
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Service-level targets evaluated against a window snapshot.
+
+    ``None`` disables a target.  ``p99_seconds`` bounds the rolling p99
+    latency *point estimate* per group; ``error_rate`` / ``timeout_rate``
+    bound the rolling rates.  ``min_count`` suppresses judgment on
+    groups with too few observations to mean anything.
+    """
+
+    p99_seconds: Optional[float] = None
+    error_rate: Optional[float] = None
+    timeout_rate: Optional[float] = None
+    min_count: int = 5
+
+    def __post_init__(self) -> None:
+        for name in ("p99_seconds", "error_rate", "timeout_rate"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.min_count < 1:
+            raise ValueError("min_count must be >= 1")
+
+    @property
+    def configured(self) -> bool:
+        return any(
+            target is not None
+            for target in (self.p99_seconds, self.error_rate, self.timeout_rate)
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "p99_seconds": self.p99_seconds,
+            "error_rate": self.error_rate,
+            "timeout_rate": self.timeout_rate,
+            "min_count": self.min_count,
+        }
+
+    def breaches(self, snapshot: Mapping) -> List[dict]:
+        """Every (group, metric) exceeding its target in ``snapshot``."""
+        found: List[dict] = []
+        for group in snapshot.get("groups", ()):
+            if group.get("count", 0) < self.min_count:
+                continue
+            checks = (
+                ("p99_seconds", self.p99_seconds,
+                 group["latency"]["p99"]["estimate"]),
+                ("error_rate", self.error_rate, group["error_rate"]),
+                ("timeout_rate", self.timeout_rate, group["timeout_rate"]),
+            )
+            for metric, target, value in checks:
+                if target is not None and value > target:
+                    found.append(
+                        {
+                            "dataset": group["dataset"],
+                            "algorithm": group["algorithm"],
+                            "metric": metric,
+                            "target": target,
+                            "value": value,
+                        }
+                    )
+        return found
+
+
+def calibration_summary(
+    chunk_costs: Mapping[int, float],
+    chunk_seconds: Mapping[int, float],
+) -> dict:
+    """Predicted-vs-actual chunk-cost distribution of one executor run.
+
+    For every accepted chunk with a modeled cost, the *share ratio* is
+    ``(seconds_i / Σ seconds) / (cost_i / Σ cost)`` — how far the LPT
+    cost model's predicted fraction of the run missed the measured
+    fraction (1.0 = perfect).  Returns the ratio distribution
+    (min/median/max), the fitted overall ``seconds_per_cost`` rate, and
+    the worst-overpredicted chunk, or ``{"chunks": 0}`` when nothing can
+    be compared (no costs recorded, or timings missing).
+    """
+    common = sorted(set(chunk_costs) & set(chunk_seconds))
+    total_cost = sum(chunk_costs[i] for i in common)
+    total_seconds = sum(chunk_seconds[i] for i in common)
+    if not common or total_cost <= 0 or total_seconds <= 0:
+        return {"chunks": 0}
+    ratios: Dict[int, float] = {}
+    for i in common:
+        predicted = chunk_costs[i] / total_cost
+        actual = chunk_seconds[i] / total_seconds
+        if predicted > 0:
+            ratios[i] = actual / predicted
+    if not ratios:
+        return {"chunks": 0}
+    values = sorted(ratios.values())
+    worst = max(ratios.items(), key=lambda kv: (kv[1], -kv[0]))
+    return {
+        "chunks": len(ratios),
+        "seconds_per_cost": total_seconds / total_cost,
+        "ratio_min": values[0],
+        "ratio_median": statistics.median(values),
+        "ratio_max": values[-1],
+        "worst_chunk": {"chunk": worst[0], "ratio": worst[1]},
+    }

@@ -191,6 +191,7 @@ class ExplainReport:
     chunks: dict = field(default_factory=dict)
     top_chunks: List[dict] = field(default_factory=list)
     top_users: List[dict] = field(default_factory=list)
+    cost_calibration: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-ready payload; ``kind`` tags it for ``repro obs`` tooling."""
@@ -214,6 +215,7 @@ class ExplainReport:
             "chunks": self.chunks,
             "top_chunks": self.top_chunks,
             "top_users": self.top_users,
+            "cost_calibration": self.cost_calibration,
         }
 
     def work_dict(self) -> dict:
@@ -271,6 +273,13 @@ def build_explain(
         explain.elapsed = report.elapsed
         explain.chunks = _chunk_stats(report)
         explain.top_chunks = _top_chunks(report, top_n)
+        chunk_costs = getattr(report, "chunk_costs", None)
+        if chunk_costs:
+            from .analytics import calibration_summary
+
+            explain.cost_calibration = calibration_summary(
+                chunk_costs, report.chunk_seconds
+            )
     if dataset is not None:
         explain.top_users = _top_users(dataset, top_n)
         if explain.dataset_fingerprint is None:
@@ -356,4 +365,20 @@ def render_explain(payload: dict) -> str:
             for u in top_users
         )
         lines.append(f"heaviest users (modeled): {heaviest}")
+    calibration = payload.get("cost_calibration") or {}
+    if calibration.get("chunks"):
+        worst = calibration.get("worst_chunk") or {}
+        lines.append(
+            f"cost calibration: {calibration['chunks']} chunks, "
+            f"actual/predicted share ratio "
+            f"{calibration.get('ratio_min', 0.0):.2f}/"
+            f"{calibration.get('ratio_median', 0.0):.2f}/"
+            f"{calibration.get('ratio_max', 0.0):.2f} (min/med/max), "
+            f"{calibration.get('seconds_per_cost', 0.0):.3g}s per cost unit"
+            + (
+                f", worst #{worst.get('chunk')} x{worst.get('ratio', 0.0):.2f}"
+                if worst
+                else ""
+            )
+        )
     return "\n".join(lines)

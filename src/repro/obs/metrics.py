@@ -30,6 +30,7 @@ guarantee.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from typing import Dict, List, Optional
 
@@ -104,6 +105,43 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> dict:
+        """Bucket-based quantile estimate with its bucket-induced error bound.
+
+        The log-scale buckets only locate the q-th observation inside one
+        bucket, so the estimate carries explicit ``lower``/``upper``
+        bounds: the containing bucket's edges, tightened by the exact
+        ``min``/``max`` tracked alongside the buckets.  The point
+        estimate is the (geometric, matching the log-scale bucket growth)
+        midpoint of that interval — the true quantile is guaranteed to
+        lie in ``[lower, upper]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        if not self.count:
+            return {"q": q, "estimate": 0.0, "lower": 0.0, "upper": 0.0}
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        index = len(self.counts) - 1
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                index = i
+                break
+        lower = HISTOGRAM_BUCKETS[index - 1] if index > 0 else 0.0
+        upper = (
+            HISTOGRAM_BUCKETS[index]
+            if index < len(HISTOGRAM_BUCKETS)
+            else self.vmax
+        )
+        lower = max(lower, self.vmin)
+        upper = max(lower, min(upper, self.vmax))
+        if lower > 0.0:
+            estimate = math.sqrt(lower * upper)
+        else:
+            estimate = (lower + upper) / 2.0
+        return {"q": q, "estimate": estimate, "lower": lower, "upper": upper}
 
     def as_dict(self) -> dict:
         return {

@@ -19,6 +19,9 @@ that.  See ``docs/serving.md`` for the narrative version.
   control with overload rejection;
 * :mod:`repro.serve.service` — :class:`JoinService`, the transport-free
   query dispatcher the HTTP layer and the tests drive;
+* :mod:`repro.serve.audit` — per-query structured audit records (ring
+  buffer + rotating JSONL) and the slow-query EXPLAIN log behind
+  ``/stats``, ``/audit/tail`` and ``repro obs tail`` / ``obs top``;
 * :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` front end
   (zero new dependencies) with ``/metrics`` Prometheus exposition and
   signal-driven graceful shutdown;
@@ -27,6 +30,13 @@ that.  See ``docs/serving.md`` for the narrative version.
 """
 
 from .admission import AdmissionController, AdmissionRejected
+from .audit import (
+    AUDIT_SCHEMA_VERSION,
+    AuditLog,
+    AuditRecord,
+    SlowQueryLog,
+    read_audit_lines,
+)
 from .cache import CacheStats, ResultCache
 from .client import ServeClient, ServerError
 from .http import JoinHTTPServer, serve_forever
@@ -34,8 +44,11 @@ from .registry import DatasetRegistry, PreparedDataset
 from .service import JoinService, QueryError, UnknownDatasetError
 
 __all__ = [
+    "AUDIT_SCHEMA_VERSION",
     "AdmissionController",
     "AdmissionRejected",
+    "AuditLog",
+    "AuditRecord",
     "CacheStats",
     "DatasetRegistry",
     "JoinHTTPServer",
@@ -45,6 +58,8 @@ __all__ = [
     "ResultCache",
     "ServeClient",
     "ServerError",
+    "SlowQueryLog",
     "UnknownDatasetError",
+    "read_audit_lines",
     "serve_forever",
 ]

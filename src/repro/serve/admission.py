@@ -12,6 +12,7 @@ rejects *new* arrivals while admitted queries run to completion.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional
 
 __all__ = ["AdmissionController", "AdmissionRejected"]
@@ -56,8 +57,12 @@ class AdmissionController:
         """Block until admitted (bounded queue) or raise immediately.
 
         Raises :class:`AdmissionRejected` when the queue is full or the
-        controller is draining.
+        controller is draining.  The returned slot's ``waited`` attribute
+        is the seconds this caller spent queued before admission (0.0 on
+        the uncontended fast path) — the "queue" row of the audit
+        record's latency breakdown.
         """
+        started = time.perf_counter()
         with self._cond:
             if self._draining:
                 raise AdmissionRejected(
@@ -84,7 +89,7 @@ class AdmissionController:
                 self._waiting -= 1
             self._inflight += 1
             self._admitted += 1
-        return _Admission(self)
+        return _Admission(self, waited=time.perf_counter() - started)
 
     def _release(self) -> None:
         with self._cond:
@@ -123,11 +128,17 @@ class AdmissionController:
 
 
 class _Admission:
-    """The held admission slot; releasing is idempotent."""
+    """The held admission slot; releasing is idempotent.
 
-    def __init__(self, controller: AdmissionController) -> None:
+    ``waited`` is the queue time this admission paid, in seconds.
+    """
+
+    def __init__(
+        self, controller: AdmissionController, waited: float = 0.0
+    ) -> None:
         self._controller = controller
         self._released = False
+        self.waited = waited
 
     def __enter__(self) -> "_Admission":
         return self

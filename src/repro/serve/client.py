@@ -9,6 +9,7 @@ carrying the HTTP status and the server's ``error`` message.
 from __future__ import annotations
 
 import json
+import urllib.parse
 from typing import Any, Dict, Optional
 from urllib import error as urlerror
 from urllib import request as urlrequest
@@ -71,6 +72,27 @@ class ServeClient:
 
     def datasets(self) -> list:
         return self._request("GET", "/datasets")["datasets"]
+
+    def stats(self) -> dict:
+        """The rolling analytics snapshot (``/stats``)."""
+        return self._request("GET", "/stats")
+
+    def dataset_stats(self, name: str) -> dict:
+        """The dataset profile (``/datasets/<name>/stats``)."""
+        return self._request(
+            "GET", f"/datasets/{urllib.parse.quote(name, safe='')}/stats"
+        )
+
+    def audit_tail(self, n: int = 20, **filters: Any) -> list:
+        """Recent audit records; ``filters`` pass through as query params
+        (``dataset=``, ``algorithm=``, ``outcome=``, ``since_seq=``)."""
+        params = {"n": n, **{k: v for k, v in filters.items() if v is not None}}
+        query = urllib.parse.urlencode(params)
+        return self._request("GET", f"/audit/tail?{query}")["records"]
+
+    def slow_queries(self, n: int = -1) -> list:
+        """Slow-query log entries with their captured EXPLAINs."""
+        return self._request("GET", f"/audit/slow?n={int(n)}")["entries"]
 
     def register(self, name: str, path: str) -> dict:
         return self._request(

@@ -5,14 +5,18 @@ zero dependencies beyond the standard library.  Concurrency inside the
 process is governed by the service's admission controller, not by the
 socket layer.  Endpoints:
 
-===========================  =====================================================
-``GET /health``              service status, admission + cache snapshot
-``GET /metrics``             Prometheus text exposition of the ``serve.*`` metrics
-``GET /datasets``            registered datasets with fingerprints
-``POST /datasets``           register ``{"name": ..., "path": ...}``
-``POST /query``              evaluate ``{"type": "join"|"topk"|"knn", ...}``
-``POST /admin/shutdown``     start a graceful drain-and-exit
-===========================  =====================================================
+=============================  ===================================================
+``GET /health``                service status (``ok`` / ``degraded`` / ``draining``)
+``GET /metrics``               Prometheus text exposition of the ``serve.*`` metrics
+``GET /stats``                 rolling window analytics + SLO judgment
+``GET /datasets``              registered datasets with fingerprints
+``GET /datasets/<name>/stats`` dataset profile: counts, token stats, grid occupancy
+``GET /audit/tail``            recent audit records (``?n=&dataset=&outcome=…``)
+``GET /audit/slow``            slow-query log entries with captured EXPLAINs
+``POST /datasets``             register ``{"name": ..., "path": ...}``
+``POST /query``                evaluate ``{"type": "join"|"topk"|"knn", ...}``
+``POST /admin/shutdown``       start a graceful drain-and-exit
+=============================  ===================================================
 
 Error mapping: bad request → ``400``, unknown dataset → ``404``,
 saturated → ``429`` with ``Retry-After``, draining → ``503``, per-query
@@ -26,6 +30,7 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -94,22 +99,62 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
 
+    @staticmethod
+    def _query_params(query: str) -> dict:
+        """Single-valued query params (the last value wins)."""
+        return {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(query).items()
+        }
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         service = self.server.service
-        if self.path == "/health":
-            stats = service.stats()
-            status = 503 if stats["status"] == "draining" else 200
-            self._send(status, stats)
-        elif self.path == "/metrics":
-            self._send(
-                200,
-                service.metrics_text(),
-                content_type="text/plain; version=0.0.4",
-            )
-        elif self.path == "/datasets":
-            self._send(200, {"datasets": service.registry.describe()})
-        else:
-            self._error(404, f"no such endpoint: {self.path}")
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path
+        try:
+            if path == "/health":
+                stats = service.stats()
+                status = 503 if stats["status"] == "draining" else 200
+                self._send(status, stats)
+            elif path == "/metrics":
+                self._send(
+                    200,
+                    service.metrics_text(),
+                    content_type="text/plain; version=0.0.4",
+                )
+            elif path == "/datasets":
+                self._send(200, {"datasets": service.registry.describe()})
+            elif path == "/stats":
+                self._send(200, service.analytics_snapshot())
+            elif path.startswith("/datasets/") and path.endswith("/stats"):
+                name = urllib.parse.unquote(path[len("/datasets/"):-len("/stats")])
+                self._send(200, service.dataset_profile(name))
+            elif path == "/audit/tail":
+                params = self._query_params(parsed.query)
+                filters = {}
+                try:
+                    filters["n"] = int(params.get("n", 20))
+                    if "since_seq" in params:
+                        filters["since_seq"] = int(params["since_seq"])
+                except ValueError:
+                    raise QueryError("n and since_seq must be integers")
+                for key in ("dataset", "algorithm", "outcome"):
+                    if key in params:
+                        filters[key] = params[key]
+                self._send(200, {"records": service.audit_tail(**filters)})
+            elif path == "/audit/slow":
+                params = self._query_params(parsed.query)
+                try:
+                    n = int(params.get("n", -1))
+                except ValueError:
+                    raise QueryError("n must be an integer")
+                self._send(200, {"entries": service.slow_entries(n)})
+            else:
+                self._error(404, f"no such endpoint: {self.path}")
+        except QueryError as exc:
+            self._error(400, str(exc))
+        except UnknownDatasetError as exc:
+            self._error(404, str(exc))
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         service = self.server.service
@@ -214,4 +259,5 @@ def serve_forever(
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
         server.server_close()
+        server.service.close()
     return 0

@@ -99,6 +99,46 @@ class PreparedDataset:
         payload.update(self.index_stats())
         return payload
 
+    def profile(self) -> dict:
+        """The full dataset profile (``/datasets/<name>/stats``): object /
+        user / token counts plus the occupancy of every warm grid — the
+        input side of the planner's cost model."""
+        from ..datasets.stats import dataset_stats
+
+        stats = dataset_stats(self.dataset, name=self.name)
+        distinct_tokens = len(
+            {token for obj in self.dataset.objects for token in obj.doc}
+        )
+        token_occurrences = sum(len(obj.doc) for obj in self.dataset.objects)
+        with self._lock:
+            grids = sorted(self._grids.values(), key=lambda g: g.eps_loc)
+            leaf_keys = sorted(self._leaves)
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "objects": stats.num_objects,
+            "users": stats.num_users,
+            "distinct_tokens": distinct_tokens,
+            "token_occurrences": token_occurrences,
+            "tokens_per_object": {
+                "mean": stats.tokens_per_object[0],
+                "std": stats.tokens_per_object[1],
+            },
+            "objects_per_token": {
+                "mean": stats.objects_per_token[0],
+                "std": stats.objects_per_token[1],
+            },
+            "objects_per_user": {
+                "mean": stats.objects_per_user[0],
+                "std": stats.objects_per_user[1],
+            },
+            "grids": [g.occupancy() for g in grids],
+            "leaf_indexes": [
+                {"eps_loc": k[0], "fanout": k[1], "partitioner": k[2]}
+                for k in leaf_keys
+            ],
+        }
+
 
 class DatasetRegistry:
     """Named :class:`PreparedDataset` instances, registered once.

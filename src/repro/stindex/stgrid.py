@@ -193,6 +193,35 @@ class STGridIndex:
         self._user_packs.pop(user, None)
         self._batch_kernel = None
 
+    def occupancy(self) -> dict:
+        """Grid occupancy profile: occupied cells, objects/users per cell.
+
+        The spatial side of the cost model's input (``/datasets/<name>/
+        stats``): dense cells drive the ``|D^c_u|·|D^c_v|`` pair costs the
+        chunker balances on, so skew here predicts chunk imbalance.
+        """
+        objects_per_cell = [
+            sum(len(objs) for objs in per_user.values())
+            for per_user in self._cell_objects.values()
+        ]
+        users_per_cell = [
+            len(per_user) for per_user in self._cell_objects.values()
+        ]
+        n = len(objects_per_cell)
+        total_objects = sum(objects_per_cell)
+        return {
+            "eps_loc": self.eps_loc,
+            "with_tokens": self.with_tokens,
+            "occupied_cells": n,
+            "objects": total_objects,
+            "objects_per_cell_mean": total_objects / n if n else 0.0,
+            "objects_per_cell_max": max(objects_per_cell, default=0),
+            "users_per_cell_mean": (
+                sum(users_per_cell) / n if n else 0.0
+            ),
+            "users_per_cell_max": max(users_per_cell, default=0),
+        }
+
     # -- accessors ----------------------------------------------------------------
 
     def user_cells(self, user: UserId) -> List[CellCoord]:

@@ -1,0 +1,216 @@
+"""Sliding-window analytics: aggregation, SLO judgment, calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Histogram
+from repro.obs.analytics import (
+    OUTCOMES,
+    SLOPolicy,
+    WindowAggregator,
+    calibration_summary,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def window(clock):
+    return WindowAggregator(bucket_seconds=10.0, num_buckets=3, clock=clock)
+
+
+class TestWindowAggregator:
+    def test_empty_snapshot(self, window):
+        snap = window.snapshot()
+        assert snap["window_seconds"] == 30.0
+        assert snap["groups"] == []
+        assert snap["totals"]["count"] == 0
+        assert snap["totals"]["qps"] == 0.0
+
+    def test_groups_by_dataset_and_algorithm(self, window):
+        window.record("a", "s-ppj-f", 0.010)
+        window.record("a", "s-ppj-f", 0.020)
+        window.record("a", "s-ppj-c", 0.005)
+        window.record("b", "s-ppj-f", 0.001)
+        snap = window.snapshot()
+        keys = [(g["dataset"], g["algorithm"]) for g in snap["groups"]]
+        assert keys == [("a", "s-ppj-c"), ("a", "s-ppj-f"), ("b", "s-ppj-f")]
+        by_key = {k: g for k, g in zip(keys, snap["groups"])}
+        assert by_key[("a", "s-ppj-f")]["count"] == 2
+        assert snap["totals"]["count"] == 4
+        assert snap["totals"]["qps"] == pytest.approx(4 / 30.0)
+
+    def test_outcome_and_cache_rates(self, window):
+        window.record("a", "x", 0.01, outcome="ok", cache="hit")
+        window.record("a", "x", 0.01, outcome="ok", cache="miss")
+        window.record("a", "x", 0.01, outcome="error")
+        window.record("a", "x", 0.01, outcome="deadline")
+        window.record("a", "x", 0.01, outcome="rejected")
+        window.record("a", "x", 0.01, outcome="bad_request")
+        (group,) = window.snapshot()["groups"]
+        assert group["count"] == 6
+        assert group["ok"] == 2
+        assert group["errors"] == 2  # error + bad_request
+        assert group["timeouts"] == 1
+        assert group["rejected"] == 1
+        assert group["error_rate"] == pytest.approx(2 / 6)
+        assert group["timeout_rate"] == pytest.approx(1 / 6)
+        assert group["cache_hit_ratio"] == pytest.approx(0.5)
+
+    def test_unknown_outcome_rejected(self, window):
+        with pytest.raises(ValueError, match="unknown outcome"):
+            window.record("a", "x", 0.01, outcome="exploded")
+        assert "exploded" not in OUTCOMES
+
+    def test_old_buckets_evicted(self, window, clock):
+        window.record("a", "x", 0.01)
+        clock.advance(10.0)
+        window.record("a", "x", 0.01)
+        assert window.snapshot()["totals"]["count"] == 2
+        # First bucket falls out of the 3-bucket window, second survives.
+        clock.advance(20.0)
+        assert window.snapshot()["totals"]["count"] == 1
+        clock.advance(10.0)
+        assert window.snapshot()["totals"]["count"] == 0
+        assert window.snapshot()["groups"] == []
+
+    def test_quantiles_carry_bounds(self, window):
+        for ms in (1, 2, 5, 10, 100):
+            window.record("a", "x", ms / 1000.0)
+        (group,) = window.snapshot()["groups"]
+        p99 = group["latency"]["p99"]
+        assert set(p99) == {"q", "estimate", "lower", "upper"}
+        assert p99["lower"] <= p99["estimate"] <= p99["upper"]
+        # Exact extrema tracked alongside the bucketed estimate.
+        assert group["latency"]["min"] == pytest.approx(0.001)
+        assert group["latency"]["max"] == pytest.approx(0.1)
+        assert p99["upper"] <= group["latency"]["max"] + 1e-12
+
+    def test_merge_preserves_exact_extrema(self, window, clock):
+        window.record("a", "x", 0.003)
+        clock.advance(10.0)
+        window.record("a", "x", 0.250)
+        (group,) = window.snapshot()["groups"]
+        assert group["latency"]["min"] == pytest.approx(0.003)
+        assert group["latency"]["max"] == pytest.approx(0.250)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowAggregator(bucket_seconds=0)
+        with pytest.raises(ValueError):
+            WindowAggregator(num_buckets=0)
+
+
+class TestHistogramQuantile:
+    def test_bounds_bracket_estimate(self):
+        hist = Histogram()
+        for value in (0.001, 0.004, 0.02, 0.3, 1.5):
+            hist.observe(value)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            result = hist.quantile(q)
+            assert result["lower"] <= result["estimate"] <= result["upper"]
+            assert result["lower"] >= 0.001 - 1e-12
+            assert result["upper"] <= 1.5 + 1e-12
+
+    def test_single_observation_is_exact(self):
+        hist = Histogram()
+        hist.observe(0.037)
+        result = hist.quantile(0.5)
+        assert result["lower"] == pytest.approx(0.037)
+        assert result["upper"] == pytest.approx(0.037)
+        assert result["estimate"] == pytest.approx(0.037)
+
+    def test_empty_histogram(self):
+        result = Histogram().quantile(0.99)
+        assert result["estimate"] == 0.0
+        assert result["lower"] == 0.0
+        assert result["upper"] == 0.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestSLOPolicy:
+    def _snapshot(self, **cell):
+        base = {
+            "count": 10,
+            "error_rate": 0.0,
+            "timeout_rate": 0.0,
+            "latency": {"p99": {"q": 0.99, "estimate": 0.01,
+                                "lower": 0.0, "upper": 0.02}},
+        }
+        base.update(cell)
+        return {"groups": [{"dataset": "d", "algorithm": "a", **base}]}
+
+    def test_unconfigured_never_breaches(self):
+        policy = SLOPolicy()
+        assert not policy.configured
+        assert policy.breaches(self._snapshot(error_rate=1.0)) == []
+
+    def test_p99_breach(self):
+        policy = SLOPolicy(p99_seconds=0.005)
+        (breach,) = policy.breaches(self._snapshot())
+        assert breach["metric"] == "p99_seconds"
+        assert breach["value"] == pytest.approx(0.01)
+        assert breach["dataset"] == "d"
+
+    def test_error_and_timeout_rate_breaches(self):
+        policy = SLOPolicy(error_rate=0.1, timeout_rate=0.1)
+        snapshot = self._snapshot(error_rate=0.5, timeout_rate=0.2)
+        metrics = {b["metric"] for b in policy.breaches(snapshot)}
+        assert metrics == {"error_rate", "timeout_rate"}
+
+    def test_min_count_suppresses(self):
+        policy = SLOPolicy(error_rate=0.1, min_count=100)
+        assert policy.breaches(self._snapshot(error_rate=1.0)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(p99_seconds=-1)
+        with pytest.raises(ValueError):
+            SLOPolicy(min_count=0)
+
+
+class TestCalibrationSummary:
+    def test_perfect_model(self):
+        costs = {0: 10.0, 1: 20.0, 2: 30.0}
+        seconds = {0: 0.1, 1: 0.2, 2: 0.3}
+        summary = calibration_summary(costs, seconds)
+        assert summary["chunks"] == 3
+        assert summary["ratio_min"] == pytest.approx(1.0)
+        assert summary["ratio_median"] == pytest.approx(1.0)
+        assert summary["ratio_max"] == pytest.approx(1.0)
+        assert summary["seconds_per_cost"] == pytest.approx(0.01)
+
+    def test_worst_chunk_identified(self):
+        costs = {0: 10.0, 1: 10.0}
+        seconds = {0: 0.1, 1: 0.3}  # chunk 1 took 3x its predicted share
+        summary = calibration_summary(costs, seconds)
+        assert summary["worst_chunk"]["chunk"] == 1
+        assert summary["worst_chunk"]["ratio"] == pytest.approx(1.5)
+        assert summary["ratio_min"] == pytest.approx(0.5)
+
+    def test_only_common_chunks_compared(self):
+        summary = calibration_summary({0: 1.0, 1: 1.0}, {1: 0.5, 2: 0.5})
+        assert summary["chunks"] == 1
+
+    def test_empty_inputs(self):
+        assert calibration_summary({}, {}) == {"chunks": 0}
+        assert calibration_summary({0: 1.0}, {}) == {"chunks": 0}
+        assert calibration_summary({0: 0.0}, {0: 0.1}) == {"chunks": 0}

@@ -167,3 +167,44 @@ class TestApiSurface:
         assert len(pairs) <= 7
         assert isinstance(explain, ExplainReport)
         assert explain.counters.get("funnel.matched", 0) >= 0
+
+
+class TestCostCalibration:
+    """Every parallel backend surfaces modeled-vs-actual chunk costs."""
+
+    def _calibration(self, dataset, join_query, backend, workers, **kwargs):
+        _, explain = _explain(
+            dataset, join_query, backend, workers, **kwargs
+        )
+        return explain.cost_calibration
+
+    @pytest.mark.parametrize(
+        "backend,workers",
+        [("sequential", 1), ("thread", 3)],
+    )
+    def test_calibration_present(self, dataset, join_query, backend, workers):
+        calibration = self._calibration(dataset, join_query, backend, workers)
+        assert calibration["chunks"] > 0
+        assert (
+            calibration["ratio_min"]
+            <= calibration["ratio_median"]
+            <= calibration["ratio_max"]
+        )
+        assert calibration["seconds_per_cost"] > 0
+        assert "chunk" in calibration["worst_chunk"]
+
+    @pytest.mark.skipif(
+        not fork_available, reason="fork start method unavailable"
+    )
+    def test_calibration_on_process_backend(self, dataset, join_query):
+        calibration = self._calibration(
+            dataset, join_query, "process", 3, start_method="fork"
+        )
+        assert calibration["chunks"] > 0
+        assert calibration["seconds_per_cost"] > 0
+
+    def test_calibration_in_dict_and_render(self, dataset, join_query):
+        _, explain = _explain(dataset, join_query)
+        payload = explain.as_dict()
+        assert payload["cost_calibration"] == explain.cost_calibration
+        assert "cost calibration" in render_explain(payload)
